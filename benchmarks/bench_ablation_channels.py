@@ -1,0 +1,37 @@
+"""Ablation: how ECC Parity's costs and benefits scale with channel count.
+
+Capacity overhead falls as R/(N-1) while each XOR cacheline covers more
+pages (less update traffic per write-back) - the reason the paper evaluates
+both a dual- and a quad-channel-equivalent system class.
+"""
+
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.ablation import channel_count_sweep
+from repro.workloads import WORKLOADS_BY_NAME
+
+CHANNELS = [2, 4, 8]
+
+
+def bench_ablation_channel_count(benchmark, emit):
+    points = once(
+        benchmark,
+        lambda: channel_count_sweep(WORKLOADS_BY_NAME["milc"], CHANNELS),
+    )
+    table = format_table(
+        ["channels", "capacity overhead", "accesses/instr", "EPI nJ"],
+        [
+            [
+                p.channels,
+                f"{p.capacity_overhead:.1%}",
+                f"{p.result.accesses_per_instruction:.4f}",
+                f"{p.result.epi_nj:.3f}",
+            ]
+            for p in points
+        ],
+        title="Ablation: LOT-ECC5 + ECC Parity vs channel count (milc)",
+    )
+    emit("ablation_channels", table)
+    caps = [p.capacity_overhead for p in points]
+    assert caps == sorted(caps, reverse=True)  # overhead shrinks with N

@@ -1,0 +1,75 @@
+"""Robustness ablation: do the headline ratios depend on the core model?
+
+The paper's cores are out-of-order with a 32-entry load queue; ours default
+to blocking loads.  This re-runs a Figure 10 slice with a 4-deep per-core
+miss window and checks the EPI-reduction conclusions survive the change.
+"""
+
+from conftest import once
+
+from repro.cpu.llc import LLC
+from repro.cpu.system import SimSystem
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.ecc.catalog import QUAD_EQUIVALENT
+from repro.experiments import format_table
+from repro.experiments.runner import RunSpec
+from repro.workloads import WORKLOADS_BY_NAME
+from repro.workloads.generator import make_core_traces
+
+WORKLOADS = ["milc", "streamcluster"]
+CONFIGS = ["chipkill36", "lot_ecc5_ep"]
+
+
+def _run(wl_name, cfg_key, mlp):
+    config = QUAD_EQUIVALENT[cfg_key]
+    wl = WORKLOADS_BY_NAME[wl_name]
+    scheme = config.make_scheme()
+    mem = MemorySystem(
+        MemorySystemConfig(
+            channels=config.channels,
+            ranks_per_channel=config.ranks_per_channel,
+            chip_widths=scheme.chip_widths(),
+            line_size=scheme.line_size,
+        )
+    )
+    model = EccTrafficModel.for_scheme(
+        scheme, ecc_parity_channels=config.channels if config.ecc_parity else None
+    )
+    traces = make_core_traces(wl, cores=8, llc_block_bytes=scheme.line_size,
+                              seed=0, footprint_scale=32)
+    spec = RunSpec(wl, config, scale=32)
+    system = SimSystem(mem, traces, model, llc=LLC(size_bytes=(8 << 20) // 32,
+                                                   line_size=scheme.line_size),
+                       load_mlp=mlp)
+    return system.run(spec.resolved_warmup, spec.resolved_measure)
+
+
+def bench_ablation_core_model(benchmark, emit):
+    def runit():
+        out = {}
+        for mlp in (1, 4):
+            for wl in WORKLOADS:
+                ep = _run(wl, "lot_ecc5_ep", mlp)
+                ck = _run(wl, "chipkill36", mlp)
+                out[(wl, mlp)] = (1 - ep.epi_nj / ck.epi_nj, ep.ipc / ck.ipc)
+        return out
+
+    results = once(benchmark, runit)
+    rows = []
+    for wl in WORKLOADS:
+        for mlp in (1, 4):
+            d, p = results[(wl, mlp)]
+            rows.append([wl, "blocking" if mlp == 1 else f"MLP={mlp}", f"{d:+.1%}", f"{p:.3f}"])
+    table = format_table(
+        ["workload", "core model", "EPI reduction vs ck36", "perf vs ck36"],
+        rows,
+        title="Ablation: blocking vs MLP cores - the energy conclusion is core-\n"
+        "model-robust (EPI reductions move by a few points, never sign)",
+    )
+    emit("ablation_core_model", table)
+    for wl in WORKLOADS:
+        d1, _ = results[(wl, 1)]
+        d4, _ = results[(wl, 4)]
+        assert d1 > 0.3 and d4 > 0.3
+        assert abs(d1 - d4) < 0.15

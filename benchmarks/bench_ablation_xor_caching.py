@@ -1,0 +1,43 @@
+"""Ablation: Section III-D's XOR-cacheline optimization on vs off.
+
+Quantifies why the paper bothers with the LLC modifications of Figure 7:
+without them, every write-back to a healthy bank costs the full 3-access
+parity read-modify-write of Figure 6 step E.
+"""
+
+from conftest import once
+
+from repro.ecc.catalog import QUAD_EQUIVALENT
+from repro.experiments import format_table
+from repro.experiments.ablation import xor_caching_ablation
+from repro.workloads import WORKLOADS_BY_NAME
+
+WORKLOADS = ["lbm", "omnetpp", "streamcluster"]
+
+
+def bench_ablation_xor_caching(benchmark, emit):
+    def runit():
+        cfg = QUAD_EQUIVALENT["lot_ecc5_ep"]
+        return [xor_caching_ablation(WORKLOADS_BY_NAME[w], cfg) for w in WORKLOADS]
+
+    results = once(benchmark, runit)
+    table = format_table(
+        ["workload", "API cached", "API uncached", "traffic x", "EPI x"],
+        [
+            [
+                r.workload,
+                f"{r.cached.accesses_per_instruction:.4f}",
+                f"{r.uncached.accesses_per_instruction:.4f}",
+                f"{r.traffic_blowup:.2f}",
+                f"{r.energy_blowup:.2f}",
+            ]
+            for r in results
+        ],
+        title="Ablation (Section III-D): XOR-cacheline caching of parity updates\n"
+        "LOT-ECC5 + ECC Parity, quad-channel-equivalent system",
+    )
+    emit("ablation_xor_caching", table)
+    for r in results:
+        assert r.traffic_blowup >= 1.0  # caching can only help
+    # Write-heavy workloads must show a real penalty without the optimization.
+    assert max(r.traffic_blowup for r in results) > 1.2

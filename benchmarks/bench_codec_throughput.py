@@ -1,0 +1,90 @@
+"""Microbenchmarks: ECC codec and parity-machine hot paths.
+
+Not a paper figure - these keep the library's own performance honest (the
+timing plane pushes millions of lines through these kernels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import Geometry
+from repro.core.machine import Address, ECCParityMachine, PermanentFault
+from repro.ecc import Chipkill36, LotEcc5
+from repro.gf import GF256, ReedSolomon
+
+
+@pytest.fixture(scope="module")
+def lines64():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 256, (2048, 64), dtype=np.uint8)
+
+
+def bench_rs36_encode(benchmark, lines64):
+    rs = ReedSolomon(GF256, 36, 32)
+    rng = np.random.default_rng(1)
+    words = rng.integers(0, 256, (4096, 32), dtype=np.uint8)
+    out = benchmark(rs.encode, words)
+    assert out.shape == (4096, 36)
+
+
+def bench_rs36_syndromes(benchmark, lines64):
+    rs = ReedSolomon(GF256, 36, 32)
+    rng = np.random.default_rng(1)
+    cw = rs.encode(rng.integers(0, 256, (4096, 32), dtype=np.uint8))
+    synd = benchmark(rs.syndromes, cw)
+    assert not synd.any()
+
+
+def bench_rs36_decode_one_error(benchmark):
+    rs = ReedSolomon(GF256, 36, 32)
+    rng = np.random.default_rng(2)
+    cw = rs.encode(rng.integers(0, 256, (64, 32), dtype=np.uint8))
+    bad = cw.copy()
+    bad[:, 5] ^= 0x3B
+    res = benchmark(rs.decode, bad)
+    assert res.ok.all()
+
+
+def bench_lot5_detection(benchmark, lines64):
+    s = LotEcc5()
+    det = benchmark(s.compute_detection, lines64)
+    assert det.shape == (2048, 8)
+
+
+def bench_ck36_correction_bits(benchmark):
+    s = Chipkill36()
+    rng = np.random.default_rng(3)
+    batch = rng.integers(0, 256, (1024, 128), dtype=np.uint8)
+    cor = benchmark(s.compute_correction, batch)
+    assert cor.shape == (1024, 8)
+
+
+def bench_machine_scrub_clean(benchmark):
+    g = Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8)
+    m = ECCParityMachine(LotEcc5(), g, seed=0)
+    dirty = benchmark(m.scrub)
+    assert dirty == 0
+
+
+def bench_machine_parity_reconstruction(benchmark):
+    g = Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8)
+    m = ECCParityMachine(LotEcc5(), g, seed=0)
+    m.add_permanent_fault(PermanentFault(0, 0, (3, 4), (0, 8), 1, seed=5))
+    addr = Address(0, 0, 3, 2)
+
+    def reconstruct():
+        return m._reconstruct_correction(addr)
+
+    out = benchmark(reconstruct)
+    assert out is not None
+
+
+def bench_rs36_batch_erasure_decode(benchmark):
+    """Vectorized erasure solver vs per-word decoding (the dead-chip case)."""
+    rs = ReedSolomon(GF256, 36, 32)
+    rng = np.random.default_rng(4)
+    cw = rs.encode(rng.integers(0, 256, (2048, 32), dtype=np.uint8))
+    bad = cw.copy()
+    bad[:, 7] = rng.integers(0, 256, 2048)
+    res = benchmark(rs.decode_erasures_batch, bad, [7])
+    assert res.ok.all()

@@ -1,0 +1,32 @@
+"""Measured collision probability behind Section VI-C's pessimistic bound."""
+
+from conftest import once
+
+from repro.experiments import format_table
+from repro.experiments.collision import two_fault_collision_mc
+from repro.faults import added_uncorrectable_interval_years
+
+
+def bench_collision_pessimism(benchmark, emit):
+    res = once(benchmark, lambda: two_fault_collision_mc(trials=60, seed=0))
+    bound_years = added_uncorrectable_interval_years(8.0, 100.0)
+    tighter = bound_years / max(res.collision_fraction, 1e-9)
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ["trials (two faults, distinct channels, no scrub)", res.trials],
+            ["measured collision fraction", f"{res.collision_fraction:.2f}"],
+            ["paper's assumed collision fraction", "1.00 (pessimistic)"],
+            ["VI-C bound (paper's assumption)", f"{bound_years:,.0f} yr"],
+            ["tightened estimate (measured fraction)", f"{tighter:,.0f} yr"],
+        ],
+        title="Collision pessimism: two same-window channel faults only defeat\n"
+        "the parities when they overlap in the same parity groups.  NOTE: the\n"
+        "small test geometry (4 banks) makes collisions far likelier than at\n"
+        "real scale (1000+ banks), so the measured fraction is itself an\n"
+        "upper bound on reality.",
+    )
+    emit("collision_pessimism", table)
+    # Even on a tiny machine, many two-fault pairs miss each other.
+    assert 0.0 <= res.collision_fraction < 1.0
+    assert tighter >= bound_years

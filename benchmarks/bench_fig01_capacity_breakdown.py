@@ -1,0 +1,15 @@
+"""Figure 1: capacity-overhead breakdown into detection and correction bits."""
+
+from repro.experiments import figure1_breakdown, format_table
+
+
+def bench_fig01_capacity_breakdown(benchmark, emit):
+    rows = benchmark(figure1_breakdown)
+    table = format_table(
+        ["scheme", "detection", "correction", "total"],
+        [[r.label, f"{r.detection:.1%}", f"{r.correction:.1%}", f"{r.total:.1%}"] for r in rows],
+        title="Figure 1: ECC capacity overhead breakdown",
+    )
+    emit("fig01_capacity_breakdown", table)
+    # Paper's claim: correction bits are >= 50% of the overhead.
+    assert all(r.correction >= r.detection for r in rows)

@@ -1,0 +1,20 @@
+"""Figure 2: mean time between faults in different channels vs FIT rate."""
+
+from repro.experiments import figure2, format_table
+from repro.faults import mean_time_between_channel_faults_mc
+
+
+def bench_fig02_mtbf(benchmark, emit):
+    rows = benchmark(figure2)
+    mc44 = mean_time_between_channel_faults_mc(44.0, trials=30000, seed=0)
+    table = format_table(
+        ["FIT/chip", "MTBF (days, analytic)"],
+        [[r.fit_per_chip, f"{r.mtbf_days:.0f}"] for r in rows],
+        title=(
+            "Figure 2: mean time between faults in different channels\n"
+            f"(8 channels x 4 ranks x 9 chips; MC cross-check @44 FIT: {mc44:.0f} days)"
+        ),
+    )
+    emit("fig02_mtbf", table)
+    days = [r.mtbf_days for r in rows]
+    assert days == sorted(days, reverse=True)

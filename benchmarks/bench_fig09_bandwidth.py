@@ -1,0 +1,21 @@
+"""Figure 9: workload memory-bandwidth utilization (dual-channel commercial
+ECC system), which also fixes the Bin1/Bin2 split used by Figures 10-17."""
+
+from conftest import once
+
+from repro.experiments import bandwidth_report, format_table
+
+
+def bench_fig09_bandwidth(benchmark, emit):
+    rep = once(benchmark, bandwidth_report)
+    ordered = sorted(rep.per_workload, key=rep.per_workload.get)
+    table = format_table(
+        ["workload", "bandwidth GB/s", "bin"],
+        [
+            [wl, f"{rep.per_workload[wl]:.2f}", "Bin2" if wl in rep.bin2 else "Bin1"]
+            for wl in ordered
+        ],
+        title="Figure 9: memory bandwidth utilization, dual-channel commercial ECC",
+    )
+    emit("fig09_bandwidth", table)
+    assert len(rep.bin1) == len(rep.bin2) == 8

@@ -1,0 +1,34 @@
+"""Figure 10: memory EPI reduction, quad-channel-equivalent systems."""
+
+from conftest import once
+from figrender import comparison_barchart, epi_summary_rows, render_comparison_report
+
+from repro.experiments import epi_report
+
+
+def bench_fig10_epi_quad(benchmark, emit):
+    rep = once(benchmark, lambda: epi_report("quad", metric="total"))
+    table = render_comparison_report(
+        rep,
+        "Figure 10: memory EPI reduction vs baselines (quad-channel equivalent)\n"
+        "paper Bin2 avgs: 59.5% / 48.9% / 23.1% / 20.5% / ~0 / 22.6%",
+        rep.reduction,
+        summary_rows=epi_summary_rows(rep),
+    )
+    bars = comparison_barchart(
+        rep, rep.reduction, "\nEPI reduction vs 36-dev commercial chipkill, per workload:"
+    )
+    emit("fig10_epi_quad", table + "\n" + bars)
+    avgs = rep.averages()
+    # Shape checks: EP wins big vs ck36/ck18, moderately vs LOT9/MultiECC,
+    # ties LOT5; RAIM+EP wins vs RAIM.
+    assert avgs[("All", "lot_ecc5_ep", "chipkill36")] > 0.35
+    assert avgs[("All", "lot_ecc5_ep", "chipkill18")] > 0.20
+    assert avgs[("All", "lot_ecc5_ep", "lot_ecc9")] > 0.0
+    assert abs(avgs[("All", "lot_ecc5_ep", "lot_ecc5")]) < 0.10
+    assert avgs[("All", "raim_ep", "raim")] > 0.10
+    # Bin2 (memory-intensive) benefits at least as much as Bin1 vs ck36.
+    assert (
+        avgs[("Bin2", "lot_ecc5_ep", "chipkill36")]
+        > avgs[("Bin1", "lot_ecc5_ep", "chipkill36")] - 0.05
+    )

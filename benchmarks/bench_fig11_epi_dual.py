@@ -1,0 +1,21 @@
+"""Figure 11: memory EPI reduction, dual-channel-equivalent systems."""
+
+from conftest import once
+from figrender import epi_summary_rows, render_comparison_report
+
+from repro.experiments import epi_report
+
+
+def bench_fig11_epi_dual(benchmark, emit):
+    rep = once(benchmark, lambda: epi_report("dual", metric="total"))
+    table = render_comparison_report(
+        rep,
+        "Figure 11: memory EPI reduction vs baselines (dual-channel equivalent)\n"
+        "paper: 53%/56% vs commercial chipkill, ~18% vs RAIM",
+        rep.reduction,
+        summary_rows=epi_summary_rows(rep),
+    )
+    emit("fig11_epi_dual", table)
+    avgs = rep.averages()
+    assert avgs[("All", "lot_ecc5_ep", "chipkill36")] > 0.35
+    assert avgs[("All", "raim_ep", "raim")] > 0.05

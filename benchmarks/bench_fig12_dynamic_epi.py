@@ -1,0 +1,21 @@
+"""Figure 12: dynamic-energy EPI reduction (quad-channel equivalent)."""
+
+from conftest import once
+from figrender import epi_summary_rows, render_comparison_report
+
+from repro.experiments import epi_report
+
+
+def bench_fig12_dynamic_epi(benchmark, emit):
+    rep = once(benchmark, lambda: epi_report("quad", metric="dynamic"))
+    table = render_comparison_report(
+        rep,
+        "Figure 12: dynamic EPI reduction vs baselines (quad-channel equivalent)",
+        rep.reduction,
+        summary_rows=epi_summary_rows(rep),
+    )
+    emit("fig12_dynamic_epi_quad", table)
+    avgs = rep.averages()
+    # Dynamic savings come from activating 5 instead of 36/18/9 chips.
+    assert avgs[("All", "lot_ecc5_ep", "chipkill36")] > 0.4
+    assert avgs[("All", "lot_ecc5_ep", "lot_ecc9")] > 0.0

@@ -1,0 +1,22 @@
+"""Figure 13: background-energy EPI reduction (quad-channel equivalent)."""
+
+from conftest import once
+from figrender import epi_summary_rows, render_comparison_report
+
+from repro.experiments import epi_report
+
+
+def bench_fig13_background_epi(benchmark, emit):
+    rep = once(benchmark, lambda: epi_report("quad", metric="background"))
+    table = render_comparison_report(
+        rep,
+        "Figure 13: background EPI reduction vs baselines (quad-channel equivalent)",
+        rep.reduction,
+        summary_rows=epi_summary_rows(rep),
+    )
+    emit("fig13_background_epi_quad", table)
+    avgs = rep.averages()
+    # Fewer chips to keep awake per request -> background savings vs ck36.
+    # (Magnitude is muted relative to the paper: close-page power-down
+    # already idles most chips in our model; the sign and ordering hold.)
+    assert avgs[("All", "lot_ecc5_ep", "chipkill36")] > 0.08

@@ -1,0 +1,25 @@
+"""Figure 14: performance normalized to baselines (quad-channel equivalent)."""
+
+from conftest import once
+from figrender import ratio_summary_rows, render_comparison_report
+
+from repro.experiments import perf_report
+
+
+def bench_fig14_perf_quad(benchmark, emit):
+    rep = once(benchmark, lambda: perf_report("quad"))
+    table = render_comparison_report(
+        rep,
+        "Figure 14: performance normalized to baselines (quad-channel equivalent)\n"
+        "paper: within ~5% of 64B-line baselines; up to ~20% behind 128B-line\n"
+        "baselines on high-spatial-locality workloads (streamcluster)",
+        rep.normalized,
+        summary_rows=ratio_summary_rows(rep),
+        fmt="{:.3f}",
+    )
+    emit("fig14_perf_quad", table)
+    # Shape: near parity against the 64B-line baselines on average.
+    assert 0.85 < rep.average("lot_ecc5_ep", "lot_ecc9") < 1.15
+    assert 0.90 < rep.average("lot_ecc5_ep", "lot_ecc5") < 1.10
+    # The 128B-line baseline wins on streamcluster (spatial locality).
+    assert rep.normalized("streamcluster", "lot_ecc5_ep", "chipkill36") < 1.0

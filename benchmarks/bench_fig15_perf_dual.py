@@ -1,0 +1,19 @@
+"""Figure 15: performance normalized to baselines (dual-channel equivalent)."""
+
+from conftest import once
+from figrender import ratio_summary_rows, render_comparison_report
+
+from repro.experiments import perf_report
+
+
+def bench_fig15_perf_dual(benchmark, emit):
+    rep = once(benchmark, lambda: perf_report("dual"))
+    table = render_comparison_report(
+        rep,
+        "Figure 15: performance normalized to baselines (dual-channel equivalent)",
+        rep.normalized,
+        summary_rows=ratio_summary_rows(rep),
+        fmt="{:.3f}",
+    )
+    emit("fig15_perf_dual", table)
+    assert 0.80 < rep.average("lot_ecc5_ep", "lot_ecc5") < 1.10

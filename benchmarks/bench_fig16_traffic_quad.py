@@ -1,0 +1,25 @@
+"""Figure 16: memory accesses per instruction normalized to baselines
+(quad-channel equivalent).  Lower is better; 64B units."""
+
+from conftest import once
+from figrender import ratio_summary_rows, render_comparison_report
+
+from repro.experiments import traffic_report
+
+
+def bench_fig16_traffic_quad(benchmark, emit):
+    rep = once(benchmark, lambda: traffic_report("quad"))
+    table = render_comparison_report(
+        rep,
+        "Figure 16: memory accesses/instruction normalized to baselines (quad)\n"
+        "paper: LOT-ECC5+EP averages ~1.133x the 18-dev chipkill baseline and\n"
+        "~0.8x the 128B-line 36-dev baseline",
+        rep.normalized,
+        summary_rows=ratio_summary_rows(rep),
+        fmt="{:.3f}",
+    )
+    emit("fig16_traffic_quad", table)
+    # EP pays an update-traffic overhead vs the overhead-free 18-dev baseline...
+    assert rep.average("lot_ecc5_ep", "chipkill18") > 1.0
+    # ...but undercuts the 128B-line baseline, which over-fetches.
+    assert rep.average("lot_ecc5_ep", "chipkill36") < 1.05

@@ -1,0 +1,39 @@
+"""Figure 17: memory accesses per instruction normalized to baselines
+(dual-channel equivalent).  The paper's point: overheads are higher than in
+Figure 16 because each XOR cacheline covers fewer channels."""
+
+from conftest import once
+from figrender import ratio_summary_rows, render_comparison_report
+
+from repro.experiments import traffic_report
+
+
+def bench_fig17_traffic_dual(benchmark, emit):
+    rep = once(benchmark, lambda: traffic_report("dual"))
+    table = render_comparison_report(
+        rep,
+        "Figure 17: memory accesses/instruction normalized to baselines (dual)",
+        rep.normalized,
+        summary_rows=ratio_summary_rows(rep),
+        fmt="{:.3f}",
+    )
+    emit("fig17_traffic_dual", table)
+    assert rep.average("lot_ecc5_ep", "chipkill18") > 1.0
+
+
+def bench_fig17_vs_fig16_overhead(benchmark, emit):
+    """Cross-figure claim: dual-channel EP traffic overhead >= quad's."""
+    from repro.experiments import traffic_report as tr
+
+    def both():
+        return tr("dual"), tr("quad")
+
+    dual, quad = benchmark.pedantic(both, rounds=1, iterations=1)
+    d = dual.average("lot_ecc5_ep", "chipkill18")
+    q = quad.average("lot_ecc5_ep", "chipkill18")
+    emit(
+        "fig17_vs_fig16",
+        f"EP traffic overhead vs 18-dev chipkill: dual {d:.3f}x, quad {q:.3f}x\n"
+        f"(paper: dual-channel overhead is higher; smaller XOR-line coverage)",
+    )
+    assert d >= q - 0.02

@@ -1,0 +1,35 @@
+"""Section VI estimates: HPC stall fraction (VI-B) and undetectable-error
+interval (VI-D)."""
+
+from repro.experiments import DiscussionEstimates, estimates, format_table
+
+
+def bench_sec6b_hpc_stall(benchmark, emit):
+    e = benchmark(estimates)
+    table = format_table(
+        ["quantity", "ours", "paper"],
+        [
+            ["HPC stall fraction (VI-B)", f"{e.hpc_stall_fraction:.2%}",
+             f"{DiscussionEstimates.PAPER_STALL:.2%}"],
+            ["added UE interval, yr (VI-C)", f"{e.added_ue_interval_years:,.0f}",
+             f"{DiscussionEstimates.PAPER_ADDED_UE_YEARS:,.0f}"],
+        ],
+        title="Section VI-B/C: system-level impact estimates",
+    )
+    emit("sec6b_hpc_stall", table)
+    assert 0.001 < e.hpc_stall_fraction < 0.01
+
+
+def bench_sec6d_undetected(benchmark, emit):
+    e = benchmark(estimates)
+    table = format_table(
+        ["quantity", "ours", "paper"],
+        [
+            ["undetectable error interval, yr (VI-D)",
+             f"{e.undetectable_interval_years:,.0f}",
+             f"{DiscussionEstimates.PAPER_UNDETECTABLE_YEARS:,.0f}"],
+        ],
+        title="Section VI-D: undetectable-error rate, banks not marked faulty",
+    )
+    emit("sec6d_undetected", table)
+    assert e.undetectable_interval_years > 50_000

@@ -1,0 +1,65 @@
+"""Section VI-A: the energy-vs-max-capacity frontier of mixed-width ranks."""
+
+from conftest import once
+
+from repro.ecc.catalog import QUAD_EQUIVALENT
+from repro.experiments import format_table
+from repro.experiments.mixed_ranks import mixed_rank_frontier
+from repro.workloads import WORKLOADS_BY_NAME
+
+SHARES = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def bench_sec6a_mixed_ranks(benchmark, emit):
+    points = once(
+        benchmark,
+        lambda: mixed_rank_frontier(
+            WORKLOADS_BY_NAME["milc"],
+            wide_config=QUAD_EQUIVALENT["lot_ecc5_ep"],
+            narrow_config=QUAD_EQUIVALENT["chipkill18"],
+            wide_shares=SHARES,
+        ),
+    )
+    table = format_table(
+        ["wide-rank share", "hot hits in wide", "EPI nJ", "max capacity (vs narrow)"],
+        [
+            [f"{p.wide_rank_share:.0%}", f"{p.hot_hit_fraction:.0%}",
+             f"{p.epi_nj:.3f}", f"{p.relative_capacity:.2f}x"]
+            for p in points
+        ],
+        title="Section VI-A: mixed narrow/wide ranks with hot-page placement (milc)\n"
+        "wide LOT-ECC5 ranks cut energy; narrow X4 ranks quadruple per-slot\n"
+        "capacity; hot-page skew buys most of the energy at partial population",
+    )
+    emit("sec6a_mixed_ranks", table)
+    # Hot-page skew: 50% wide ranks already capture all hot traffic -> the
+    # all-wide energy at double the all-wide capacity.
+    mid = points[2]
+    assert mid.epi_nj <= points[0].epi_nj
+    assert mid.relative_capacity > points[-1].relative_capacity
+
+
+def bench_sec6a_native_mixed_channel(benchmark, emit):
+    """The same trade measured natively: heterogeneous ranks in one channel,
+    per-rank power models, hot pages routed to the wide ranks."""
+    from conftest import once
+    from repro.experiments.mixed_ranks import mixed_channel_simulation
+    from repro.workloads import WORKLOADS_BY_NAME
+
+    def runit():
+        wl = WORKLOADS_BY_NAME["milc"]
+        return {w: mixed_channel_simulation(wl, wide_ranks=w) for w in (1, 2, 3)}
+
+    results = once(benchmark, runit)
+    table = format_table(
+        ["wide ranks (of 4)", "EPI nJ", "IPC", "capacity share (vs all-narrow)"],
+        [
+            [w, f"{r.epi_nj:.3f}", f"{r.ipc:.2f}", f"{(w * 9 + (4 - w) * 36) / (4 * 36):.2f}x"]
+            for w, r in sorted(results.items())
+        ],
+        title="Section VI-A, measured natively: heterogeneous channel with hot-page\n"
+        "placement (milc); more wide ranks = lower energy, less max capacity",
+    )
+    emit("sec6a_native_mixed", table)
+    epis = [results[w].epi_nj for w in (1, 2, 3)]
+    assert epis == sorted(epis, reverse=True)  # energy falls with wide share

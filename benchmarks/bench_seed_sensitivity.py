@@ -1,0 +1,46 @@
+"""Robustness: are the headline reductions stable across workload seeds?
+
+The synthetic trace generators are stochastic; this re-runs a representative
+slice of Figure 10 with different seeds and checks the EPI-reduction spread
+stays small relative to the effect sizes.
+"""
+
+from conftest import once
+
+from repro.ecc.catalog import QUAD_EQUIVALENT
+from repro.experiments import RunSpec, format_table, run
+from repro.workloads import WORKLOADS_BY_NAME
+
+SEEDS = [0, 1, 2]
+WORKLOADS = ["milc", "streamcluster"]
+
+
+def bench_seed_sensitivity(benchmark, emit):
+    def runit():
+        out = {}
+        for wl_name in WORKLOADS:
+            wl = WORKLOADS_BY_NAME[wl_name]
+            for seed in SEEDS:
+                ep = run(RunSpec(wl, QUAD_EQUIVALENT["lot_ecc5_ep"], seed=seed, scale=32))
+                ck = run(RunSpec(wl, QUAD_EQUIVALENT["chipkill36"], seed=seed, scale=32))
+                out[(wl_name, seed)] = 1 - ep.epi_nj / ck.epi_nj
+        return out
+
+    reductions = once(benchmark, runit)
+    rows = []
+    spreads = {}
+    for wl_name in WORKLOADS:
+        vals = [reductions[(wl_name, s)] for s in SEEDS]
+        spreads[wl_name] = max(vals) - min(vals)
+        rows.append(
+            [wl_name] + [f"{v:+.1%}" for v in vals] + [f"{spreads[wl_name]:.1%}"]
+        )
+    table = format_table(
+        ["workload"] + [f"seed {s}" for s in SEEDS] + ["spread"],
+        rows,
+        title="Seed sensitivity: EPI reduction of LOT-ECC5+EP vs 36-dev chipkill",
+    )
+    emit("seed_sensitivity", table)
+    # The ~50% effect must dwarf seed noise.
+    for wl_name, spread in spreads.items():
+        assert spread < 0.10, (wl_name, spread)

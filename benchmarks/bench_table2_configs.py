@@ -1,0 +1,37 @@
+"""Table II: evaluated ECC implementations and their geometries."""
+
+from repro.ecc.catalog import DUAL_EQUIVALENT, QUAD_EQUIVALENT, pin_count, total_physical_gbits
+from repro.experiments import format_table
+
+
+def bench_table2_configs(benchmark, emit):
+    def build():
+        rows = []
+        for key in DUAL_EQUIVALENT:
+            d, q = DUAL_EQUIVALENT[key], QUAD_EQUIVALENT[key]
+            s = d.make_scheme()
+            widths = s.chip_widths()
+            rank = f"{widths.count(widths[0])} X{widths[0]}"
+            if len(set(widths)) > 1:
+                rank += f", {widths.count(widths[-1])} X{widths[-1]}"
+            rows.append(
+                [
+                    d.label,
+                    rank,
+                    f"{s.line_size}B",
+                    d.ranks_per_channel,
+                    f"{d.channels}, {q.channels}",
+                    f"{pin_count(d)}, {pin_count(q)}",
+                    f"{total_physical_gbits(d):.0f}, {total_physical_gbits(q):.0f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark(build)
+    table = format_table(
+        ["scheme", "rank config", "line", "ranks/chan", "channels", "pins", "Gbit"],
+        rows,
+        title="Table II: evaluated ECC implementations (dual-, quad-equivalent)",
+    )
+    emit("table2_configs", table)
+    assert len(rows) == 8

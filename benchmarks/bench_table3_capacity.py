@@ -1,0 +1,25 @@
+"""Table III: capacity overheads including end-of-life averages."""
+
+from conftest import once
+
+from repro.experiments import PAPER_TABLE3, format_table, table3
+
+
+def bench_table3_capacity(benchmark, emit):
+    rows = once(benchmark, lambda: table3(trials=20000, seed=0))
+    table = format_table(
+        ["scheme", "overhead", "EOL avg", "paper"],
+        [
+            [
+                r.label,
+                f"{r.total:.1%}",
+                f"{r.eol_average:.1%}" if r.eol_average is not None else "-",
+                f"{PAPER_TABLE3[r.label]:.1%}",
+            ]
+            for r in rows
+        ],
+        title="Table III: capacity overheads (EOL = end of life, 7 years)",
+    )
+    emit("table3_capacity", table)
+    for r in rows:
+        assert abs(r.total - PAPER_TABLE3[r.label]) < 0.002

@@ -1,0 +1,35 @@
+"""Benchmark-harness fixtures.
+
+Every bench regenerates one of the paper's tables or figures, prints it,
+and writes it under ``results/`` so EXPERIMENTS.md can reference stable
+artifacts.  The timing-plane benches share the cached evaluation matrix
+(``.repro_cache/``); the first cold run simulates, later runs re-render.
+"""
+
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    d = Path(__file__).resolve().parent.parent / "results"
+    d.mkdir(exist_ok=True)
+    return d
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a rendered figure/table and persist it to results/<name>.txt."""
+
+    def _emit(name: str, text: str):
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run an expensive figure generator exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""Shared renderers for the timing-plane figures (9-17)."""
+
+from repro.experiments import COMPARISONS, format_barchart, format_table
+
+#: Column labels matching the paper's bar groups.
+PAIR_LABELS = {
+    ("lot_ecc5_ep", "chipkill36"): "vs 36-dev CK",
+    ("lot_ecc5_ep", "chipkill18"): "vs 18-dev CK",
+    ("lot_ecc5_ep", "lot_ecc9"): "vs LOT-ECC9",
+    ("lot_ecc5_ep", "multi_ecc"): "vs Multi-ECC",
+    ("lot_ecc5_ep", "lot_ecc5"): "vs LOT-ECC5",
+    ("raim_ep", "raim"): "RAIM+EP vs RAIM",
+}
+
+
+def render_comparison_report(report, title, value_fn, summary_rows=None, fmt="{:+.1%}"):
+    """One row per workload, one column per comparison pair."""
+    headers = ["workload"] + [PAIR_LABELS[p] for p in COMPARISONS]
+    rows = []
+    for wl in report.bin1 + report.bin2:
+        row = [wl + (" *" if wl in report.bin2 else "")]
+        for prop, base in COMPARISONS:
+            row.append(fmt.format(value_fn(wl, prop, base)))
+        rows.append(row)
+    if summary_rows:
+        rows.extend(summary_rows)
+    note = "(* = Bin2, the 8 higher-bandwidth workloads)"
+    return format_table(headers, rows, title=f"{title}\n{note}")
+
+
+def comparison_barchart(report, value_fn, title, fmt="{:+.1%}", baseline=0.0):
+    """Per-workload bars for the headline comparison (vs 36-dev chipkill)."""
+    items = [
+        (wl, value_fn(wl, "lot_ecc5_ep", "chipkill36")) for wl in report.bin1 + report.bin2
+    ]
+    return format_barchart(items, title=title, fmt=fmt, baseline=baseline)
+
+
+def epi_summary_rows(report, fmt="{:+.1%}"):
+    avgs = report.averages()
+    rows = []
+    for label in ("Bin1", "Bin2", "All"):
+        row = [f"== {label} avg =="]
+        for prop, base in COMPARISONS:
+            row.append(fmt.format(avgs[(label, prop, base)]))
+        rows.append(row)
+    return rows
+
+
+def ratio_summary_rows(report, fmt="{:.3f}"):
+    row = ["== geomean =="]
+    for prop, base in COMPARISONS:
+        row.append(fmt.format(report.average(prop, base)))
+    return [row]

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Compare memory energy-per-instruction across ECC schemes on one workload.
+
+Runs the timing/energy plane (trace-driven cores -> LLC -> DDR3 channels)
+for a memory-intensive workload on every Table II configuration of the
+quad-channel-equivalent class, then prints the EPI table - a single-workload
+slice of the paper's Figure 10.
+
+Run:  python examples/energy_comparison.py [workload]
+"""
+
+import sys
+
+from repro.ecc.catalog import QUAD_EQUIVALENT
+from repro.experiments import RunSpec, format_table, run
+from repro.workloads import WORKLOADS_BY_NAME
+
+
+def main(workload_name: str = "milc") -> None:
+    wl = WORKLOADS_BY_NAME[workload_name]
+    print(f"workload: {wl.name} ({wl.apki} accesses/kilo-instr, "
+          f"{wl.write_frac:.0%} writes, footprint {wl.footprint_mb} MB)\n")
+
+    rows = []
+    baseline_epi = None
+    order = ["chipkill36", "chipkill18", "lot_ecc9", "multi_ecc", "lot_ecc5",
+             "lot_ecc5_ep", "raim", "raim_ep"]
+    for key in order:
+        cfg = QUAD_EQUIVALENT[key]
+        res = run(RunSpec(wl, cfg, scale=32))
+        if key == "chipkill36":
+            baseline_epi = res.epi_nj
+        rows.append(
+            [
+                cfg.label,
+                f"{res.epi_nj:.3f}",
+                f"{res.dynamic_epi_nj:.3f}",
+                f"{res.background_epi_nj:.3f}",
+                f"{res.accesses_per_instruction:.4f}",
+                f"{1 - res.epi_nj / baseline_epi:+.1%}",
+            ]
+        )
+    print(
+        format_table(
+            ["configuration", "EPI nJ", "dyn nJ", "bkgd nJ", "accesses/instr", "vs 36-dev"],
+            rows,
+            title=f"Memory energy per instruction, quad-channel-equivalent systems ({wl.name})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "milc")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Fault-injection campaign: hammer an ECC-Parity machine with the field
+fault-mode distribution and measure real correction coverage.
+
+Draws fault modes from the Sridharan field FIT distribution, injects them
+into the bit-true machine one at a time with a scrub after each (modeling
+the paper's periodic scrubbing), and verifies that every line in memory
+still reads back correctly.  Prints the per-mode tally and the machine's
+reaction (pages retired / bank pairs materialized).
+
+Run:  python examples/fault_injection_campaign.py [n_faults] [seed]
+"""
+
+import sys
+from collections import Counter
+
+from repro.core import Address, ECCParityMachine, Geometry
+from repro.ecc import LotEcc5
+from repro.faults import FaultInjector
+
+def verify_all(machine) -> int:
+    """Count lines that fail to read back as their golden value."""
+    g = machine.geom
+    bad = 0
+    for c in range(g.channels):
+        for b in range(g.banks):
+            for r in range(g.rows_per_bank):
+                for l in range(g.lines_per_row):
+                    if not machine.readable_and_correct(Address(c, b, r, l)):
+                        bad += 1
+    return bad
+
+
+def main(n_faults: int = 6, seed: int = 1) -> None:
+    geometry = Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8)
+    machine = ECCParityMachine(LotEcc5(), geometry, seed=seed)
+    injector = FaultInjector(machine, seed=seed)
+
+    modes = Counter()
+    for i in range(n_faults):
+        rec = injector.inject_random()
+        modes[rec.mode.value] += 1
+        dirty = machine.scrub()
+        print(f"fault {i + 1}: {rec.mode.value:14s} @ channel {rec.channel} bank {rec.bank} "
+              f"chip {rec.chip} -> scrub handled {dirty} dirty lines")
+
+    print("\nmode mix      :", dict(modes))
+    print("retired pages :", machine.health.retired_page_count)
+    print("faulty pairs  :", sorted(machine.health.faulty_pairs))
+    print("uncorrectable :", machine.stats.uncorrectable)
+
+    bad = verify_all(machine)
+    total = geometry.total_data_lines
+    print(f"\nfull-memory verification: {total - bad}/{total} lines correct")
+    if bad:
+        print("NOTE: unrecoverable lines come from multi-channel collisions in "
+              "the same parity group before a scrub could react - exactly the "
+              "residual risk the paper's Figure 18 quantifies.")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    s = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    main(n, s)

@@ -1,0 +1,60 @@
+"""ECC Parity - the paper's contribution.
+
+* :mod:`repro.core.parity` - two-stage encoding math (Fig. 3, Eq. 1).
+* :mod:`repro.core.layout` - parity-line and materialized-ECC placement
+  (Figs. 4 and 5).
+* :mod:`repro.core.health` - bank-pair error counters, page retirement,
+  the bank health table (Section III-C).
+* :mod:`repro.core.machine` - bit-true functional machine executing the
+  whole protocol (Fig. 6) against injectable device faults.
+* :mod:`repro.core.scheme` - capacity/traffic descriptor used by the
+  timing-energy plane and the Table III arithmetic (Section III-E).
+"""
+
+from repro.core.health import BankHealthTable, HealthEvent
+from repro.core.layout import Geometry, MaterializedLayout, ParityLayout, ParityLocation
+from repro.core.layout_viz import (
+    render_group,
+    render_materialized_state,
+    render_parity_layout,
+)
+from repro.core.llc_controller import ControllerStats, XorCachingController
+from repro.core.machine import (
+    Address,
+    ECCParityMachine,
+    MachineStats,
+    PermanentFault,
+    ReadResult,
+)
+from repro.core.parity import (
+    correction_delta,
+    ecc_parity,
+    reconstruct_correction,
+    updated_parity,
+)
+from repro.core.scheme import DETECTION_OVERHEAD, ECCParityScheme
+
+__all__ = [
+    "BankHealthTable",
+    "HealthEvent",
+    "Geometry",
+    "MaterializedLayout",
+    "ParityLayout",
+    "ParityLocation",
+    "render_group",
+    "render_materialized_state",
+    "render_parity_layout",
+    "ControllerStats",
+    "XorCachingController",
+    "Address",
+    "ECCParityMachine",
+    "MachineStats",
+    "PermanentFault",
+    "ReadResult",
+    "correction_delta",
+    "ecc_parity",
+    "reconstruct_correction",
+    "updated_parity",
+    "DETECTION_OVERHEAD",
+    "ECCParityScheme",
+]

@@ -1,0 +1,105 @@
+"""Bank-pair error counters, the bank health table, and page retirement.
+
+Section III-C: every detected error increments the counter of the bank pair
+containing it.  Below the threshold (default 4, chosen to tell bit/row
+faults apart from device-level faults) the OS retires the affected physical
+page together with every page sharing its ECC parities.  When a counter
+saturates, the pair is recorded as faulty: its actual ECC correction bits
+are materialized in memory and all subsequent accesses consult this table
+(steps A1/A2 of Figure 6).
+
+The table is the small on-chip SRAM the paper budgets at 0.5 B per bank
+pair (512 B for a 1024-bank system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.layout import Geometry, MaterializedLayout
+
+
+@dataclass
+class HealthEvent:
+    """One state transition recorded by the health table (for tests/telemetry)."""
+
+    kind: str  # "count" | "retire" | "materialize"
+    channel: int
+    bank: int
+    row: "int | None" = None
+
+
+@dataclass
+class BankHealthTable:
+    """Per-bank-pair saturating error counters plus the faulty-pair set."""
+
+    geometry: Geometry
+    threshold: int = 4
+    _counters: "dict[tuple[int, int], int]" = field(default_factory=dict)
+    _faulty_pairs: "set[tuple[int, int]]" = field(default_factory=set)
+    _retired_pages: "set[tuple[int, int, int]]" = field(default_factory=set)
+    events: "list[HealthEvent]" = field(default_factory=list)
+
+    # -- lookups (steps A1 / A2; modelled as a fast on-chip SRAM read) -------------
+
+    def is_faulty(self, channel: int, bank: int) -> bool:
+        """Bank health lookup: is this bank's pair recorded as faulty?"""
+        return (channel, MaterializedLayout.pair_of(bank)) in self._faulty_pairs
+
+    def is_retired(self, channel: int, bank: int, row: int) -> bool:
+        return (channel, bank, row) in self._retired_pages
+
+    # -- updates ---------------------------------------------------------------------
+
+    def record_error(self, channel: int, bank: int, row: int) -> "str":
+        """Count a detected error; returns the action taken.
+
+        Returns ``"counted"`` while under threshold (caller should retire
+        the page and its parity-sharers), ``"materialize"`` exactly when the
+        counter saturates, and ``"faulty"`` when the pair was already
+        recorded as faulty.
+        """
+        pair = (channel, MaterializedLayout.pair_of(bank))
+        if pair in self._faulty_pairs:
+            return "faulty"
+        count = self._counters.get(pair, 0) + 1
+        self._counters[pair] = count
+        self.events.append(HealthEvent("count", channel, bank, row))
+        if count >= self.threshold:
+            self._faulty_pairs.add(pair)
+            self.events.append(HealthEvent("materialize", channel, bank))
+            return "materialize"
+        return "counted"
+
+    def retire_page(self, channel: int, bank: int, row: int) -> None:
+        """Retire one physical page (the OS-visible reaction below threshold)."""
+        if (channel, bank, row) not in self._retired_pages:
+            self._retired_pages.add((channel, bank, row))
+            self.events.append(HealthEvent("retire", channel, bank, row))
+
+    # -- accounting ---------------------------------------------------------------------
+
+    @property
+    def retired_page_count(self) -> int:
+        return len(self._retired_pages)
+
+    @property
+    def faulty_pairs(self) -> "frozenset[tuple[int, int]]":
+        return frozenset(self._faulty_pairs)
+
+    def counter(self, channel: int, bank: int) -> int:
+        return self._counters.get((channel, MaterializedLayout.pair_of(bank)), 0)
+
+    @property
+    def sram_bytes(self) -> float:
+        """On-chip storage: 0.5 B per bank pair (paper §III-E)."""
+        return 0.5 * self.geometry.bank_pairs
+
+    def max_retired_pages_bound(self) -> int:
+        """Paper's bound: at most ``threshold * (N-1)`` retired pages per pair.
+
+        Each sub-threshold error retires the faulty page plus the ``N-2``
+        healthy pages sharing its parity groups; with the default threshold
+        of 4 this is a negligible fraction of a bank pair.
+        """
+        return self.threshold * (self.geometry.channels - 1)

@@ -1,0 +1,71 @@
+"""ASCII rendering of the parity and materialized-ECC layouts (Figs 4, 5).
+
+Turns a :class:`~repro.core.layout.ParityLayout` (and optionally a machine's
+faulty-bank state) into the kind of diagram the paper draws: one column per
+channel, one cell per row, each data cell labeled with the channel that
+stores its parity, and the reserved regions listed underneath.
+"""
+
+from __future__ import annotations
+
+from repro.core.layout import Geometry, MaterializedLayout, ParityLayout
+
+
+def render_parity_layout(layout: ParityLayout, bank: int = 0) -> str:
+    """Figure 4-style map: which channel holds each (channel, row)'s parity."""
+    g = layout.geometry
+    header = "row | " + " | ".join(f"ch{c} data" for c in range(g.channels))
+    sep = "-" * len(header)
+    lines = [
+        f"Bank {bank}: data rows and their parity channels "
+        f"(cell 'Pk' = parity stored in channel k)",
+        header,
+        sep,
+    ]
+    for r in range(g.rows_per_bank):
+        cells = []
+        for c in range(g.channels):
+            p, _ = layout.group_of(c, r)
+            cells.append(f"P{p}".center(8))
+        lines.append(f"{r:3d} | " + " | ".join(cells))
+    lines.append(sep)
+    lines.append(
+        f"reserved parity rows per (channel, bank) at R=0.25: "
+        f"{layout.parity_rows_per_bank(0.25)} "
+        f"(each full parity row protects {layout.data_rows_per_parity_row(0.25):.0f} data rows)"
+    )
+    return "\n".join(lines)
+
+
+def render_group(layout: ParityLayout, parity_channel: int, block: int) -> str:
+    """One parity group spelled out: members and the parity location."""
+    members = layout.members_of_group(parity_channel, block)
+    parts = [f"group (parity ch{parity_channel}, block {block}):"]
+    for c, r in members:
+        parts.append(f"  member: channel {c}, row {r}")
+    parts.append(f"  parity: channel {parity_channel}, reserved rows, slot {block}")
+    return "\n".join(parts)
+
+
+def render_materialized_state(machine) -> str:
+    """Figure 5-style summary of a machine's faulty/materialized banks."""
+    g = machine.geom
+    lines = ["Bank state ('.' healthy, 'M' materialized pair, 'x' excluded):"]
+    header = "      " + " ".join(f"b{b}" for b in range(g.banks))
+    lines.append(header)
+    for c in range(g.channels):
+        cells = []
+        for b in range(g.banks):
+            if (c, b) in machine.materialized:
+                cells.append("M ")
+            elif (c, b) in machine.excluded:
+                cells.append("x ")
+            else:
+                cells.append(". ")
+        lines.append(f"ch{c:2d}  " + " ".join(cells))
+    rows_lost = machine.effective_capacity_loss_rows
+    lines.append(
+        f"materialized ECC consumes {rows_lost} partner-bank rows "
+        f"(2R per faulty bank's data, Section III-B)"
+    )
+    return "\n".join(lines)

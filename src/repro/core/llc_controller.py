@@ -1,0 +1,137 @@
+"""Functional model of the Figure 7 LLC modifications.
+
+Sits between an application and the :class:`ECCParityMachine` and executes
+the optimized flows of Section III-D bit-true:
+
+* data lines are cached write-back/write-allocate; each cached line
+  remembers its *fill value* (the value memory holds), so the correction-bit
+  delta ``ECC(fill) ^ ECC(current)`` is available at eviction with no extra
+  memory read;
+* deltas of all dirty lines protected by the same parity line compact into
+  one **XOR cacheline**, keyed by the parity line's location;
+* evicting a XOR cacheline applies the accumulated delta to the stored
+  parity with a single read-modify-write (Equation 1, batched);
+* write-backs to banks recorded as faulty update their materialized ECC
+  line directly (step D) and bypass the XOR path.
+
+The controller exists to *prove* the optimization preserves the design's
+core invariant: after any access sequence plus a flush, every parity group
+in memory is exactly the XOR of its members' correction bits
+(:meth:`ECCParityMachine.audit_parity` returns 0).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.machine import Address, ECCParityMachine
+
+
+@dataclass
+class CachedLine:
+    """One resident data line: current value plus the memory-side value."""
+
+    data: np.ndarray
+    fill: np.ndarray  #: the value memory currently holds (at fill/last wb)
+    dirty: bool = False
+
+
+@dataclass
+class ControllerStats:
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    xor_merges: int = 0  #: deltas folded into an existing XOR cacheline
+    xor_evictions: int = 0
+    ecc_line_updates: int = 0  #: step-D updates for faulty banks
+
+
+class XorCachingController:
+    """Write-back LLC with XOR-cacheline compaction over an ECC Parity machine."""
+
+    def __init__(self, machine: ECCParityMachine, capacity_lines: int = 64, xor_capacity: int = 16):
+        self.machine = machine
+        self.capacity = capacity_lines
+        self.xor_capacity = xor_capacity
+        self._lines: "OrderedDict[Address, CachedLine]" = OrderedDict()
+        #: (parity_channel, bank, block, line) -> accumulated delta
+        self._xor: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.stats = ControllerStats()
+
+    # -- application interface -------------------------------------------------------------
+
+    def read(self, addr: Address) -> np.ndarray:
+        """Cached read; misses fill from the machine (correcting if needed)."""
+        line = self._lookup(addr)
+        return line.data.copy()
+
+    def write(self, addr: Address, data: np.ndarray) -> None:
+        """Cached write (write-allocate)."""
+        data = np.asarray(data, dtype=np.uint8)
+        line = self._lookup(addr)
+        line.data = data.copy()
+        line.dirty = True
+
+    def flush(self) -> None:
+        """Write back everything; afterwards memory is fully consistent."""
+        for addr in list(self._lines):
+            self._evict_line(addr)
+        for key in list(self._xor):
+            self._evict_xor(key)
+
+    # -- internals ---------------------------------------------------------------------------
+
+    def _lookup(self, addr: Address) -> CachedLine:
+        if addr in self._lines:
+            self.stats.hits += 1
+            self._lines.move_to_end(addr)
+            return self._lines[addr]
+        self.stats.misses += 1
+        res = self.machine.read(addr)
+        if res.data is None:
+            raise RuntimeError(f"uncorrectable error filling {addr}")
+        line = CachedLine(data=res.data.copy(), fill=res.data.copy())
+        self._lines[addr] = line
+        if len(self._lines) > self.capacity:
+            victim = next(iter(self._lines))
+            self._evict_line(victim)
+        return line
+
+    def _evict_line(self, addr: Address) -> None:
+        line = self._lines.pop(addr)
+        if not line.dirty:
+            return
+        self.stats.writebacks += 1
+        m = self.machine
+        c, b, r, l = addr
+        if m.health.is_faulty(c, b):
+            # Step D: recompute and store the actual correction bits.
+            m.materialized[(c, b)][r, l] = m.scheme.compute_correction(line.data)
+            m.stats.ecc_line_writes += 1
+            m.stats.mem_writes += 1
+            m.write_raw(addr, line.data)
+            self.stats.ecc_line_updates += 1
+            return
+        # Healthy bank: fold ECC(fill) ^ ECC(new) into the XOR cacheline.
+        delta = m.scheme.compute_correction(line.fill) ^ m.scheme.compute_correction(line.data)
+        loc = m.layout.location_of(c, b, r)
+        key = (loc.parity_channel, b, loc.group_slot, l)
+        if key in self._xor:
+            self._xor[key] ^= delta
+            self._xor.move_to_end(key)
+            self.stats.xor_merges += 1
+        else:
+            self._xor[key] = delta.copy()
+            if len(self._xor) > self.xor_capacity:
+                self._evict_xor(next(iter(self._xor)))
+        m.write_raw(addr, line.data)
+
+    def _evict_xor(self, key: tuple) -> None:
+        delta = self._xor.pop(key)
+        if not delta.any():
+            return  # writes that restored the old value cancel out
+        self.stats.xor_evictions += 1
+        self.machine.apply_parity_delta(*key, delta)

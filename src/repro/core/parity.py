@@ -1,0 +1,80 @@
+"""Two-stage ECC parity encoding (Section III-A of the paper).
+
+Stage one computes the underlying ECC's correction bits for a data line;
+stage two XORs the correction bits of lines in N-1 different channels into a
+single *ECC parity* that is stored in place of all of them.
+
+All functions are pure: they map line payloads to parity payloads and back,
+independent of where anything is stored.  Address placement lives in
+:mod:`repro.core.layout`; the storage protocol in :mod:`repro.core.machine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.base import ECCScheme
+
+
+def ecc_parity(scheme: ECCScheme, lines: "list[np.ndarray]") -> np.ndarray:
+    """Stage-1 + stage-2 encode: parity of the correction bits of *lines*.
+
+    *lines* are the data payloads of the group members (one per distinct
+    channel, N-1 of them).  Returns the ECC parity payload
+    (``scheme.correction_bytes_per_line`` bytes).
+    """
+    if not lines:
+        raise ValueError("ECC parity of an empty group")
+    acc = scheme.compute_correction(lines[0]).astype(np.uint8)
+    for line in lines[1:]:
+        acc = np.bitwise_xor(acc, scheme.compute_correction(line))
+    return acc
+
+
+def reconstruct_correction(
+    scheme: ECCScheme,
+    parity: np.ndarray,
+    healthy_lines: "list[np.ndarray]",
+) -> np.ndarray:
+    """Recover the correction bits of the one missing group member.
+
+    XORs the stored ECC parity with the correction bits recomputed from the
+    group's remaining (healthy) data lines - the core trick of the paper:
+    healthy channels' correction bits need not be stored because they can
+    always be recomputed from the data.
+    """
+    acc = np.asarray(parity, dtype=np.uint8).copy()
+    for line in healthy_lines:
+        acc = np.bitwise_xor(acc, scheme.compute_correction(line))
+    return acc
+
+
+def updated_parity(
+    scheme: ECCScheme,
+    old_parity: np.ndarray,
+    old_line: np.ndarray,
+    new_line: np.ndarray,
+) -> np.ndarray:
+    """Equation 1: ``ECCP_new = ECCP_old ^ ECC_old ^ ECC_new``.
+
+    Applied on every write-back to a healthy bank so the stored parity
+    tracks the line's new contents without re-reading the whole group.
+    """
+    return np.bitwise_xor(
+        np.asarray(old_parity, dtype=np.uint8),
+        np.bitwise_xor(
+            scheme.compute_correction(old_line), scheme.compute_correction(new_line)
+        ),
+    )
+
+
+def correction_delta(scheme: ECCScheme, old_line: np.ndarray, new_line: np.ndarray) -> np.ndarray:
+    """``ECC_old ^ ECC_new`` - the quantity a XOR cacheline accumulates.
+
+    The LLC compacts the deltas of all dirty lines covered by one parity
+    line into a single cacheline (Section III-D); applying the accumulated
+    delta to the stored parity is then a single read-modify-write.
+    """
+    return np.bitwise_xor(
+        scheme.compute_correction(old_line), scheme.compute_correction(new_line)
+    )

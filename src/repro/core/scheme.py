@@ -1,0 +1,113 @@
+"""ECC Parity as a scheme-level descriptor (capacity and traffic model).
+
+Wraps any base :class:`~repro.ecc.base.ECCScheme` and exposes the overhead
+arithmetic of Section III-E plus the geometry the timing/energy plane needs.
+The functional protocol lives in :mod:`repro.core.machine`; this class is
+pure bookkeeping, so Table III can be reproduced without simulating a byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecc.base import ECCScheme, EccTraffic
+
+#: Capacity overhead of the dedicated detection chips per DIMM (paper: the
+#: standard ECC-DIMM arrangement of 1 ECC chip per 8 data chips).
+DETECTION_OVERHEAD = 0.125
+
+
+@dataclass
+class ECCParityScheme:
+    """ECC Parity applied over *base*, shared across *channels* channels.
+
+    Parameters
+    ----------
+    base:
+        The underlying ECC whose correction bits are replaced by their
+        cross-channel parity (e.g. LOT-ECC5, RAIM-18).
+    channels:
+        ``N``: the number of logical channels sharing ECC parities.
+    """
+
+    base: ECCScheme
+    channels: int
+
+    def __post_init__(self):
+        if self.channels < 2:
+            raise ValueError("ECC Parity needs at least two channels")
+
+    # -- identity -------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name} + ECC Parity"
+
+    # -- capacity (Section III-E) ------------------------------------------------------
+
+    @property
+    def detection_overhead(self) -> float:
+        """Detection bits stay per-channel in the dedicated ECC chips."""
+        return self.base.detection_overhead
+
+    @property
+    def parity_overhead(self) -> float:
+        """Static parity-line overhead: ``(1 + 12.5%) * R / (N - 1)``.
+
+        The ``1 + 12.5%`` factor charges the detection bits that protect the
+        parity lines themselves.
+        """
+        r = self.base.correction_ratio
+        return (1 + DETECTION_OVERHEAD) * r / (self.channels - 1)
+
+    @property
+    def capacity_overhead(self) -> float:
+        """Total static overhead (fault-free memory)."""
+        return self.detection_overhead + self.parity_overhead
+
+    def eol_capacity_overhead(self, faulty_fraction: float) -> float:
+        """End-of-life overhead once *faulty_fraction* of memory is materialized.
+
+        Materialized regions store actual correction bits at twice the
+        parity budget (``2R``, §III-B) plus their detection bits, replacing
+        their share of parity lines.
+        """
+        r = self.base.correction_ratio
+        materialized = faulty_fraction * (1 + DETECTION_OVERHEAD) * 2 * r
+        return self.capacity_overhead + materialized
+
+    def retired_pages_bound(self, threshold: int = 4) -> int:
+        """Maximum pages retired before one bank pair's counter saturates."""
+        return threshold * (self.channels - 1)
+
+    # -- traffic / geometry for the timing plane ------------------------------------------
+
+    @property
+    def traffic(self) -> EccTraffic:
+        """Parity updates always use the XOR-cacheline path (Section III-D)."""
+        return EccTraffic.XOR_LINE
+
+    @property
+    def ecc_line_coverage(self) -> int:
+        """Data lines covered by one XOR cacheline.
+
+        Section IV-C: the same group of logically adjacent lines in ``N-1``
+        logically adjacent physical pages share one XOR cacheline.
+        """
+        per_page = self.base.ecc_line_coverage or 1
+        return per_page * (self.channels - 1)
+
+    # Geometry passthroughs used by the DRAM/energy plane.
+    @property
+    def line_size(self) -> int:
+        return self.base.line_size
+
+    @property
+    def chips_per_rank(self) -> int:
+        return self.base.chips_per_rank
+
+    def chip_widths(self) -> "list[int]":
+        return self.base.chip_widths()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ECCParityScheme({self.base.name}, N={self.channels})"

@@ -1,0 +1,28 @@
+"""Processor-side timing plane: LLC, ECC-traffic rules, and the core model."""
+
+from repro.cpu.degraded import MATERIALIZED_BASE, DegradedMode
+from repro.cpu.ecc_traffic import ECC_REGION_BASE, EccTrafficModel
+from repro.cpu.llc import LLC, Eviction, LineKind, LLCStats
+from repro.cpu.system import (
+    AccessCounters,
+    CoreState,
+    ScrubConfig,
+    SimResult,
+    SimSystem,
+)
+
+__all__ = [
+    "MATERIALIZED_BASE",
+    "DegradedMode",
+    "ECC_REGION_BASE",
+    "EccTrafficModel",
+    "LLC",
+    "Eviction",
+    "LineKind",
+    "LLCStats",
+    "AccessCounters",
+    "CoreState",
+    "ScrubConfig",
+    "SimResult",
+    "SimSystem",
+]

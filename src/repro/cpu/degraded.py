@@ -1,0 +1,53 @@
+"""Degraded-mode operation: traffic rules for faulty bank pairs.
+
+After a bank pair's error counter saturates, its actual ECC correction bits
+live in memory (Section III-B) and every application access to those banks
+takes the Figure 6 side paths:
+
+* **reads** (step B): the ECC line holding the line's correction bits is
+  read in parallel with the data - cacheable in the LLC per the VECC-style
+  optimization of Section III-D, so repeated reads to lines sharing an ECC
+  line hit on chip;
+* **writes** (step D): the line's correction bits are recomputed and the
+  ECC line updated - again through the LLC, with a memory fetch on miss
+  (unlike parity XOR-lines, materialized correction bits must be read
+  before they can be partially updated) and a write-back on eviction.
+
+The paper calls step B "the most expensive step among the added steps";
+:mod:`repro.experiments.degraded` quantifies exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Line-address base for materialized-ECC lines (disjoint from data and
+#: from the parity-region base in repro.cpu.ecc_traffic).
+MATERIALIZED_BASE = 1 << 41
+
+
+@dataclass(frozen=True)
+class DegradedMode:
+    """Which (channel, rank, bank) triples are recorded as faulty.
+
+    ``ecc_line_coverage`` is how many data lines one materialized-ECC line
+    covers: ``line_size // (2 * correction_bytes_per_line)`` under the
+    paper's doubled allocation (e.g. two 64B lines per ECC line for
+    LOT-ECC5's 16B payloads).
+    """
+
+    faulty_banks: "frozenset[tuple[int, int, int]]"
+    ecc_line_coverage: int = 2
+
+    @classmethod
+    def for_scheme(cls, scheme, faulty_banks) -> "DegradedMode":
+        cov = max(1, scheme.line_size // (2 * max(1, scheme.correction_bytes_per_line)))
+        return cls(frozenset(faulty_banks), cov)
+
+    def is_faulty(self, channel: int, rank: int, bank: int) -> bool:
+        """Step A1/A2: the on-chip bank-health SRAM lookup."""
+        return (channel, rank, bank) in self.faulty_banks
+
+    def ecc_addr(self, line_addr: int) -> int:
+        """The materialized-ECC line covering a data line."""
+        return MATERIALIZED_BASE + line_addr // self.ecc_line_coverage

@@ -1,0 +1,74 @@
+"""Mapping from data lines to their ECC-related cachelines (Section IV-C).
+
+Each resilience scheme that keeps correction state out-of-band owns a region
+of ECC/XOR lines; the address functions here decide which data lines share
+one, which is what determines the LLC hit rate of ECC-related lines and
+therefore the scheme's bandwidth overhead:
+
+* LOT-ECC: one ECC line per 4 (LOT-ECC5) or 8 (LOT-ECC9) logically adjacent
+  data lines.
+* Multi-ECC: one XOR line per 16 adjacent data lines.
+* ECC Parity: one XOR line per "same group of adjacent lines in N-1
+  logically adjacent physical pages" - coverage grows with the channel
+  count, which is why the dual-channel-equivalent systems see higher
+  overheads (Fig. 17 vs Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecc.base import ECCScheme, EccTraffic
+
+#: Line-address offset isolating ECC lines from data (they live in reserved
+#: rows physically; any disjoint region works for the traffic model).
+ECC_REGION_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class EccTrafficModel:
+    """How a scheme's correction-state updates turn into LLC/memory traffic."""
+
+    kind: EccTraffic
+    #: Data lines sharing one ECC/XOR cacheline (0 for INLINE schemes).
+    coverage: int
+    #: For ECC Parity: lines covered within one page; grouping then spans
+    #: ``parity_channels - 1`` adjacent pages.  None for per-page schemes.
+    per_page_coverage: "int | None" = None
+    parity_channels: "int | None" = None
+    lines_per_page: int = 64
+    #: Section III-D optimization switch.  When False, every data write-back
+    #: pays the unoptimized Figure 6 cost up front: step E is a 3-access
+    #: read-modify-write of the parity line (old-value read + parity read +
+    #: parity write); an ECC line costs its read-modify-write immediately.
+    cache_ecc_lines: bool = True
+
+    @classmethod
+    def for_scheme(cls, scheme: ECCScheme, ecc_parity_channels: "int | None" = None) -> "EccTrafficModel":
+        """Build the model for *scheme*, optionally wrapped in ECC Parity."""
+        if ecc_parity_channels is not None:
+            per_page = scheme.ecc_line_coverage or 1
+            return cls(
+                kind=EccTraffic.XOR_LINE,
+                coverage=per_page * (ecc_parity_channels - 1),
+                per_page_coverage=per_page,
+                parity_channels=ecc_parity_channels,
+                lines_per_page=4096 // scheme.line_size,
+            )
+        return cls(
+            kind=scheme.traffic,
+            coverage=scheme.ecc_line_coverage,
+            lines_per_page=4096 // scheme.line_size,
+        )
+
+    def ecc_addr(self, line_addr: int) -> "int | None":
+        """The ECC/XOR line a data line maps to, or None for inline schemes."""
+        if self.kind == EccTraffic.INLINE:
+            return None
+        if self.parity_channels is not None:
+            page, offset = divmod(line_addr, self.lines_per_page)
+            groups_per_page = max(1, self.lines_per_page // self.per_page_coverage)
+            page_group = page // (self.parity_channels - 1)
+            group_in_page = offset // self.per_page_coverage
+            return ECC_REGION_BASE + page_group * groups_per_page + group_in_page
+        return ECC_REGION_BASE + line_addr // max(1, self.coverage)

@@ -1,0 +1,146 @@
+"""Last-level cache model with ECC-aware line kinds.
+
+An 8 MB, 16-way, write-back, write-allocate LLC (Table I) whose lines carry
+a *kind*: ordinary data, an ECC line (LOT-ECC's GEC lines), or a XOR line
+(the delta-compacting cachelines of Multi-ECC and ECC Parity, Section
+III-D).  ECC-related lines share the insertion and replacement policy with
+data lines, exactly as the paper models them (Section IV-C); what differs is
+their fill/eviction traffic, which the simulation layer charges per kind.
+
+Implementation note (profiled per the HPC guide): the timing plane performs
+tens of millions of single-line accesses, so lookups use a flat dict
+(address -> way slot) with small per-set Python lists for LRU/dirty state -
+an order of magnitude faster here than per-set NumPy compares, whose
+per-call overhead dwarfs 16-element work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LineKind(enum.IntEnum):
+    """What a cached line holds (drives eviction traffic)."""
+
+    DATA = 0
+    ECC = 1  #: actual ECC correction bits (LOT-ECC GEC lines); evict = 1 write
+    XOR = 2  #: compacted parity delta; evict = 1 read + 1 write
+
+
+@dataclass
+class Eviction:
+    """A victim pushed out by an insertion."""
+
+    addr: int
+    kind: LineKind
+    dirty: bool
+
+
+@dataclass
+class LLCStats:
+    hits: int = 0
+    misses: int = 0
+    evictions_dirty: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class LLC:
+    """Set-associative write-back cache over line-granularity addresses."""
+
+    def __init__(self, size_bytes: int = 8 << 20, assoc: int = 16, line_size: int = 64):
+        self.line_size = line_size
+        self.assoc = assoc
+        self.n_sets = size_bytes // (assoc * line_size)
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("set count must be a power of two")
+        n = self.n_sets
+        self._tags = [[-1] * assoc for _ in range(n)]
+        self._lru = [[0] * assoc for _ in range(n)]
+        self._dirty = [[False] * assoc for _ in range(n)]
+        self._kind = [[0] * assoc for _ in range(n)]
+        self._where: "dict[int, int]" = {}  # addr -> way (set is addr & mask)
+        self._clock = 0
+        self.stats = LLCStats()
+
+    def _set_of(self, line_addr: int) -> int:
+        return line_addr & (self.n_sets - 1)
+
+    def probe(self, line_addr: int) -> bool:
+        """Presence check without any state change."""
+        return line_addr in self._where
+
+    def access(
+        self,
+        line_addr: int,
+        kind: LineKind = LineKind.DATA,
+        make_dirty: bool = False,
+    ) -> "tuple[bool, Eviction | None]":
+        """Reference a line; allocate on miss.
+
+        Returns ``(hit, eviction)``; *eviction* is the displaced line (only
+        meaningful traffic-wise when dirty, but always reported).
+        """
+        self._clock += 1
+        s = self._set_of(line_addr)
+        w = self._where.get(line_addr)
+        if w is not None:
+            self._lru[s][w] = self._clock
+            if make_dirty:
+                self._dirty[s][w] = True
+            self.stats.hits += 1
+            return True, None
+
+        self.stats.misses += 1
+        tags = self._tags[s]
+        lru = self._lru[s]
+        victim_way = -1
+        best = None
+        for i in range(self.assoc):
+            if tags[i] == -1:
+                victim_way = i
+                break
+            if best is None or lru[i] < best:
+                best = lru[i]
+                victim_way = i
+        evicted = None
+        old = tags[victim_way]
+        if old != -1:
+            evicted = Eviction(
+                addr=old,
+                kind=LineKind(self._kind[s][victim_way]),
+                dirty=self._dirty[s][victim_way],
+            )
+            if evicted.dirty:
+                self.stats.evictions_dirty += 1
+            del self._where[old]
+        tags[victim_way] = line_addr
+        lru[victim_way] = self._clock
+        self._dirty[s][victim_way] = make_dirty
+        self._kind[s][victim_way] = int(kind)
+        self._where[line_addr] = victim_way
+        return False, evicted
+
+    def flush_dirty(self) -> "list[Eviction]":
+        """Drain every dirty line (end-of-run accounting helper)."""
+        out = []
+        for s in range(self.n_sets):
+            dirty = self._dirty[s]
+            for w in range(self.assoc):
+                if dirty[w]:
+                    out.append(
+                        Eviction(
+                            addr=self._tags[s][w],
+                            kind=LineKind(self._kind[s][w]),
+                            dirty=True,
+                        )
+                    )
+                    dirty[w] = False
+        return out

@@ -1,0 +1,421 @@
+"""Trace-driven multi-core timing simulation (the GEM5 stand-in).
+
+Eight cores replay memory-reference traces through the shared LLC and the
+DDR3 memory system.  Loads that miss block their core until the line
+returns; stores post through a bounded write buffer; dirty evictions write
+back and trigger the scheme's ECC-state updates (ECC lines, XOR lines) with
+the exact fill/eviction traffic rules of Section IV-C.
+
+The model deliberately omits core microarchitecture below the LLC-access
+stream: every metric the paper reports (memory EPI, accesses per
+instruction, relative performance) is a function of the LLC-filtered
+request stream and the DRAM system's response to it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.cpu.degraded import DegradedMode
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.cpu.llc import LLC, Eviction, LineKind
+from repro.dram.power import EnergyBreakdown
+from repro.dram.system import MemorySystem
+from repro.ecc.base import EccTraffic
+
+#: A trace element: (instruction gap since last access, line address, is_write).
+TraceItem = "tuple[int, int, bool]"
+
+
+@dataclass(frozen=True)
+class ScrubConfig:
+    """Hardware scrubber traffic: one patrol read every *interval* cycles.
+
+    The scrubber sweeps *region_lines* round-robin; patrol reads bypass the
+    LLC (scrubbers do not install lines) and travel as background requests.
+    The paper's Section VI-C trades scrub rate against the multi-channel
+    fault window; this adds the bandwidth/energy side of that trade.
+    """
+
+    interval_cycles: int
+    region_lines: int
+
+
+@dataclass
+class CoreState:
+    """Per-core progress and blocking state."""
+
+    cid: int
+    trace: Iterator
+    instructions: int = 0
+    outstanding_posted: int = 0
+    outstanding_loads: int = 0
+    waiting: bool = False
+    done: bool = False
+    #: The reference scheduled to issue at the pending "access" event.
+    pending: "tuple[int, bool] | None" = None
+
+
+@dataclass
+class AccessCounters:
+    """Memory-request tallies by category (64B-access units tracked in DRAM)."""
+
+    data_reads: int = 0
+    data_writes: int = 0
+    ecc_reads: int = 0
+    ecc_writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.data_reads + self.data_writes + self.ecc_reads + self.ecc_writes
+
+
+@dataclass
+class SimResult:
+    """Measured-phase outcome of one simulation run."""
+
+    instructions: int
+    cycles: int
+    energy: EnergyBreakdown
+    accesses_64b: int
+    counters: AccessCounters
+    llc_hits: int
+    llc_misses: int
+
+    @property
+    def epi_nj(self) -> float:
+        """Memory energy per instruction, nJ."""
+        return self.energy.total / max(1, self.instructions)
+
+    @property
+    def dynamic_epi_nj(self) -> float:
+        return self.energy.dynamic / max(1, self.instructions)
+
+    @property
+    def background_epi_nj(self) -> float:
+        return (self.energy.background + self.energy.refresh) / max(1, self.instructions)
+
+    @property
+    def accesses_per_instruction(self) -> float:
+        """Fig. 16's metric: 64B accesses per instruction."""
+        return self.accesses_64b / max(1, self.instructions)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / max(1, self.cycles)
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Measured data bandwidth in GB/s (1 cycle = 1 ns)."""
+        return self.accesses_64b * 64 / max(1, self.cycles)
+
+
+class SimSystem:
+    """Co-simulation of cores, LLC, ECC-state traffic, and DRAM."""
+
+    HIT_LATENCY = 10  # L2 latency, Table I
+    IPC = 2.0  # issue width, Table I
+    POSTED_CAP = 8  # per-core write-buffer entries
+
+    def __init__(
+        self,
+        mem: MemorySystem,
+        traces: "list[Iterator]",
+        ecc_model: EccTrafficModel,
+        llc: "LLC | None" = None,
+        degraded: "DegradedMode | None" = None,
+        scrub: "ScrubConfig | None" = None,
+        load_mlp: int = 1,
+    ):
+        #: Outstanding load misses each core may overlap.  1 models a
+        #: blocking core (the default); >1 approximates the ROB/LSQ-driven
+        #: memory-level parallelism of the paper's out-of-order cores
+        #: (Table I: 32-entry load queue) - the core only stalls when its
+        #: miss window fills.
+        self.load_mlp = load_mlp
+        self.mem = mem
+        self.llc = llc or LLC(line_size=mem.config.line_size)
+        self.ecc_model = ecc_model
+        self.degraded = degraded
+        self.scrub = scrub
+        self._scrub_cursor = 0
+        self.scrub_reads = 0
+        self.cores = [CoreState(cid=i, trace=t) for i, t in enumerate(traces)]
+        self.counters = AccessCounters()
+        self._heap: "list[tuple[int, int, str, int]]" = []
+        self._seq = 0
+        self.now = 0
+        #: Optional IPC timeline: (window_cycles, [instructions per window]).
+        self.ipc_window: "int | None" = None
+        self._window_instr: "list[int]" = []
+        #: One-shot background bursts: (cycle, n_reads, n_writes, base_addr).
+        self._bursts: "list[tuple[int, int, int, int]]" = []
+
+    def schedule_burst(self, cycle: int, reads: int, writes: int, base_addr: int = 0) -> None:
+        """Inject a one-shot background traffic burst at *cycle*.
+
+        Models maintenance storms such as materializing a bank pair's ECC
+        correction bits (Section III-B: read every line of the pair, write
+        the ECC lines) without simulating the bytes.
+        """
+        self._bursts.append((cycle, reads, writes, base_addr))
+
+    # -- event helpers -----------------------------------------------------------------
+
+    def _push(self, time: int, kind: str, payload: int) -> None:
+        heapq.heappush(self._heap, (time, self._seq, kind, payload))
+        self._seq += 1
+
+    def _enqueue_mem(self, line_addr: int, is_write: bool, tag: object) -> None:
+        demand = isinstance(tag, tuple) and tag[0] in ("fill", "postfill")
+        ch = self.mem.enqueue(line_addr, is_write, self.now, tag, demand=demand)
+        if is_write:
+            if isinstance(tag, tuple) and tag[0] in ("eccwb", "eccrmw"):
+                self.counters.ecc_writes += 1
+            else:
+                self.counters.data_writes += 1
+        else:
+            if isinstance(tag, tuple) and tag[0] in ("eccfill", "eccrmw"):
+                self.counters.ecc_reads += 1
+            else:
+                self.counters.data_reads += 1
+        self._push(self.now, "chan", ch)
+
+    # -- write-back / ECC-state cascade ----------------------------------------------------
+
+    def _handle_eviction_list(self, evictions: "list[Eviction]") -> None:
+        for ev in evictions:
+            self._handle_eviction(ev)
+
+    def _handle_eviction(self, ev: "Eviction | None") -> None:
+        """Process an LLC victim, cascading through ECC-state insertions."""
+        stack = [ev] if ev is not None else []
+        guard = 0
+        while stack:
+            guard += 1
+            if guard > 64:  # a cascade this deep indicates a modelling bug
+                raise RuntimeError("runaway eviction cascade")
+            victim = stack.pop()
+            if not victim.dirty:
+                continue
+            if victim.kind == LineKind.DATA:
+                self._enqueue_mem(victim.addr, True, ("wb",))
+                if self._bank_faulty(victim.addr):
+                    # Step D: update the materialized ECC line instead of
+                    # the parity/ECC state.
+                    stack.extend(self._touch_materialized(victim.addr, dirty=True))
+                else:
+                    stack.extend(self._update_ecc_state(victim.addr))
+            elif victim.kind == LineKind.ECC:
+                # LOT-ECC GEC line: recomputable from the written data, so
+                # eviction costs exactly one memory write (Section IV-C).
+                self._enqueue_mem(victim.addr, True, ("eccwb",))
+            else:  # XOR line: apply the compacted delta to the parity line
+                self._enqueue_mem(victim.addr, False, ("eccrmw",))
+                self._enqueue_mem(victim.addr, True, ("eccrmw",))
+
+    def _update_ecc_state(self, data_addr: int) -> "list[Eviction]":
+        """Touch the ECC/XOR cacheline covering a written-back data line.
+
+        Misses insert without a memory fill: ECC lines are recomputed from
+        the data, XOR lines start as a zero delta.  With the Section III-D
+        caching disabled, the update instead hits memory immediately.
+        """
+        if self.ecc_model.kind == EccTraffic.INLINE:
+            return []
+        addr = self.ecc_model.ecc_addr(data_addr)
+        if not self.ecc_model.cache_ecc_lines:
+            if self.ecc_model.kind == EccTraffic.XOR_LINE:
+                # Unoptimized step E: read old line value, then RMW the
+                # parity line (3 additional accesses, Section III-C).
+                self._enqueue_mem(data_addr, False, ("eccfill",))
+            self._enqueue_mem(addr, False, ("eccrmw",))
+            self._enqueue_mem(addr, True, ("eccrmw",))
+            return []
+        kind = LineKind.ECC if self.ecc_model.kind == EccTraffic.ECC_LINE else LineKind.XOR
+        _, ev = self.llc.access(addr, kind=kind, make_dirty=True)
+        return [ev] if ev is not None else []
+
+    # -- degraded-mode paths (faulty bank pairs, Section III-B) ----------------------------
+
+    def _bank_faulty(self, line_addr: int) -> bool:
+        """Step A1/A2 bank-health lookup for the timing plane."""
+        if self.degraded is None:
+            return False
+        c = self.mem.mapping.map_line(line_addr)
+        return self.degraded.is_faulty(c.channel, c.rank, c.bank)
+
+    def _touch_materialized(self, line_addr: int, dirty: bool) -> "list[Eviction]":
+        """Access the materialized-ECC line for a faulty-bank data line.
+
+        Unlike parity XOR lines, correction bits must be fetched from
+        memory on an LLC miss (they cannot be recomputed locally for
+        reads, and partial updates need the rest of the line).
+        """
+        addr = self.degraded.ecc_addr(line_addr)
+        hit, ev = self.llc.access(addr, kind=LineKind.ECC, make_dirty=dirty)
+        if not hit:
+            self._enqueue_mem(addr, False, ("eccfill",))
+        return [ev] if ev is not None else []
+
+    # -- core stepping --------------------------------------------------------------------
+
+    def _step_core(self, core: CoreState) -> None:
+        """Draw the core's next reference and schedule its LLC access.
+
+        The instruction gap executes first (gap / IPC cycles); the access
+        itself is handled at the scheduled "access" event so that memory
+        requests enter the queue at the right cycle.
+        """
+        try:
+            gap, addr, is_write = next(core.trace)
+        except StopIteration:
+            core.done = True
+            return
+        core.instructions += gap
+        self.total_instructions += gap
+        if self.ipc_window:
+            idx = self.now // self.ipc_window
+            while len(self._window_instr) <= idx:
+                self._window_instr.append(0)
+            self._window_instr[idx] += gap
+        t_access = self.now + max(1, math.ceil(gap / self.IPC))
+        core.pending = (addr, is_write)
+        self._push(t_access, "access", core.cid)
+
+    def _issue_access(self, core: CoreState) -> None:
+        """Perform the scheduled LLC access at the current time."""
+        addr, is_write = core.pending
+        core.pending = None
+        hit, ev = self.llc.access(addr, LineKind.DATA, make_dirty=is_write)
+        self._handle_eviction(ev)
+        if hit:
+            self._push(self.now + self.HIT_LATENCY, "core", core.cid)
+            return
+        if self._bank_faulty(addr):
+            # Step B: the ECC line is read alongside every memory read to a
+            # faulty bank (LLC-cached, so sharers hit on chip).
+            self._handle_eviction_list(self._touch_materialized(addr, dirty=False))
+        if is_write and core.outstanding_posted < self.POSTED_CAP:
+            # Write-allocate fill posted through the write buffer.
+            core.outstanding_posted += 1
+            self._enqueue_mem(addr, False, ("postfill", core.cid))
+            self._push(self.now + self.HIT_LATENCY, "core", core.cid)
+        elif not is_write and core.outstanding_loads + 1 < self.load_mlp:
+            # Non-blocking load: overlap within the core's miss window.
+            core.outstanding_loads += 1
+            self._enqueue_mem(addr, False, ("postload", core.cid))
+            self._push(self.now + self.HIT_LATENCY, "core", core.cid)
+        else:
+            core.waiting = True
+            self._enqueue_mem(addr, False, ("fill", core.cid))
+
+    # -- main loop ----------------------------------------------------------------------------
+
+    def run(self, warmup_instructions: int, measure_instructions: int) -> SimResult:
+        """Simulate until the instruction budget is spent; return measured stats."""
+        self.total_instructions = 0
+        target = warmup_instructions + measure_instructions
+        for core in self.cores:
+            self._push(0, "core", core.cid)
+        if self.scrub is not None:
+            self._push(self.scrub.interval_cycles, "scrub", 0)
+        for i, (cycle, _, _, _) in enumerate(self._bursts):
+            self._push(cycle, "burst", i)
+
+        snap = None
+        snap_state = None
+        end_state = None
+
+        while self._heap:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            self.now = max(self.now, time)
+
+            if snap is None and self.total_instructions >= warmup_instructions:
+                snap = self.mem.snapshot_counters(self.now)
+                snap_state = self._state_snapshot()
+
+            if self.total_instructions >= target:
+                end_state = self._state_snapshot()
+                break
+
+            if kind == "core":
+                core = self.cores[payload]
+                if not core.done:
+                    self._step_core(core)
+            elif kind == "access":
+                self._issue_access(self.cores[payload])
+            elif kind == "burst":
+                _, reads, writes, base = self._bursts[payload]
+                for i in range(reads):
+                    self._enqueue_mem(base + i, False, ("scrub",))
+                for i in range(writes):
+                    self._enqueue_mem(base + i, True, ("wb",))
+            elif kind == "scrub":
+                # Stop patrolling once every core has retired its trace, or
+                # the self-rescheduling event would keep the heap alive.
+                if not all(c.done for c in self.cores):
+                    addr = self._scrub_cursor % self.scrub.region_lines
+                    self._scrub_cursor += 1
+                    self.scrub_reads += 1
+                    self._enqueue_mem(addr, False, ("scrub",))
+                    self._push(self.now + self.scrub.interval_cycles, "scrub", 0)
+            elif kind == "chan":
+                done, nxt = self.mem.advance_channel(payload, self.now)
+                for req in done:
+                    self._on_complete(req)
+                if nxt is not None:
+                    self._push(nxt, "chan", payload)
+
+        if snap is None:  # trace shorter than warm-up: measure everything
+            snap = self.mem.snapshot_counters(0)
+            snap_state = dict(instructions=0, cycles=0, accesses=0, hits=0, misses=0,
+                              counters=AccessCounters())
+        if end_state is None:
+            end_state = self._state_snapshot()
+
+        self.mem.finalize(self.now)
+        energy = self.mem.energy_since(snap)
+        c0, c1 = snap_state["counters"], end_state["counters"]
+        return SimResult(
+            instructions=end_state["instructions"] - snap_state["instructions"],
+            cycles=end_state["cycles"] - snap_state["cycles"],
+            energy=energy,
+            accesses_64b=end_state["accesses"] - snap_state["accesses"],
+            counters=AccessCounters(
+                data_reads=c1.data_reads - c0.data_reads,
+                data_writes=c1.data_writes - c0.data_writes,
+                ecc_reads=c1.ecc_reads - c0.ecc_reads,
+                ecc_writes=c1.ecc_writes - c0.ecc_writes,
+            ),
+            llc_hits=end_state["hits"] - snap_state["hits"],
+            llc_misses=end_state["misses"] - snap_state["misses"],
+        )
+
+    def _state_snapshot(self) -> dict:
+        import copy
+
+        return dict(
+            instructions=self.total_instructions,
+            cycles=self.now,
+            accesses=self.mem.accesses_64b,
+            hits=self.llc.stats.hits,
+            misses=self.llc.stats.misses,
+            counters=copy.copy(self.counters),
+        )
+
+    def _on_complete(self, req) -> None:
+        tag = req.tag
+        if not isinstance(tag, tuple):
+            return
+        if tag[0] == "fill":
+            core = self.cores[tag[1]]
+            core.waiting = False
+            self._push(req.complete + 1, "core", core.cid)
+        elif tag[0] == "postfill":
+            self.cores[tag[1]].outstanding_posted -= 1
+        elif tag[0] == "postload":
+            self.cores[tag[1]].outstanding_loads -= 1

@@ -1,0 +1,32 @@
+"""DDR3 memory-system substrate (the reproduction's stand-in for DRAMsim).
+
+Timing (:mod:`~repro.dram.timing`), chip electricals
+(:mod:`~repro.dram.chip`), TN-41-01 energy integration
+(:mod:`~repro.dram.power`), the close-page Most-Pending channel model
+(:mod:`~repro.dram.channel`), address mapping (:mod:`~repro.dram.mapping`),
+and the multi-channel facade (:mod:`~repro.dram.system`).
+"""
+
+from repro.dram.channel import Channel, MemRequest
+from repro.dram.chip import CHIP_POWER, ChipPower, chip_power_for_width
+from repro.dram.mapping import AddressMapping, DramCoord
+from repro.dram.power import EnergyBreakdown, RankEnergyCounters, RankPowerModel
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.dram.timing import DDR3_2000, DDR3Timing
+
+__all__ = [
+    "Channel",
+    "MemRequest",
+    "CHIP_POWER",
+    "ChipPower",
+    "chip_power_for_width",
+    "AddressMapping",
+    "DramCoord",
+    "EnergyBreakdown",
+    "RankEnergyCounters",
+    "RankPowerModel",
+    "MemorySystem",
+    "MemorySystemConfig",
+    "DDR3_2000",
+    "DDR3Timing",
+]

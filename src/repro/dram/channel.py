@@ -1,0 +1,258 @@
+"""Event-driven model of one DDR3 memory channel under close-page policy.
+
+The controller keeps a single request queue per channel and issues one
+request per scheduling step (the command/data bus serializes issue anyway at
+one BL8 burst per ``tBURST``), while bank occupancy, tRRD/tFAW activation
+windows, write-to-read turnaround, and rank power-down wakeups pipeline
+across banks and ranks.  Scheduling follows DRAMsim's ``Most_Pending``
+policy: among issuable requests, pick the one whose (rank, bank, row) has
+the most queued requests, oldest first on ties; reads outrank writes until
+the write backlog crosses a drain threshold.
+
+Per-rank energy counters (activates, bursts, state residency including
+CKE-low power-down sleep) are accumulated incrementally so the power model
+can integrate them after the run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dram.power import RankEnergyCounters
+from repro.dram.timing import DDR3Timing
+
+
+@dataclass
+class MemRequest:
+    """One line-sized memory request as seen by the channel."""
+
+    rank: int
+    bank: int
+    row: int
+    is_write: bool
+    arrive: int
+    tag: object = None  #: opaque cookie returned to the caller on completion
+    #: True for latency-critical demand fills; write-backs and ECC-state
+    #: read-modify-writes are background traffic the scheduler defers.
+    demand: bool = False
+    issue: int = -1
+    complete: int = -1
+
+
+@dataclass
+class _RankState:
+    """Bank readiness plus activation-window and residency bookkeeping."""
+
+    banks: int
+    timing: DDR3Timing
+    bank_ready: "list[int]" = field(init=False)
+    act_times: deque = field(default_factory=lambda: deque(maxlen=4))
+    busy_until: int = 0
+    accounted_to: int = 0
+    next_refresh: int = 0
+    refreshes: int = 0
+    counters: RankEnergyCounters = field(default_factory=RankEnergyCounters)
+
+    def __post_init__(self):
+        self.bank_ready = [0] * self.banks
+
+
+class Channel:
+    """One logical memory channel: queue, scheduler, banks, power counters."""
+
+    #: Idle cycles after which an all-precharged rank drops CKE (sleep).
+    POWERDOWN_DELAY = 15
+    #: Background-drain watermarks: start draining write-backs/ECC RMWs when
+    #: the backlog reaches HIGH, return to serving demand at LOW.  The
+    #: hysteresis bounds demand-read starvation to short drain bursts.
+    WRITE_DRAIN = 16
+    WRITE_DRAIN_LOW = 4
+    #: Queue capacity.  Sized well above the worst-case in-flight population
+    #: (blocking loads + posted stores + write-back cascades) because the
+    #: cores self-throttle through read latency; ``can_accept`` still lets
+    #: callers apply explicit backpressure if they want a tighter bound.
+    QUEUE_DEPTH = 4096
+
+    def __init__(self, ranks: int, banks_per_rank: int = 8, timing: "DDR3Timing | None" = None):
+        self.timing = timing or DDR3Timing()
+        self.ranks = [_RankState(banks_per_rank, self.timing) for _ in range(ranks)]
+        # Stagger refresh deadlines across ranks so they do not all block at once.
+        for i, r in enumerate(self.ranks):
+            r.next_refresh = (i + 1) * self.timing.trefi // max(1, len(self.ranks))
+        self.queue: "list[MemRequest]" = []
+        self.bus_free = 0
+        self.last_was_write = False
+        self.issued_requests = 0
+        self._draining = False
+
+    def _service_refresh(self, now: int) -> None:
+        """Execute due auto-refreshes: all banks of the rank block for tRFC.
+
+        Refreshes are processed when their deadline passes the current
+        scheduling time; a request already issued with a future start may
+        overlap the next deadline slightly (documented approximation).
+        """
+        t = self.timing
+        for r in self.ranks:
+            while r.next_refresh <= now:
+                start = max(r.next_refresh, 0)
+                end = start + t.trfc
+                for b in range(len(r.bank_ready)):
+                    r.bank_ready[b] = max(r.bank_ready[b], end)
+                self._account_rank(r, start)
+                r.busy_until = max(r.busy_until, end)
+                r.refreshes += 1
+                r.next_refresh += t.trefi
+
+    # -- queue interface ---------------------------------------------------------------
+
+    def can_accept(self) -> bool:
+        return len(self.queue) < self.QUEUE_DEPTH
+
+    def enqueue(self, req: MemRequest) -> None:
+        if not self.can_accept():
+            raise RuntimeError("channel queue overflow; caller must respect can_accept()")
+        self.queue.append(req)
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    # -- residency accounting ------------------------------------------------------------
+
+    def _account_rank(self, r: _RankState, upto: int) -> None:
+        """Advance rank residency counters to cycle *upto*."""
+        t0 = r.accounted_to
+        if upto <= t0:
+            return
+        active_end = min(upto, r.busy_until)
+        if active_end > t0:
+            r.counters.cycles_active += active_end - t0
+        idle_start = max(t0, r.busy_until)
+        if upto > idle_start:
+            pd_point = r.busy_until + self.POWERDOWN_DELAY
+            standby_end = min(upto, max(idle_start, pd_point))
+            if standby_end > idle_start:
+                r.counters.cycles_precharge_standby += standby_end - idle_start
+            if upto > standby_end:
+                r.counters.cycles_powerdown += upto - standby_end
+        r.accounted_to = upto
+
+    def finalize(self, end_cycle: int) -> None:
+        """Account residency through the end of the simulation."""
+        for r in self.ranks:
+            self._account_rank(r, end_cycle)
+
+    def energy_counters(self) -> "list[RankEnergyCounters]":
+        return [r.counters for r in self.ranks]
+
+    # -- scheduling ---------------------------------------------------------------------
+
+    def _earliest_start(self, req: MemRequest, now: int) -> int:
+        """Earliest cycle the ACT for *req* could issue."""
+        t = self.timing
+        r = self.ranks[req.rank]
+        start = max(now, r.bank_ready[req.bank])
+        if r.act_times:
+            start = max(start, r.act_times[-1] + t.trrd)
+            if len(r.act_times) == 4:
+                start = max(start, r.act_times[0] + t.tfaw)
+        # Data-bus slot: data appears trcd + tcl/tcwl after ACT.  Turnaround
+        # gaps apply only on direction changes (write->read pays tWTR,
+        # read->write the small rank turnaround), so batched writes stream
+        # back to back.
+        data_delay = t.trcd + (t.tcwl if req.is_write else t.tcl)
+        if self.last_was_write and not req.is_write:
+            gap = t.twtr
+        elif not self.last_was_write and req.is_write:
+            gap = t.trtrs
+        else:
+            gap = 0
+        start = max(start, self.bus_free + gap - data_delay)
+        # Power-down exit: if the rank has dropped CKE by `start`, add tXP.
+        if start >= r.busy_until + self.POWERDOWN_DELAY:
+            start += t.txp
+        return start
+
+    def _pick(self, now: int) -> "tuple[int, MemRequest] | None":
+        """Most-Pending choice: (start_cycle, request) or None if queue empty."""
+        if not self.queue:
+            return None
+        if len(self.queue) == 1:
+            # Fast path for the common near-empty queue: no class or
+            # pending-count bookkeeping needed.
+            q = self.queue.pop()
+            self._draining = not q.demand
+            return self._earliest_start(q, now), q
+        background = sum(1 for q in self.queue if not q.demand)
+        demand = len(self.queue) - background
+        # Demand fills outrank background traffic (write-backs and ECC-state
+        # RMWs).  Background drains in *batches* - entered on a full backlog
+        # or an idle read queue, exited at the low watermark - so writes
+        # stream back to back instead of interleaving a bus-turnaround
+        # penalty into every demand read.
+        if background == 0:
+            self._draining = False
+        elif background >= self.WRITE_DRAIN or demand == 0:
+            self._draining = True
+        elif background <= self.WRITE_DRAIN_LOW and demand > 0:
+            self._draining = False
+        drain_background = self._draining and background > 0
+        # Count queued requests per (rank, bank, row) for the pending metric.
+        pending: "dict[tuple[int, int, int], int]" = {}
+        for q in self.queue:
+            key = (q.rank, q.bank, q.row)
+            pending[key] = pending.get(key, 0) + 1
+        # The serviced class is never empty: drain mode implies queued
+        # background work, non-drain mode implies a queued demand request.
+        # Readiness comes first - issuing a request whose bank frees far in
+        # the future would reserve the data bus and head-of-line-block ready
+        # work - then Most-Pending row grouping, then age.
+        best = None
+        for idx, q in enumerate(self.queue):
+            if q.demand != (not drain_background):
+                continue
+            start = self._earliest_start(q, now)
+            key = (start, -pending[(q.rank, q.bank, q.row)], q.arrive, idx)
+            if best is None or key < best[0]:
+                best = (key, start, idx)
+        _, start, idx = best
+        return start, self.queue.pop(idx)
+
+    def advance(self, now: int) -> "tuple[list[MemRequest], int | None]":
+        """Issue at most one request at/after *now*.
+
+        Returns (completed-issue list, next wakeup cycle or None).  The
+        caller re-invokes at the returned cycle to keep the pipeline fed.
+        """
+        self._service_refresh(now)
+        picked = self._pick(now)
+        if picked is None:
+            return [], None
+        start, req = picked
+        t = self.timing
+        r = self.ranks[req.rank]
+
+        self._account_rank(r, start)
+        data_start = start + t.trcd + (t.tcwl if req.is_write else t.tcl)
+        data_end = data_start + t.tburst
+        occupancy = t.bank_busy_write if req.is_write else t.bank_busy_read
+        r.bank_ready[req.bank] = start + occupancy
+        r.act_times.append(start)
+        r.busy_until = max(r.busy_until, start + occupancy)
+        self.bus_free = data_end
+
+        r.counters.activates += 1
+        if req.is_write:
+            r.counters.write_bursts += 1
+        else:
+            r.counters.read_bursts += 1
+        self.last_was_write = req.is_write
+
+        req.issue = start
+        req.complete = data_end
+        self.issued_requests += 1
+        # Next issue decision once the bus slot is claimed.
+        next_wakeup = max(start + 1, self.bus_free - (t.trcd + t.tcl))
+        return [req], next_wakeup

@@ -1,0 +1,51 @@
+"""DRAM chip electrical parameters (Micron 2 Gb DDR3 family).
+
+IDD values are transcribed approximations of the public Micron 2 Gb DDR3
+SDRAM datasheet (die revision D, fastest speed grade), per chip width.
+Wider chips burn more dynamic current (more I/O, wider internal prefetch)
+but a rank needs fewer of them - the trade at the heart of the paper's
+energy results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChipPower:
+    """IDD currents in mA and supply voltage for one DRAM chip."""
+
+    width: int  #: data bus width in bits (4, 8, 16)
+    vdd: float = 1.5
+    idd0: float = 95.0  #: one-bank ACT-PRE current
+    idd2p: float = 12.0  #: precharge power-down (slow exit)
+    idd2n: float = 42.0  #: precharge standby
+    idd3p: float = 35.0  #: active power-down
+    idd3n: float = 45.0  #: active standby
+    idd4r: float = 180.0  #: burst read
+    idd4w: float = 185.0  #: burst write
+    idd5b: float = 215.0  #: burst refresh
+
+    #: Termination/IO energy per data bit transferred (pJ/bit), covering DQ
+    #: switching and ODT per TN-41-01's termination budget.
+    io_pj_per_bit: float = 5.0
+
+
+#: Per-width parameter sets for 2 Gb DDR3 (die rev. D approximations).
+CHIP_POWER = {
+    4: ChipPower(width=4, idd0=95.0, idd2p=12.0, idd2n=42.0, idd3p=35.0, idd3n=45.0,
+                 idd4r=180.0, idd4w=185.0, idd5b=215.0),
+    8: ChipPower(width=8, idd0=95.0, idd2p=12.0, idd2n=42.0, idd3p=35.0, idd3n=45.0,
+                 idd4r=190.0, idd4w=195.0, idd5b=215.0),
+    16: ChipPower(width=16, idd0=110.0, idd2p=14.0, idd2n=47.0, idd3p=40.0, idd3n=52.0,
+                  idd4r=240.0, idd4w=245.0, idd5b=240.0),
+}
+
+
+def chip_power_for_width(width: int) -> ChipPower:
+    """Parameter set for a chip of *width* bits."""
+    try:
+        return CHIP_POWER[width]
+    except KeyError:
+        raise ValueError(f"no power model for X{width} chips") from None

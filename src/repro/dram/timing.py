@@ -1,0 +1,70 @@
+"""DDR3 timing parameters.
+
+Values model the paper's setup: 2 Gb DDR3 chips with a 1 GHz memory clock
+(2000 MT/s data rate), parameters following the Micron 2 Gb DDR3 datasheet
+die revision D scaled to tCK = 1 ns.  All fields are integer cycle counts of
+that clock; close-page operation means every access is an ACT - RD/WR with
+auto-precharge - (implicit PRE) sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DDR3Timing:
+    """DDR3 device timing in memory-clock cycles (tCK = 1 ns at 1 GHz)."""
+
+    tck_ns: float = 1.0
+    #: ACT to internal read/write delay.
+    trcd: int = 14
+    #: CAS latency (read command to first data).
+    tcl: int = 14
+    #: CAS write latency.
+    tcwl: int = 10
+    #: Precharge to ACT delay.
+    trp: int = 14
+    #: ACT to PRE minimum (row active time).
+    tras: int = 33
+    #: ACT to ACT, same bank (tRAS + tRP).
+    trc: int = 47
+    #: Data burst occupancy of the bus (BL8 at DDR = 4 clock cycles).
+    tburst: int = 4
+    #: ACT to ACT, different banks of the same rank.
+    trrd: int = 6
+    #: Four-activate window per rank.
+    tfaw: int = 32
+    #: Write recovery (last write data to implicit precharge).
+    twr: int = 15
+    #: Read to precharge (folded into the auto-precharge point).
+    trtp: int = 8
+    #: Write-to-read turnaround, same rank.
+    twtr: int = 8
+    #: Rank-to-rank bus turnaround penalty.
+    trtrs: int = 2
+    #: Power-down exit latency.
+    txp: int = 6
+    #: Refresh cycle time and interval (energy accounting only).
+    trfc: int = 160
+    trefi: int = 7800
+
+    @property
+    def read_latency(self) -> int:
+        """ACT to last data beat for a read on an idle, precharged bank."""
+        return self.trcd + self.tcl + self.tburst
+
+    @property
+    def bank_busy_read(self) -> int:
+        """ACT-to-ACT occupancy of a bank for a close-page read."""
+        # Auto-precharge: max(tRAS, tRCD + tRTP) + tRP, floored by tRC.
+        return max(self.trc, self.trcd + self.trtp + self.trp)
+
+    @property
+    def bank_busy_write(self) -> int:
+        """ACT-to-ACT occupancy of a bank for a close-page write."""
+        return max(self.trc, self.trcd + self.tcwl + self.tburst + self.twr + self.trp)
+
+
+#: Default instance used throughout the evaluation.
+DDR3_2000 = DDR3Timing()

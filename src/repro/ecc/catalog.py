@@ -1,0 +1,111 @@
+"""Table II of the paper: the evaluated memory-system configurations.
+
+Every row pairs an ECC scheme with its geometry in the two evaluated system
+classes: systems *equivalent in physical bandwidth and size* to a
+dual-channel or a quad-channel commercial-ECC memory system.  "Equivalent"
+means the same total memory I/O pin count and the same total physical DRAM
+capacity; schemes with narrower ranks therefore get more logical channels
+and/or more ranks per channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecc.base import ECCScheme
+from repro.ecc.chipkill import Chipkill18, Chipkill36
+from repro.ecc.lot_ecc import LotEcc5, LotEcc9
+from repro.ecc.multi_ecc import MultiEcc
+from repro.ecc.raim import Raim18EP, Raim45
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One evaluated memory-system configuration (a cell of Table II).
+
+    Attributes
+    ----------
+    scheme_key:
+        Key into :data:`SCHEMES`.
+    channels:
+        Logical channel count in this system class.
+    ranks_per_channel:
+        Ranks on each logical channel.
+    ecc_parity:
+        True when the scheme's correction bits are stored as cross-channel
+        ECC parity (the paper's proposal) rather than directly.
+    total_pins:
+        Total memory I/O pin count (sanity anchor from Table II).
+    """
+
+    scheme_key: str
+    channels: int
+    ranks_per_channel: int
+    ecc_parity: bool
+    total_pins: int
+
+    def make_scheme(self) -> ECCScheme:
+        """Instantiate a fresh scheme object for this configuration."""
+        return SCHEMES[self.scheme_key]()
+
+    @property
+    def label(self) -> str:
+        suffix = " + ECC Parity" if self.ecc_parity else ""
+        return f"{SCHEMES[self.scheme_key]().name}{suffix}"
+
+
+#: Scheme registry: constructor per key.
+SCHEMES = {
+    "chipkill36": Chipkill36,
+    "chipkill18": Chipkill18,
+    "lot_ecc5": LotEcc5,
+    "lot_ecc9": LotEcc9,
+    "multi_ecc": MultiEcc,
+    "raim": Raim45,
+    "raim18": Raim18EP,
+}
+
+#: Table II, "dual-channel commercial ECC equivalent" system class.
+DUAL_EQUIVALENT = {
+    "chipkill36": SystemConfig("chipkill36", channels=2, ranks_per_channel=1, ecc_parity=False, total_pins=288),
+    "chipkill18": SystemConfig("chipkill18", channels=4, ranks_per_channel=1, ecc_parity=False, total_pins=288),
+    "lot_ecc5": SystemConfig("lot_ecc5", channels=4, ranks_per_channel=4, ecc_parity=False, total_pins=288),
+    "lot_ecc9": SystemConfig("lot_ecc9", channels=4, ranks_per_channel=2, ecc_parity=False, total_pins=288),
+    "multi_ecc": SystemConfig("multi_ecc", channels=4, ranks_per_channel=2, ecc_parity=False, total_pins=288),
+    "lot_ecc5_ep": SystemConfig("lot_ecc5", channels=4, ranks_per_channel=4, ecc_parity=True, total_pins=288),
+    "raim": SystemConfig("raim", channels=2, ranks_per_channel=1, ecc_parity=False, total_pins=360),
+    "raim_ep": SystemConfig("raim18", channels=5, ranks_per_channel=1, ecc_parity=True, total_pins=360),
+}
+
+#: Table II, "quad-channel commercial ECC equivalent" system class.
+QUAD_EQUIVALENT = {
+    "chipkill36": SystemConfig("chipkill36", channels=4, ranks_per_channel=1, ecc_parity=False, total_pins=576),
+    "chipkill18": SystemConfig("chipkill18", channels=8, ranks_per_channel=1, ecc_parity=False, total_pins=576),
+    "lot_ecc5": SystemConfig("lot_ecc5", channels=8, ranks_per_channel=4, ecc_parity=False, total_pins=576),
+    "lot_ecc9": SystemConfig("lot_ecc9", channels=8, ranks_per_channel=2, ecc_parity=False, total_pins=576),
+    "multi_ecc": SystemConfig("multi_ecc", channels=8, ranks_per_channel=2, ecc_parity=False, total_pins=576),
+    "lot_ecc5_ep": SystemConfig("lot_ecc5", channels=8, ranks_per_channel=4, ecc_parity=True, total_pins=576),
+    "raim": SystemConfig("raim", channels=4, ranks_per_channel=1, ecc_parity=False, total_pins=720),
+    "raim_ep": SystemConfig("raim18", channels=10, ranks_per_channel=1, ecc_parity=True, total_pins=720),
+}
+
+SYSTEM_CLASSES = {"dual": DUAL_EQUIVALENT, "quad": QUAD_EQUIVALENT}
+
+
+def pin_count(config: SystemConfig) -> int:
+    """Recompute the total memory I/O pins implied by a configuration."""
+    scheme = config.make_scheme()
+    pins_per_rank = sum(scheme.chip_widths())
+    return pins_per_rank * config.channels
+
+
+def total_physical_gbits(config: SystemConfig, chip_gbits: int = 2) -> float:
+    """Total physical DRAM capacity (data + ECC chips), in gigabits.
+
+    Half-width chips (LOT-ECC5's X8 companion) carry half the capacity, per
+    the paper's rank description.
+    """
+    scheme = config.make_scheme()
+    base = max(scheme.chip_widths())
+    per_rank = sum(chip_gbits * (w / base if w != base else 1.0) for w in scheme.chip_widths())
+    return per_rank * config.ranks_per_channel * config.channels

@@ -1,0 +1,116 @@
+"""Ablations of ECC Parity's design choices (called out in DESIGN.md).
+
+* **XOR-cacheline caching** (Section III-D): compare the optimized design
+  against a controller that pays the unoptimized Figure 6 step-E cost
+  (three extra accesses) on every write-back.
+* **Channel count**: the optimization's capacity benefit scales as
+  ``R/(N-1)``, but its XOR-line coverage also scales with ``N-1``; this
+  sweep measures both together on the timing plane.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.cpu.llc import LLC
+from repro.cpu.system import SimResult, SimSystem
+from repro.core.scheme import ECCParityScheme
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.ecc.catalog import SystemConfig
+from repro.ecc.lot_ecc import LotEcc5
+from repro.experiments.runner import RunSpec, build_system
+from repro.workloads.generator import make_core_traces
+from repro.workloads.profiles import WorkloadProfile
+
+
+def _run_with_model(spec: RunSpec, model: EccTrafficModel) -> SimResult:
+    """Like runner.run but with an explicit ECC-traffic model."""
+    scheme = spec.config.make_scheme()
+    mem = MemorySystem(
+        MemorySystemConfig(
+            channels=spec.config.channels,
+            ranks_per_channel=spec.config.ranks_per_channel,
+            chip_widths=scheme.chip_widths(),
+            line_size=scheme.line_size,
+        )
+    )
+    traces = make_core_traces(
+        spec.workload, cores=8, llc_block_bytes=scheme.line_size,
+        seed=spec.seed, footprint_scale=spec.scale,
+    )
+    llc = LLC(size_bytes=(8 << 20) // spec.scale, line_size=scheme.line_size)
+    system = SimSystem(mem, traces, model, llc=llc)
+    return system.run(spec.resolved_warmup, spec.resolved_measure)
+
+
+@dataclass
+class CachingAblation:
+    """Optimized vs unoptimized parity-update traffic for one workload."""
+
+    workload: str
+    cached: SimResult
+    uncached: SimResult
+
+    @property
+    def traffic_blowup(self) -> float:
+        return (
+            self.uncached.accesses_per_instruction / self.cached.accesses_per_instruction
+        )
+
+    @property
+    def energy_blowup(self) -> float:
+        return self.uncached.epi_nj / self.cached.epi_nj
+
+
+def xor_caching_ablation(
+    workload: WorkloadProfile,
+    config: SystemConfig,
+    scale: int = 32,
+    seed: int = 0,
+) -> CachingAblation:
+    """Section III-D ablation on one workload/configuration."""
+    scheme = config.make_scheme()
+    n = config.channels if config.ecc_parity else None
+    base_model = EccTrafficModel.for_scheme(scheme, ecc_parity_channels=n)
+    spec = RunSpec(workload, config, seed=seed, scale=scale)
+    cached = _run_with_model(spec, base_model)
+    uncached = _run_with_model(spec, dataclasses.replace(base_model, cache_ecc_lines=False))
+    return CachingAblation(workload.name, cached, uncached)
+
+
+@dataclass
+class ChannelSweepPoint:
+    channels: int
+    capacity_overhead: float
+    result: SimResult
+
+
+def channel_count_sweep(
+    workload: WorkloadProfile,
+    channel_counts: "list[int]",
+    ranks_per_channel: int = 4,
+    scale: int = 32,
+    seed: int = 0,
+) -> "list[ChannelSweepPoint]":
+    """LOT-ECC5+ECC Parity across channel counts (capacity + traffic)."""
+    out = []
+    for n in channel_counts:
+        cfg = SystemConfig(
+            "lot_ecc5",
+            channels=n,
+            ranks_per_channel=ranks_per_channel,
+            ecc_parity=True,
+            total_pins=72 * n,
+        )
+        spec = RunSpec(workload, cfg, seed=seed, scale=scale)
+        res = build_system(spec).run(spec.resolved_warmup, spec.resolved_measure)
+        out.append(
+            ChannelSweepPoint(
+                channels=n,
+                capacity_overhead=ECCParityScheme(LotEcc5(), n).capacity_overhead,
+                result=res,
+            )
+        )
+    return out

@@ -1,0 +1,34 @@
+"""Section VI estimates: HPC stalls (VI-B), added uncorrectable errors
+(VI-C), and undetectable errors (VI-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.analysis import (
+    added_uncorrectable_interval_years,
+    hpc_stall_fraction,
+    undetectable_error_interval_years,
+)
+
+
+@dataclass(frozen=True)
+class DiscussionEstimates:
+    """The three headline numbers of Section VI, with the paper's values."""
+
+    hpc_stall_fraction: float  #: paper: 0.0035
+    added_ue_interval_years: float  #: paper: ~35,000 yr (8h scrub, 100 FIT)
+    undetectable_interval_years: float  #: paper: ~300,000 yr
+
+    PAPER_STALL = 0.0035
+    PAPER_ADDED_UE_YEARS = 35_000.0
+    PAPER_UNDETECTABLE_YEARS = 300_000.0
+
+
+def estimates() -> DiscussionEstimates:
+    """Compute all Section VI estimates with the paper's parameters."""
+    return DiscussionEstimates(
+        hpc_stall_fraction=hpc_stall_fraction(),
+        added_ue_interval_years=added_uncorrectable_interval_years(8.0, 100.0),
+        undetectable_interval_years=undetectable_error_interval_years(),
+    )

@@ -1,0 +1,80 @@
+"""Energy-per-instruction comparisons (Figures 10-13).
+
+For every workload the paper reports the reduction in memory EPI of the
+ECC-Parity systems over each baseline:
+
+* LOT-ECC5+ECC Parity vs {36-dev chipkill, 18-dev chipkill, LOT-ECC9,
+  Multi-ECC, LOT-ECC5};
+* RAIM+ECC Parity vs RAIM;
+
+with Bin1/Bin2 (lower/higher bandwidth) averages, for both the
+quad-channel-equivalent (Fig. 10) and dual-channel-equivalent (Fig. 11)
+system classes.  Figures 12 and 13 split the same comparison into dynamic
+and background energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.evaluation import CellResult, bins, evaluation_matrix
+
+#: (proposal, baseline) comparison pairs of Figures 10-13.
+COMPARISONS = [
+    ("lot_ecc5_ep", "chipkill36"),
+    ("lot_ecc5_ep", "chipkill18"),
+    ("lot_ecc5_ep", "lot_ecc9"),
+    ("lot_ecc5_ep", "multi_ecc"),
+    ("lot_ecc5_ep", "lot_ecc5"),
+    ("raim_ep", "raim"),
+]
+
+
+@dataclass
+class EpiReport:
+    """EPI reductions per workload and comparison, plus bin averages."""
+
+    system_class: str
+    metric: str  # "total" | "dynamic" | "background"
+    per_workload: "dict[tuple[str, str, str], float]"  # (wl, prop, base) -> reduction
+    bin1: "list[str]"
+    bin2: "list[str]"
+
+    def reduction(self, workload: str, proposal: str, baseline: str) -> float:
+        return self.per_workload[(workload, proposal, baseline)]
+
+    def bin_average(self, bin_names: "list[str]", proposal: str, baseline: str) -> float:
+        vals = [self.per_workload[(w, proposal, baseline)] for w in bin_names]
+        return sum(vals) / len(vals)
+
+    def averages(self) -> "dict[tuple[str, str, str], float]":
+        """{(bin, proposal, baseline): mean reduction} for Bin1/Bin2/All."""
+        out = {}
+        for prop, base in COMPARISONS:
+            out[("Bin1", prop, base)] = self.bin_average(self.bin1, prop, base)
+            out[("Bin2", prop, base)] = self.bin_average(self.bin2, prop, base)
+            out[("All", prop, base)] = self.bin_average(self.bin1 + self.bin2, prop, base)
+        return out
+
+
+def _metric(cell: CellResult, metric: str) -> float:
+    if metric == "total":
+        return cell.epi_nj
+    if metric == "dynamic":
+        return cell.dynamic_epi_nj
+    if metric == "background":
+        return cell.background_epi_nj
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def epi_report(system_class: str = "quad", metric: str = "total", **matrix_kwargs) -> EpiReport:
+    """Figure 10/11 (metric='total'), 12 ('dynamic'), or 13 ('background')."""
+    matrix = evaluation_matrix(system_class, **matrix_kwargs)
+    bin1, bin2 = bins(matrix)
+    per = {}
+    for wl in bin1 + bin2:
+        for prop, base in COMPARISONS:
+            e_prop = _metric(matrix[(wl, prop)], metric)
+            e_base = _metric(matrix[(wl, base)], metric)
+            per[(wl, prop, base)] = 1.0 - e_prop / e_base
+    return EpiReport(system_class, metric, per, bin1, bin2)

@@ -1,0 +1,168 @@
+"""Shared evaluation matrix with on-disk caching.
+
+Figures 9-17 all consume the same workload x configuration sweep; running
+it once per system class and caching the scalar results lets every
+benchmark regenerate its table in milliseconds while `REPRO_FULL=1` (or a
+cold cache) triggers the real simulations.
+
+Two fidelity presets:
+
+* ``quick`` (default): scale 32, ~20k LLC references per phase - minutes
+  for the full matrix, adequate for shapes and rankings.
+* ``full`` (``REPRO_FULL=1``): scale 16, ~40k references - the setting the
+  committed EXPERIMENTS.md numbers were produced with.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.ecc.catalog import SYSTEM_CLASSES
+from repro.experiments.runner import RunSpec, run
+from repro.workloads.profiles import ALL_WORKLOADS, PROFILES_VERSION, WORKLOADS_BY_NAME
+
+#: All configuration keys evaluated in Figures 9-17.
+CONFIG_KEYS = [
+    "chipkill36",
+    "chipkill18",
+    "lot_ecc9",
+    "multi_ecc",
+    "lot_ecc5",
+    "lot_ecc5_ep",
+    "raim",
+    "raim_ep",
+]
+
+CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", Path.cwd() / ".repro_cache"))
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Scalar outcome of one (workload, config) simulation."""
+
+    epi_nj: float
+    dynamic_epi_nj: float
+    background_epi_nj: float
+    accesses_per_instruction: float
+    ipc: float
+    bandwidth_gbps: float
+    instructions: int
+    cycles: int
+    data_reads: int
+    data_writes: int
+    ecc_reads: int
+    ecc_writes: int
+    llc_misses: int
+    llc_hits: int
+
+
+@dataclass(frozen=True)
+class Fidelity:
+    """Simulation sizing preset."""
+
+    name: str
+    scale: int
+    access_target: int
+
+    @property
+    def cache_tag(self) -> str:
+        return f"{self.name}-s{self.scale}-a{self.access_target}"
+
+
+QUICK = Fidelity("quick", scale=32, access_target=20_000)
+FULL = Fidelity("full", scale=16, access_target=40_000)
+
+
+def current_fidelity() -> Fidelity:
+    """Preset selected by the ``REPRO_FULL`` environment variable."""
+    return FULL if os.environ.get("REPRO_FULL") else QUICK
+
+
+def _cell_from_result(res) -> CellResult:
+    return CellResult(
+        epi_nj=res.epi_nj,
+        dynamic_epi_nj=res.dynamic_epi_nj,
+        background_epi_nj=res.background_epi_nj,
+        accesses_per_instruction=res.accesses_per_instruction,
+        ipc=res.ipc,
+        bandwidth_gbps=res.bandwidth_gbps,
+        instructions=res.instructions,
+        cycles=res.cycles,
+        data_reads=res.counters.data_reads,
+        data_writes=res.counters.data_writes,
+        ecc_reads=res.counters.ecc_reads,
+        ecc_writes=res.counters.ecc_writes,
+        llc_misses=res.llc_misses,
+        llc_hits=res.llc_hits,
+    )
+
+
+def _cache_path(system_class: str, fidelity: Fidelity, seed: int) -> Path:
+    return CACHE_DIR / (
+        f"matrix-{system_class}-{fidelity.cache_tag}-seed{seed}-p{PROFILES_VERSION}.json"
+    )
+
+
+def evaluation_matrix(
+    system_class: str = "quad",
+    fidelity: "Fidelity | None" = None,
+    seed: int = 0,
+    workloads: "list[str] | None" = None,
+    config_keys: "list[str] | None" = None,
+    use_cache: bool = True,
+) -> "dict[tuple[str, str], CellResult]":
+    """The workload x configuration sweep for one system class, cached."""
+    fidelity = fidelity or current_fidelity()
+    wl_names = workloads or [w.name for w in ALL_WORKLOADS]
+    keys = config_keys or CONFIG_KEYS
+
+    cache: "dict[str, dict]" = {}
+    path = _cache_path(system_class, fidelity, seed)
+    if use_cache and path.exists():
+        cache = json.loads(path.read_text())
+
+    configs = SYSTEM_CLASSES[system_class]
+    out: "dict[tuple[str, str], CellResult]" = {}
+    dirty = False
+    for wl_name in wl_names:
+        wl = WORKLOADS_BY_NAME[wl_name]
+        for key in keys:
+            ck = f"{wl_name}|{key}"
+            if ck in cache:
+                out[(wl_name, key)] = CellResult(**cache[ck])
+                continue
+            instructions = int(fidelity.access_target * 1000 / wl.apki)
+            spec = RunSpec(
+                wl,
+                configs[key],
+                warmup_instructions=instructions,
+                measure_instructions=instructions,
+                seed=seed,
+                scale=fidelity.scale,
+            )
+            cell = _cell_from_result(run(spec))
+            out[(wl_name, key)] = cell
+            cache[ck] = asdict(cell)
+            dirty = True
+        if use_cache and dirty:
+            # Flush after every workload so an interrupted sweep resumes.
+            CACHE_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(cache))
+            dirty = False
+    return out
+
+
+def workload_order(matrix: "dict[tuple[str, str], CellResult]", reference_key: str = "chipkill36") -> "list[str]":
+    """Workloads sorted by bandwidth on the reference configuration."""
+    names = sorted({wl for wl, _ in matrix})
+    return sorted(names, key=lambda w: matrix[(w, reference_key)].bandwidth_gbps)
+
+
+def bins(matrix: "dict[tuple[str, str], CellResult]", reference_key: str = "chipkill36") -> "tuple[list[str], list[str]]":
+    """The paper's Bin1 (8 lower-bandwidth) / Bin2 (8 higher) split."""
+    ordered = workload_order(matrix, reference_key)
+    half = len(ordered) // 2
+    return ordered[:half], ordered[half:]

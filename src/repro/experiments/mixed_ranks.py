@@ -1,0 +1,125 @@
+"""Section VI-A: mixing narrow- and wide-DRAM ranks in one channel.
+
+Energy-efficient chipkill (LOT-ECC5-style, wide X16 chips) needs more ranks
+per channel for the same capacity, hitting electrical limits.  The paper's
+proposal: populate a channel with both rank types, place hot pages in the
+wide-chip ranks, and protect *both* with the same strong ECC whose
+correction bits ECC Parity amortizes (a faulty wide chip can corrupt
+several narrow chips sharing its I/O lanes, so the narrow ranks cannot use
+a weaker code).
+
+Model: the energy of a mixed configuration interpolates between two
+measured endpoints by the hot-rank hit fraction (accesses served by wide
+ranks), while max capacity interpolates by rank population - exposing the
+energy-vs-capacity frontier the paper describes qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.cpu.llc import LLC
+from repro.cpu.system import SimResult, SimSystem
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.ecc.catalog import SystemConfig
+from repro.experiments.runner import RunSpec, run
+from repro.workloads.generator import HOT_ARENA_BASE_LINE, make_core_traces
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass
+class MixedRankPoint:
+    """One point on the §VI-A frontier."""
+
+    wide_rank_share: float  #: fraction of the channel's ranks using wide chips
+    hot_hit_fraction: float  #: accesses served by the wide ranks
+    epi_nj: float
+    relative_capacity: float  #: max capacity vs an all-narrow channel
+
+
+def mixed_rank_frontier(
+    workload: WorkloadProfile,
+    wide_config: SystemConfig,
+    narrow_config: SystemConfig,
+    wide_shares: "list[float]",
+    hot_skew: float = 2.0,
+    scale: int = 32,
+    seed: int = 0,
+) -> "list[MixedRankPoint]":
+    """Sweep the wide-rank population share.
+
+    ``hot_skew`` models OS hot-page placement: with share ``s`` of ranks
+    wide, the wide ranks serve ``min(1, s * hot_skew)`` of the accesses
+    (hot pages concentrate traffic).  Capacity: wide X16 ranks hold half
+    the chips' worth of a narrow X4 rank population per slot, normalized so
+    all-narrow = 1.0.
+    """
+    e_wide = run(RunSpec(workload, wide_config, seed=seed, scale=scale)).epi_nj
+    e_narrow = run(RunSpec(workload, narrow_config, seed=seed, scale=scale)).epi_nj
+
+    # Device-Gbit per 72-bit rank slot: a LOT-ECC5 wide rank carries
+    # 4x2Gb + 1x1Gb = 9 Gbit, an 18 X4 narrow rank 36 Gbit - narrow ranks
+    # quadruple the per-slot capacity, which is Section VI-A's motivation.
+    wide_scheme = wide_config.make_scheme()
+    narrow_scheme = narrow_config.make_scheme()
+
+    def slot_gbits(scheme, chip_gbits: float = 2.0) -> float:
+        base = max(scheme.chip_widths())
+        return sum(chip_gbits * (w / base) for w in scheme.chip_widths())
+
+    wide_gbit = slot_gbits(wide_scheme)
+    narrow_gbit = slot_gbits(narrow_scheme)
+    out = []
+    for s in wide_shares:
+        hot = min(1.0, s * hot_skew) if s > 0 else 0.0
+        epi = hot * e_wide + (1 - hot) * e_narrow
+        capacity = (s * wide_gbit + (1 - s) * narrow_gbit) / narrow_gbit
+        out.append(MixedRankPoint(s, hot, epi, capacity))
+    return out
+
+
+def mixed_channel_simulation(
+    workload: WorkloadProfile,
+    channels: int = 8,
+    wide_ranks: int = 1,
+    total_ranks: int = 4,
+    scale: int = 32,
+    seed: int = 0,
+) -> SimResult:
+    """Simulate a *heterogeneous channel* natively (Section VI-A).
+
+    Every rank runs the same strong ECC (LOT-ECC5's layout under ECC
+    Parity, as VI-A requires - a faulty wide chip can corrupt the narrow
+    chips sharing its I/O lanes), but the first ``wide_ranks`` ranks are
+    built of X16 chips and the rest of X4 chips.  Hot pages are placed in
+    the wide ranks via a dedicated address arena; energy integrates with a
+    per-rank power model, so the measured EPI reflects where the traffic
+    actually landed.
+    """
+    from repro.ecc.lot_ecc import LotEcc5
+
+    scheme = LotEcc5()
+    wide = [16, 16, 16, 16, 8]
+    narrow = [4] * 18
+    rank_widths = [wide] * wide_ranks + [narrow] * (total_ranks - wide_ranks)
+    mem = MemorySystem(
+        MemorySystemConfig(
+            channels=channels,
+            ranks_per_channel=total_ranks,
+            chip_widths=wide,
+            rank_chip_widths=rank_widths,
+            hot_arena_base_line=HOT_ARENA_BASE_LINE,
+            hot_ranks=wide_ranks,
+        )
+    )
+    model = EccTrafficModel.for_scheme(scheme, ecc_parity_channels=channels)
+    traces = make_core_traces(
+        workload, cores=8, llc_block_bytes=64, seed=seed,
+        footprint_scale=scale, hot_arena=True,
+    )
+    llc = LLC(size_bytes=(8 << 20) // scale)
+    system = SimSystem(mem, traces, model, llc=llc)
+    cfg = SystemConfig("lot_ecc5", channels, total_ranks, True, 0)
+    spec = RunSpec(workload, cfg, seed=seed, scale=scale)
+    return system.run(spec.resolved_warmup, spec.resolved_measure)

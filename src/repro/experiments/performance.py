@@ -1,0 +1,44 @@
+"""Performance normalized to baselines (Figures 14 and 15).
+
+Performance is instructions per cycle of the measured phase; the figures
+report the ECC-Parity systems' performance divided by each baseline's for
+the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.energy import COMPARISONS
+from repro.experiments.evaluation import bins, evaluation_matrix
+from repro.experiments.report import geomean
+
+
+@dataclass
+class PerfReport:
+    """Normalized performance per workload and comparison."""
+
+    system_class: str
+    per_workload: "dict[tuple[str, str, str], float]"  # (wl, prop, base) -> perf ratio
+    bin1: "list[str]"
+    bin2: "list[str]"
+
+    def normalized(self, workload: str, proposal: str, baseline: str) -> float:
+        return self.per_workload[(workload, proposal, baseline)]
+
+    def average(self, proposal: str, baseline: str) -> float:
+        vals = [
+            v for (w, p, b), v in self.per_workload.items() if p == proposal and b == baseline
+        ]
+        return geomean(vals)
+
+
+def perf_report(system_class: str = "quad", **matrix_kwargs) -> PerfReport:
+    """Figure 14 (quad) / Figure 15 (dual)."""
+    matrix = evaluation_matrix(system_class, **matrix_kwargs)
+    bin1, bin2 = bins(matrix)
+    per = {}
+    for wl in bin1 + bin2:
+        for prop, base in COMPARISONS:
+            per[(wl, prop, base)] = matrix[(wl, prop)].ipc / matrix[(wl, base)].ipc
+    return PerfReport(system_class, per, bin1, bin2)

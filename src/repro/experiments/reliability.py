@@ -1,0 +1,66 @@
+"""Reliability figure drivers (Figures 2, 8, and 18)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.analysis import (
+    mean_time_between_channel_faults_days,
+    multi_channel_window_probability,
+)
+from repro.faults.fit_rates import MemoryOrg
+from repro.faults.montecarlo import eol_fraction_by_channels
+
+#: X axes used by the paper's figures.
+FIG2_FIT_RANGE = [10, 20, 30, 40, 44, 50, 60, 70, 80, 90, 100]
+FIG8_CHANNELS = [2, 4, 8, 16]
+FIG18_WINDOWS_HOURS = [1, 2, 4, 8, 16, 24, 48, 96, 168]
+FIG18_FIT_RATES = [25, 50, 100]
+
+
+@dataclass
+class Fig2Row:
+    fit_per_chip: float
+    mtbf_days: float
+
+
+def figure2(org: "MemoryOrg | None" = None) -> "list[Fig2Row]":
+    """Mean time between faults in different channels vs DRAM FIT rate."""
+    org = org or MemoryOrg()
+    return [
+        Fig2Row(fit, mean_time_between_channel_faults_days(fit, org))
+        for fit in FIG2_FIT_RANGE
+    ]
+
+
+@dataclass
+class Fig8Row:
+    channels: int
+    mean_fraction: float
+    p999_fraction: float
+
+
+def figure8(trials: int = 20000, seed: int = 0) -> "list[Fig8Row]":
+    """EOL fraction of memory protected by materialized correction bits."""
+    results = eol_fraction_by_channels(FIG8_CHANNELS, trials=trials, seed=seed)
+    return [
+        Fig8Row(n, r.mean, r.percentile(99.9)) for n, r in sorted(results.items())
+    ]
+
+
+@dataclass
+class Fig18Row:
+    window_hours: float
+    probabilities: "dict[int, float]"  # fit -> lifetime probability
+
+
+def figure18(org: "MemoryOrg | None" = None) -> "list[Fig18Row]":
+    """P(multi-channel faults within any one scrub window over 7 years)."""
+    org = org or MemoryOrg()
+    rows = []
+    for w in FIG18_WINDOWS_HOURS:
+        probs = {
+            fit: multi_channel_window_probability(w, fit, org) for fit in FIG18_FIT_RATES
+        }
+        rows.append(Fig18Row(w, probs))
+    return rows

@@ -1,0 +1,80 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+Every experiment driver returns rows of (label, value...) data; these
+helpers format them as aligned monospace tables, the library's equivalent
+of the paper's plots.
+"""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: "list[str]",
+    rows: "list[list]",
+    floatfmt: str = "{:.3f}",
+    title: "str | None" = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+
+    def fmt(v):
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_percent(x: float) -> str:
+    return f"{x * 100:.1f}%"
+
+
+def format_barchart(
+    items: "list[tuple[str, float]]",
+    width: int = 48,
+    title: "str | None" = None,
+    fmt: str = "{:+.1%}",
+    baseline: float = 0.0,
+) -> str:
+    """Render labeled values as a horizontal ASCII bar chart.
+
+    Values are plotted relative to *baseline*; negatives extend left of the
+    axis.  Used to give the regenerated figures the paper's bar-chart look
+    in plain text.
+    """
+    if not items:
+        return title or ""
+    span = max(abs(v - baseline) for _, v in items) or 1.0
+    label_w = max(len(label) for label, _ in items)
+    half = width // 2
+    lines = [title] if title else []
+    for label, v in items:
+        frac = (v - baseline) / span
+        n = round(abs(frac) * half)
+        if frac >= 0:
+            bar = " " * half + "|" + "#" * n + " " * (half - n)
+        else:
+            bar = " " * (half - n) + "#" * n + "|" + " " * half
+        lines.append(f"{label.ljust(label_w)}  {bar}  {fmt.format(v)}")
+    return "\n".join(lines)
+
+
+def geomean(values: "list[float]") -> float:
+    """Geometric mean (the right average for normalized ratios)."""
+    if not values:
+        return float("nan")
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1.0 / len(values))

@@ -1,0 +1,120 @@
+"""Glue that runs one (workload x system-configuration) timing simulation.
+
+This is the reproduction's equivalent of a GEM5+DRAMsim run: it instantiates
+the memory system from a Table II configuration, builds the scheme's
+ECC-traffic model (wrapping it in ECC Parity where the configuration says
+so), spins up the 8-core trace-driven system, and returns the measured-phase
+:class:`~repro.cpu.system.SimResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.cpu.llc import LLC
+from repro.cpu.system import SimResult, SimSystem
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.ecc.catalog import SYSTEM_CLASSES, SystemConfig
+from repro.workloads.generator import make_core_traces
+from repro.workloads.profiles import WorkloadProfile
+
+#: LLC references per phase (warm-up / measurement).  Sized for several
+#: LLC turnovers at the default scale so ECC/XOR-line eviction traffic
+#: reaches steady state; instruction budgets derive from this per workload.
+DEFAULT_ACCESS_TARGET = 40_000
+
+#: Default system-scaling factor: the 8 MB LLC and all workload footprints
+#: shrink together by this factor, preserving miss rates while making the
+#: warm-up (filling the LLC) tractable in pure Python.
+DEFAULT_SCALE = 16
+
+
+def adaptive_instructions(workload: WorkloadProfile, access_target: int = DEFAULT_ACCESS_TARGET) -> int:
+    """Total instructions needed for ~*access_target* LLC references.
+
+    Low-intensity workloads (sjeng at 2.5 accesses/kilo-instruction) need
+    far more instructions than memory-bound ones to exercise the same
+    amount of cache/memory behaviour; simulating a fixed instruction count
+    would leave their ECC-line traffic un-warmed.
+    """
+    return int(access_target * 1000 / workload.apki)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the evaluation matrix.
+
+    ``warmup_instructions`` / ``measure_instructions`` of ``None`` select
+    the adaptive per-workload budget (see :func:`adaptive_instructions`).
+    """
+
+    workload: WorkloadProfile
+    config: SystemConfig
+    warmup_instructions: "int | None" = None
+    measure_instructions: "int | None" = None
+    seed: int = 0
+    scale: int = DEFAULT_SCALE
+
+    @property
+    def resolved_warmup(self) -> int:
+        if self.warmup_instructions is not None:
+            return self.warmup_instructions
+        return adaptive_instructions(self.workload)
+
+    @property
+    def resolved_measure(self) -> int:
+        if self.measure_instructions is not None:
+            return self.measure_instructions
+        return adaptive_instructions(self.workload)
+
+
+def build_system(spec: RunSpec) -> SimSystem:
+    """Construct the full simulated system for a run specification."""
+    scheme = spec.config.make_scheme()
+    mem = MemorySystem(
+        MemorySystemConfig(
+            channels=spec.config.channels,
+            ranks_per_channel=spec.config.ranks_per_channel,
+            chip_widths=scheme.chip_widths(),
+            line_size=scheme.line_size,
+        )
+    )
+    ecc_model = EccTrafficModel.for_scheme(
+        scheme,
+        ecc_parity_channels=spec.config.channels if spec.config.ecc_parity else None,
+    )
+    traces = make_core_traces(
+        spec.workload,
+        cores=8,
+        llc_block_bytes=scheme.line_size,
+        seed=spec.seed,
+        footprint_scale=spec.scale,
+    )
+    llc = LLC(size_bytes=(8 << 20) // spec.scale, line_size=scheme.line_size)
+    return SimSystem(mem, traces, ecc_model, llc=llc)
+
+
+def run(spec: RunSpec) -> SimResult:
+    """Execute one simulation and return the measured-phase result."""
+    system = build_system(spec)
+    return system.run(spec.resolved_warmup, spec.resolved_measure)
+
+
+def run_matrix(
+    workloads: "list[WorkloadProfile]",
+    config_keys: "list[str]",
+    system_class: str = "quad",
+    warmup: "int | None" = None,
+    measure: "int | None" = None,
+    seed: int = 0,
+    scale: int = DEFAULT_SCALE,
+) -> "dict[tuple[str, str], SimResult]":
+    """Run a workload x configuration sweep; keys are (workload, config)."""
+    configs = SYSTEM_CLASSES[system_class]
+    out = {}
+    for wl in workloads:
+        for key in config_keys:
+            spec = RunSpec(wl, configs[key], warmup, measure, seed, scale)
+            out[(wl.name, key)] = run(spec)
+    return out

@@ -1,0 +1,66 @@
+"""Memory-traffic metrics: bandwidth characterization (Figure 9) and
+normalized accesses per instruction (Figures 16 and 17).
+
+An "access" is 64 bytes read from or written to memory, so the 128B-line
+baselines (36-device chipkill, RAIM) are charged two per line transfer -
+the paper's own accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.energy import COMPARISONS
+from repro.experiments.evaluation import bins, evaluation_matrix
+from repro.experiments.report import geomean
+
+
+@dataclass
+class BandwidthReport:
+    """Figure 9: per-workload bandwidth on the dual-channel commercial system."""
+
+    per_workload: "dict[str, float]"  # GB/s
+    bin1: "list[str]"
+    bin2: "list[str]"
+
+
+def bandwidth_report(**matrix_kwargs) -> BandwidthReport:
+    """Workload bandwidth utilization, dual-channel 36-dev chipkill system."""
+    matrix = evaluation_matrix("dual", config_keys=["chipkill36"], **matrix_kwargs)
+    per = {wl: cell.bandwidth_gbps for (wl, _), cell in matrix.items()}
+    ordered = sorted(per, key=per.get)
+    half = len(ordered) // 2
+    return BandwidthReport(per, ordered[:half], ordered[half:])
+
+
+@dataclass
+class TrafficReport:
+    """Figures 16/17: accesses per instruction normalized to baselines."""
+
+    system_class: str
+    per_workload: "dict[tuple[str, str, str], float]"
+    bin1: "list[str]"
+    bin2: "list[str]"
+
+    def normalized(self, workload: str, proposal: str, baseline: str) -> float:
+        return self.per_workload[(workload, proposal, baseline)]
+
+    def average(self, proposal: str, baseline: str) -> float:
+        vals = [
+            v for (w, p, b), v in self.per_workload.items() if p == proposal and b == baseline
+        ]
+        return geomean(vals)
+
+
+def traffic_report(system_class: str = "quad", **matrix_kwargs) -> TrafficReport:
+    """Figure 16 (quad) / Figure 17 (dual)."""
+    matrix = evaluation_matrix(system_class, **matrix_kwargs)
+    bin1, bin2 = bins(matrix)
+    per = {}
+    for wl in bin1 + bin2:
+        for prop, base in COMPARISONS:
+            per[(wl, prop, base)] = (
+                matrix[(wl, prop)].accesses_per_instruction
+                / matrix[(wl, base)].accesses_per_instruction
+            )
+    return TrafficReport(system_class, per, bin1, bin2)

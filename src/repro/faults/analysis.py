@@ -1,0 +1,120 @@
+"""Closed-form reliability analyses (Figures 2 and 18, Sections VI-B/C/D).
+
+All arrivals are exponential (the paper's stated assumption); times are in
+hours unless a function says otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.faults.fit_rates import (
+    SATURATING_FIT,
+    TOTAL_FIT_DDR3,
+    MemoryOrg,
+)
+from repro.util.units import DAYS, YEARS
+
+#: The paper's evaluated server lifetime.
+LIFETIME_HOURS = 7 * YEARS
+
+
+def mean_time_between_channel_faults_days(
+    fit_per_chip: float,
+    org: "MemoryOrg | None" = None,
+) -> float:
+    """Figure 2: mean time between faults in *different* channels, in days.
+
+    With per-channel Poisson rate ``lam`` and N independent channels, the
+    expected wait from one fault to the next fault that lands in a
+    *different* channel is ``1 / ((N-1) * lam)``: the other N-1 channels'
+    superposed arrival process is what ends the interval.
+    """
+    org = org or MemoryOrg()
+    lam = org.channel_fault_rate_per_hour(fit_per_chip)
+    return 1.0 / ((org.channels - 1) * lam) / DAYS
+
+
+def multi_channel_window_probability(
+    window_hours: float,
+    fit_per_chip: float = 100.0,
+    org: "MemoryOrg | None" = None,
+    lifetime_hours: float = LIFETIME_HOURS,
+) -> float:
+    """Figure 18: P(faults in >1 channel within any single scrub window).
+
+    Splits the lifetime into ``lifetime / window`` detection windows; in
+    each, a channel is faulted with ``q = 1 - exp(-lam * w)``, and the
+    window is bad when two or more channels fault.  The lifetime
+    probability composes the per-window survival.
+    """
+    org = org or MemoryOrg()
+    lam = org.channel_fault_rate_per_hour(fit_per_chip)
+    n = org.channels
+    q = -math.expm1(-lam * window_hours)
+    p_ok = (1 - q) ** n + n * q * (1 - q) ** (n - 1)
+    p_window = 1 - p_ok
+    windows = lifetime_hours / window_hours
+    # 1 - (1 - p)^k, numerically stable for tiny p.
+    return -math.expm1(windows * math.log1p(-p_window))
+
+
+def added_uncorrectable_interval_years(
+    window_hours: float = 8.0,
+    fit_per_chip: float = 100.0,
+    org: "MemoryOrg | None" = None,
+    lifetime_hours: float = LIFETIME_HOURS,
+) -> float:
+    """Section VI-C: expected years per *added* uncorrectable error.
+
+    Under the paper's pessimistic assumption that any multi-channel fault
+    combination within one scrub window defeats the ECC parities, the added
+    uncorrectable-error rate is the Figure 18 probability per lifetime.
+    """
+    p = multi_channel_window_probability(window_hours, fit_per_chip, org, lifetime_hours)
+    return (1.0 / p) * (lifetime_hours / YEARS)
+
+
+def hpc_stall_fraction(
+    total_memory_pb: float = 2.0,
+    node_memory_gb: float = 128.0,
+    nic_gbps: float = 1.0,
+    fit_saturating: float = SATURATING_FIT,
+    chip_gbits: float = 2.0,
+    reconstruction_read_gbps: float = 25.6,
+) -> float:
+    """Section VI-B: fraction of time a big HPC system stalls for migration.
+
+    Thread migration happens on every column/bank/multi-bank/multi-rank
+    fault; the whole machine stalls while the affected node's memory ships
+    over its NIC and while the faulty regions' correction bits are
+    reconstructed (a full-memory read).
+    """
+    nodes = total_memory_pb * 1024 * 1024 / node_memory_gb
+    chips_per_node = node_memory_gb * 8 / chip_gbits  # data chips; ECC chips add ~12.5%
+    chips_per_node *= 1.125
+    event_rate_per_hour = nodes * chips_per_node * fit_saturating * 1e-9
+    migrate_s = node_memory_gb / nic_gbps
+    reconstruct_s = node_memory_gb / reconstruction_read_gbps
+    stall_s = migrate_s + reconstruct_s
+    return event_rate_per_hour * stall_s / 3600.0
+
+
+def undetectable_error_interval_years(
+    org: "MemoryOrg | None" = None,
+    fit_per_chip: float = TOTAL_FIT_DDR3,
+    errors_before_marked: int = 4,
+    check_symbol_bits: int = 16,
+) -> float:
+    """Section VI-D: years per undetected error in banks not yet marked faulty.
+
+    Pessimistically treats every fault as an address-decoder fault producing
+    random flips; each of the (at most ``threshold``) error events occurring
+    before the bank pair is recorded as faulty escapes the single on-the-fly
+    check symbol with probability ``2^-check_symbol_bits``.
+    """
+    org = org or MemoryOrg()
+    rate = org.system_fault_rate_per_hour(fit_per_chip)
+    p_escape = 2.0 ** (-check_symbol_bits)
+    undetected_per_hour = rate * errors_before_marked * p_escape
+    return 1.0 / undetected_per_hour / YEARS

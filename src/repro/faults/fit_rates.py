@@ -1,0 +1,94 @@
+"""DRAM device fault modes and field failure rates.
+
+Rates follow the large-scale field studies the paper relies on (Sridharan &
+Liberty, SC'12; Sridharan et al., SC'13): per-device FIT contributions by
+fault mode, scaled so the total matches the 44 FIT/chip average DDR3 rate
+across vendors that the paper's Figure 2 caption quotes.
+
+1 FIT = one failure per 10^9 device-hours.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Average DDR3 device fault rate across vendors [Sridharan13], FIT/chip.
+TOTAL_FIT_DDR3 = 44.0
+
+
+class FaultMode(enum.Enum):
+    """Device-level DRAM fault modes, ordered by blast radius."""
+
+    SINGLE_BIT = "single-bit"
+    SINGLE_WORD = "single-word"
+    SINGLE_COLUMN = "single-column"
+    SINGLE_ROW = "single-row"
+    SINGLE_BANK = "single-bank"
+    MULTI_BANK = "multi-bank"
+    MULTI_RANK = "multi-rank"
+
+
+#: Relative FIT weights per mode (Sridharan & Liberty field distribution,
+#: transient + permanent combined), renormalized to TOTAL_FIT_DDR3 below.
+_RAW_WEIGHTS = {
+    FaultMode.SINGLE_BIT: 28.8,
+    FaultMode.SINGLE_WORD: 0.4,
+    FaultMode.SINGLE_COLUMN: 2.4,
+    FaultMode.SINGLE_ROW: 4.9,
+    FaultMode.SINGLE_BANK: 8.8,
+    FaultMode.MULTI_BANK: 0.3,
+    FaultMode.MULTI_RANK: 0.9,
+}
+
+_SCALE = TOTAL_FIT_DDR3 / sum(_RAW_WEIGHTS.values())
+
+#: FIT per chip by fault mode, summing to TOTAL_FIT_DDR3.
+FIT_BY_MODE = {mode: w * _SCALE for mode, w in _RAW_WEIGHTS.items()}
+
+#: Modes that saturate a bank-pair error counter (many rows affected) and
+#: therefore trigger materialization of ECC correction bits; the paper's
+#: Section VI-B migrates threads on exactly these modes.
+SATURATING_MODES = frozenset(
+    {FaultMode.SINGLE_COLUMN, FaultMode.SINGLE_BANK, FaultMode.MULTI_BANK, FaultMode.MULTI_RANK}
+)
+
+#: FIT per chip of counter-saturating (materializing) modes.
+SATURATING_FIT = sum(FIT_BY_MODE[m] for m in SATURATING_MODES)
+
+
+@dataclass(frozen=True)
+class MemoryOrg:
+    """Organization of the memory the reliability studies model.
+
+    Defaults match the paper's Monte Carlo setup: four ranks per channel,
+    nine chips per rank, eight banks per rank.
+    """
+
+    channels: int = 8
+    ranks_per_channel: int = 4
+    chips_per_rank: int = 9
+    banks_per_rank: int = 8
+
+    @property
+    def chips_per_channel(self) -> int:
+        return self.ranks_per_channel * self.chips_per_rank
+
+    @property
+    def total_chips(self) -> int:
+        return self.channels * self.chips_per_channel
+
+    @property
+    def banks_per_channel(self) -> int:
+        return self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def total_banks(self) -> int:
+        return self.channels * self.banks_per_channel
+
+    def channel_fault_rate_per_hour(self, fit_per_chip: float = TOTAL_FIT_DDR3) -> float:
+        """Fault arrival rate of one channel, per hour."""
+        return self.chips_per_channel * fit_per_chip * 1e-9
+
+    def system_fault_rate_per_hour(self, fit_per_chip: float = TOTAL_FIT_DDR3) -> float:
+        return self.total_chips * fit_per_chip * 1e-9

@@ -1,0 +1,108 @@
+"""Fault injection into the functional ECC Parity machine.
+
+Translates the field fault modes of :mod:`repro.faults.fit_rates` into
+:class:`~repro.core.machine.PermanentFault` regions on an
+:class:`~repro.core.machine.ECCParityMachine`, so coverage experiments and
+examples can speak in terms of "a row fault in channel 2" rather than raw
+array slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.machine import ECCParityMachine, PermanentFault
+from repro.faults.fit_rates import FIT_BY_MODE, FaultMode
+from repro.util.rng import make_rng
+
+
+@dataclass
+class InjectedFault:
+    """Record of one injected fault (for assertions and reports)."""
+
+    mode: FaultMode
+    channel: int
+    bank: int
+    chip: int
+    faults: "list[PermanentFault]"
+
+
+class FaultInjector:
+    """Draws fault modes/locations and applies them to a machine."""
+
+    def __init__(self, machine: ECCParityMachine, seed: "int | None" = 0):
+        self.machine = machine
+        self.rng = make_rng(seed)
+        self.injected: "list[InjectedFault]" = []
+
+    def _rand_location(self) -> "tuple[int, int, int]":
+        g = self.machine.geom
+        chan = int(self.rng.integers(g.channels))
+        bank = int(self.rng.integers(g.banks))
+        chip = int(self.rng.integers(self.machine.scheme.data_chips))
+        return chan, bank, chip
+
+    def inject(
+        self,
+        mode: FaultMode,
+        location: "tuple[int, int, int] | None" = None,
+        transient: bool = False,
+    ) -> InjectedFault:
+        """Inject one fault of *mode* at *location* (or a random one).
+
+        ``transient=True`` corrupts the region once (a scrub-with-repair
+        pass heals it); otherwise the fault is permanent and re-asserts
+        itself after repairs.
+        """
+        chan, bank, chip = location if location is not None else self._rand_location()
+        g = self.machine.geom
+        seed = int(self.rng.integers(1 << 30))
+        faults: "list[PermanentFault]" = []
+
+        if mode is FaultMode.SINGLE_BIT or mode is FaultMode.SINGLE_WORD:
+            row = int(self.rng.integers(g.rows_per_bank))
+            line = int(self.rng.integers(g.lines_per_row))
+            faults.append(PermanentFault(chan, bank, (row, row + 1), (line, line + 1), chip, seed))
+        elif mode is FaultMode.SINGLE_ROW:
+            row = int(self.rng.integers(g.rows_per_bank))
+            faults.append(PermanentFault(chan, bank, (row, row + 1), (0, g.lines_per_row), chip, seed))
+        elif mode is FaultMode.SINGLE_COLUMN:
+            line = int(self.rng.integers(g.lines_per_row))
+            faults.append(
+                PermanentFault(chan, bank, (0, g.rows_per_bank), (line, line + 1), chip, seed)
+            )
+        elif mode is FaultMode.SINGLE_BANK:
+            faults.append(
+                PermanentFault(chan, bank, (0, g.rows_per_bank), (0, g.lines_per_row), chip, seed)
+            )
+        elif mode is FaultMode.MULTI_BANK:
+            for b in (bank, (bank + 1) % g.banks):
+                faults.append(
+                    PermanentFault(chan, b, (0, g.rows_per_bank), (0, g.lines_per_row), chip, seed + b)
+                )
+        elif mode is FaultMode.MULTI_RANK:
+            # The machine folds ranks into its bank dimension; hit every bank.
+            for b in range(g.banks):
+                faults.append(
+                    PermanentFault(chan, b, (0, g.rows_per_bank), (0, g.lines_per_row), chip, seed + b)
+                )
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unhandled fault mode {mode}")
+
+        for f in faults:
+            if transient:
+                self.machine.add_transient_fault(f)
+            else:
+                self.machine.add_permanent_fault(f)
+        rec = InjectedFault(mode, chan, bank, chip, faults)
+        self.injected.append(rec)
+        return rec
+
+    def inject_random(self) -> InjectedFault:
+        """Inject a fault with mode drawn from the field FIT distribution."""
+        modes = list(FIT_BY_MODE)
+        weights = np.array([FIT_BY_MODE[m] for m in modes])
+        mode = modes[int(self.rng.choice(len(modes), p=weights / weights.sum()))]
+        return self.inject(mode)

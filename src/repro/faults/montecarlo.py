@@ -1,0 +1,207 @@
+"""Lifetime Monte Carlo of fault accumulation (Figure 8, Table III EOL).
+
+Simulates a population of memory systems over seven years: fault events
+arrive per chip as Poisson processes split by mode; counter-saturating
+modes (column/bank/multi-bank/multi-rank) cause their bank pair(s) to be
+recorded as faulty, materializing actual ECC correction bits for those
+banks.  The observable is the fraction of memory that ends life protected
+by materialized correction bits rather than ECC parities - the quantity
+Figure 8 reports as an average and a 99.9th percentile, and the driver of
+Table III's end-of-life capacity overheads.
+
+The inner loop is vectorized across trials: event *counts* per (trial,
+mode) are Poisson draws, and bank placement is sampled only for trials with
+events (the overwhelming majority have none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.fit_rates import (
+    FIT_BY_MODE,
+    SATURATING_MODES,
+    FaultMode,
+    MemoryOrg,
+)
+from repro.util.rng import make_rng
+from repro.util.units import YEARS
+
+#: Banks a saturating fault marks faulty, per mode (bank pairs round up).
+_BANKS_MATERIALIZED = {
+    FaultMode.SINGLE_COLUMN: 2,  # one bank -> its pair
+    FaultMode.SINGLE_BANK: 2,
+    FaultMode.MULTI_BANK: 4,  # two banks, typically adjacent -> two pairs
+    FaultMode.MULTI_RANK: None,  # all banks of two ranks
+}
+
+
+@dataclass
+class EolResult:
+    """Distribution of end-of-life materialized-memory fraction."""
+
+    fractions: np.ndarray  #: per-trial fraction of memory with stored ECC bits
+
+    @property
+    def mean(self) -> float:
+        return float(self.fractions.mean())
+
+    def percentile(self, q: float = 99.9) -> float:
+        return float(np.percentile(self.fractions, q))
+
+    @property
+    def any_fault_fraction(self) -> float:
+        """Fraction of simulated systems with at least one materialization."""
+        return float((self.fractions > 0).mean())
+
+
+class EolCapacitySim:
+    """Monte Carlo for the end-of-life materialized-memory fraction."""
+
+    def __init__(
+        self,
+        org: "MemoryOrg | None" = None,
+        lifetime_hours: float = 7 * YEARS,
+        seed: "int | None" = 0,
+    ):
+        self.org = org or MemoryOrg()
+        self.lifetime_hours = lifetime_hours
+        self.rng = make_rng(seed)
+
+    def run(self, trials: int = 20000) -> EolResult:
+        org = self.org
+        rng = self.rng
+        fractions = np.zeros(trials)
+        sat_modes = [m for m in FaultMode if m in SATURATING_MODES]
+        # Expected saturating events per system lifetime, per mode.
+        lam = {
+            m: FIT_BY_MODE[m] * 1e-9 * org.total_chips * self.lifetime_hours for m in sat_modes
+        }
+        counts = {m: rng.poisson(lam[m], size=trials) for m in sat_modes}
+        busy = np.zeros(trials, dtype=bool)
+        for m in sat_modes:
+            busy |= counts[m] > 0
+
+        banks_per_rank = org.banks_per_rank
+        total_banks = org.total_banks
+        for t in np.nonzero(busy)[0]:
+            faulty_pairs: "set[tuple[int, int]]" = set()  # (channel, global pair id)
+            for m in sat_modes:
+                for _ in range(int(counts[m][t])):
+                    channel = int(rng.integers(org.channels))
+                    rank = int(rng.integers(org.ranks_per_channel))
+                    if m is FaultMode.MULTI_RANK:
+                        ranks = {rank, int(rng.integers(org.ranks_per_channel))}
+                        for rk in ranks:
+                            for pair in range(banks_per_rank // 2):
+                                faulty_pairs.add((channel, rk * banks_per_rank // 2 + pair))
+                        continue
+                    bank = int(rng.integers(banks_per_rank))
+                    pair0 = rank * (banks_per_rank // 2) + bank // 2
+                    faulty_pairs.add((channel, pair0))
+                    if m is FaultMode.MULTI_BANK:
+                        nxt = rank * (banks_per_rank // 2) + min(banks_per_rank // 2 - 1, bank // 2 + 1)
+                        faulty_pairs.add((channel, nxt))
+            fractions[t] = 2 * len(faulty_pairs) / total_banks
+        return EolResult(fractions=fractions)
+
+
+def eol_fraction_by_channels(
+    channel_counts: "list[int]",
+    trials: int = 20000,
+    seed: int = 0,
+    lifetime_hours: float = 7 * YEARS,
+) -> "dict[int, EolResult]":
+    """Figure 8 driver: EOL materialized fraction for several system widths."""
+    out = {}
+    for n in channel_counts:
+        sim = EolCapacitySim(
+            MemoryOrg(channels=n), lifetime_hours=lifetime_hours, seed=seed + n
+        )
+        out[n] = sim.run(trials)
+    return out
+
+
+@dataclass
+class HpcStallResult:
+    """Simulated §VI-B outcome over one system lifetime."""
+
+    migrations: int
+    stall_hours: float
+    lifetime_hours: float
+
+    @property
+    def stall_fraction(self) -> float:
+        return self.stall_hours / self.lifetime_hours
+
+
+def hpc_stall_mc(
+    total_memory_pb: float = 2.0,
+    node_memory_gb: float = 128.0,
+    nic_gbps: float = 1.0,
+    chip_gbits: float = 2.0,
+    reconstruction_read_gbps: float = 25.6,
+    lifetime_hours: float = 7 * YEARS,
+    trials: int = 200,
+    seed: int = 0,
+) -> HpcStallResult:
+    """Monte Carlo cross-check of the Section VI-B stall estimate.
+
+    Draws counter-saturating fault events (column/bank/multi-bank/multi-rank
+    modes) across all nodes over the lifetime; every event stalls the whole
+    machine for a thread migration (node memory over the NIC) plus the
+    reconstruction of the faulty regions' correction bits (a full-memory
+    read).  Aggregates over *trials* simulated machines.
+    """
+    from repro.faults.fit_rates import SATURATING_FIT
+
+    rng = make_rng(seed)
+    nodes = total_memory_pb * 1024 * 1024 / node_memory_gb
+    chips_per_node = node_memory_gb * 8 / chip_gbits * 1.125  # incl. ECC chips
+    rate = nodes * chips_per_node * SATURATING_FIT * 1e-9  # events/hour
+    stall_per_event_h = (
+        node_memory_gb / nic_gbps + node_memory_gb / reconstruction_read_gbps
+    ) / 3600.0
+    events = rng.poisson(rate * lifetime_hours, size=trials)
+    total_events = int(events.sum())
+    return HpcStallResult(
+        migrations=total_events,
+        stall_hours=total_events * stall_per_event_h / trials,
+        lifetime_hours=lifetime_hours,
+    )
+
+
+def mean_time_between_channel_faults_mc(
+    fit_per_chip: float,
+    org: "MemoryOrg | None" = None,
+    trials: int = 20000,
+    seed: int = 0,
+) -> float:
+    """Monte Carlo cross-check of Figure 2's analytic curve (days).
+
+    Samples consecutive fault (time, channel) pairs and averages the gap
+    between each fault and the next one striking a different channel.
+    """
+    org = org or MemoryOrg()
+    rng = make_rng(seed)
+    lam_sys = org.system_fault_rate_per_hour(fit_per_chip)
+    gaps = rng.exponential(1.0 / lam_sys, size=trials)
+    chans = rng.integers(org.channels, size=trials)
+    total = 0.0
+    count = 0
+    i = 0
+    while i < trials - 1:
+        j = i + 1
+        acc = 0.0
+        while j < trials and chans[j] == chans[i]:
+            acc += gaps[j]
+            j += 1
+        if j >= trials:
+            break
+        acc += gaps[j]
+        total += acc
+        count += 1
+        i = j
+    return (total / max(1, count)) / 24.0

@@ -1,0 +1,12 @@
+"""Finite-field arithmetic and Reed-Solomon coding.
+
+:class:`~repro.gf.field.GF2m` provides table-driven, vectorized GF(2^m)
+arithmetic; :class:`~repro.gf.reed_solomon.ReedSolomon` builds systematic RS
+codes with errors-and-erasures decoding on top of it.  These are the
+primitives from which every ECC scheme in :mod:`repro.ecc` is constructed.
+"""
+
+from repro.gf.field import GF2m, GF16, GF256, GF65536
+from repro.gf.reed_solomon import ReedSolomon, RSDecodeResult
+
+__all__ = ["GF2m", "GF16", "GF256", "GF65536", "ReedSolomon", "RSDecodeResult"]

@@ -1,0 +1,201 @@
+"""Table-driven GF(2^m) arithmetic, vectorized over NumPy arrays.
+
+A field instance precomputes exponential/logarithm tables once; all
+arithmetic then reduces to integer adds and table lookups, which NumPy
+vectorizes across entire codeword batches (per the HPC guide: no per-symbol
+Python loops on hot paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default primitive polynomials (with the x^m term) per field degree.
+_PRIMITIVE_POLYS = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    8: 0b100011101,  # x^8 + x^4 + x^3 + x^2 + 1 (0x11D)
+    16: 0b10001000000001011,  # x^16 + x^12 + x^3 + x + 1 (0x1100B)
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with table-driven arithmetic.
+
+    Parameters
+    ----------
+    m:
+        Field degree; field has ``2**m`` elements.
+    primitive_poly:
+        Binary representation of the primitive polynomial including the
+        ``x^m`` term.  Defaults to a standard choice for common degrees.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if primitive_poly is None:
+            try:
+                primitive_poly = _PRIMITIVE_POLYS[m]
+            except KeyError:
+                raise ValueError(f"no default primitive polynomial for m={m}") from None
+        self.m = m
+        self.order = 1 << m
+        self.primitive_poly = primitive_poly
+        self.dtype = np.uint8 if m <= 8 else (np.uint16 if m <= 16 else np.uint32)
+
+        # exp table doubled in length so mul can skip the mod (2^m - 1) step
+        # for the common two-operand case.
+        exp = np.zeros(2 * self.order, dtype=np.int64)
+        log = np.zeros(self.order, dtype=np.int64)
+        x = 1
+        for i in range(self.order - 1):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.order:
+                x ^= primitive_poly
+        if x != 1:
+            raise ValueError(f"polynomial {primitive_poly:#x} is not primitive for m={m}")
+        exp[self.order - 1 : 2 * (self.order - 1)] = exp[: self.order - 1]
+        self._exp = exp
+        self._log = log
+
+    # -- scalar/array arithmetic ------------------------------------------------
+
+    def add(self, a, b):
+        """Field addition (bitwise XOR)."""
+        return np.bitwise_xor(np.asarray(a, dtype=self.dtype), np.asarray(b, dtype=self.dtype))
+
+    sub = add  # characteristic 2: subtraction is addition
+
+    def mul(self, a, b):
+        """Elementwise field multiplication."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        out = self._exp[self._log[a] + self._log[b]]
+        out = np.where((a == 0) | (b == 0), 0, out)
+        return out.astype(self.dtype)
+
+    def div(self, a, b):
+        """Elementwise field division; raises on division by zero."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if np.any(b == 0):
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        q = self._exp[self._log[a] - self._log[b] + (self.order - 1)]
+        return np.where(a == 0, 0, q).astype(self.dtype)
+
+    def inv(self, a):
+        """Elementwise multiplicative inverse; raises on zero."""
+        a = np.asarray(a, dtype=np.int64)
+        if np.any(a == 0):
+            raise ZeroDivisionError("inverse of zero in GF(2^m)")
+        return self._exp[(self.order - 1) - self._log[a]].astype(self.dtype)
+
+    def pow(self, a, e):
+        """Elementwise ``a ** e`` with integer (possibly negative) exponent *e*."""
+        a = np.asarray(a, dtype=np.int64)
+        e = np.asarray(e, dtype=np.int64)
+        n = self.order - 1
+        exp_idx = (self._log[a] * e) % n
+        out = self._exp[exp_idx]
+        # 0^0 == 1 by convention; 0^e == 0 for e > 0; 0^-e is an error we map to 0.
+        out = np.where(a == 0, np.where(e == 0, 1, 0), out)
+        return out.astype(self.dtype)
+
+    def alpha_pow(self, e):
+        """Return alpha**e for the primitive element alpha (vectorized in *e*)."""
+        e = np.asarray(e, dtype=np.int64) % (self.order - 1)
+        return self._exp[e].astype(self.dtype)
+
+    def log_alpha(self, a):
+        """Discrete log base alpha; *a* must be nonzero."""
+        a = np.asarray(a, dtype=np.int64)
+        if np.any(a == 0):
+            raise ZeroDivisionError("log of zero in GF(2^m)")
+        return self._log[a]
+
+    # -- polynomial helpers (coefficient arrays, lowest degree first) -----------
+
+    def poly_eval(self, coeffs: np.ndarray, x):
+        """Evaluate polynomial with coefficient array *coeffs* (c0 + c1 x + ...) at *x*.
+
+        *x* may be an array; evaluation is Horner's rule vectorized over *x*.
+        """
+        coeffs = np.asarray(coeffs, dtype=self.dtype)
+        x = np.asarray(x, dtype=self.dtype)
+        result = np.zeros_like(x)
+        for c in coeffs[::-1]:
+            result = self.add(self.mul(result, x), c)
+        return result
+
+    def poly_mul(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Product of two polynomials (coefficient arrays, lowest degree first)."""
+        p = np.asarray(p, dtype=self.dtype)
+        q = np.asarray(q, dtype=self.dtype)
+        out = np.zeros(len(p) + len(q) - 1, dtype=self.dtype)
+        for i, c in enumerate(p):
+            if c:
+                out[i : i + len(q)] = self.add(out[i : i + len(q)], self.mul(c, q))
+        return out
+
+    def poly_deriv(self, p: np.ndarray) -> np.ndarray:
+        """Formal derivative over GF(2^m): odd-degree terms survive."""
+        p = np.asarray(p, dtype=self.dtype)
+        if len(p) <= 1:
+            return np.zeros(1, dtype=self.dtype)
+        d = p[1:].copy()
+        d[1::2] = 0  # coefficient i of derivative = (i+1)*p[i+1]; even i+1 -> 0 in char 2
+        return d
+
+    # -- small-matrix linear algebra (erasure solvers) ---------------------------
+
+    def mat_inv(self, a: np.ndarray) -> np.ndarray:
+        """Invert a small square matrix over GF(2^m) by Gauss-Jordan.
+
+        Raises ``np.linalg.LinAlgError`` when singular.  Intended for the
+        f x f erasure-locator systems (f <= n-k, i.e. tiny).
+        """
+        a = np.asarray(a, dtype=self.dtype)
+        n = a.shape[0]
+        if a.shape != (n, n):
+            raise ValueError("mat_inv needs a square matrix")
+        aug = np.concatenate([a.copy(), np.eye(n, dtype=self.dtype)], axis=1)
+        for col in range(n):
+            pivot = None
+            for row in range(col, n):
+                if aug[row, col]:
+                    pivot = row
+                    break
+            if pivot is None:
+                raise np.linalg.LinAlgError("singular matrix over GF(2^m)")
+            if pivot != col:
+                aug[[col, pivot]] = aug[[pivot, col]]
+            aug[col] = self.mul(aug[col], self.inv(aug[col, col]))
+            for row in range(n):
+                if row != col and aug[row, col]:
+                    aug[row] = self.add(aug[row], self.mul(aug[row, col], aug[col]))
+        return aug[:, n:].copy()
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Matrix product over GF(2^m): ``(..., k) @ (k, m) -> (..., m)``.
+
+        Vectorized over the leading batch dimensions of *a*; *b* is small.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        k, m = b.shape
+        loga = self._log[a]  # (..., k)
+        logb = self._log[b]  # (k, m)
+        terms = self._exp[loga[..., :, None] + logb[None, ...]]  # broadcast (..., k, m)
+        terms = np.where((a[..., :, None] == 0) | (b[None, ...] == 0), 0, terms)
+        return np.bitwise_xor.reduce(terms, axis=-2).astype(self.dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GF2m(m={self.m}, poly={self.primitive_poly:#x})"
+
+
+#: Shared field instances (table construction is not free; reuse these).
+GF16 = GF2m(4)
+GF256 = GF2m(8)
+GF65536 = GF2m(16)

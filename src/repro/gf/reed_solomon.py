@@ -1,0 +1,340 @@
+"""Systematic Reed-Solomon codes with errors-and-erasures decoding.
+
+The encoder and syndrome computation are vectorized across arbitrarily large
+batches of codewords (the common case: every word of every cache line in a
+memory region).  Full decoding — Sugiyama (extended Euclid) key equation
+solver plus Chien search and Forney's formula — runs per affected word only;
+in a memory system almost all words are clean, so the scalar path is cold.
+
+Positions are array indices ``0..n-1``; index ``i`` holds the coefficient of
+``x^(n-1-i)`` (highest degree first), with data symbols followed by check
+symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gf.field import GF2m
+
+
+@dataclass
+class RSDecodeResult:
+    """Outcome of a batched RS decode.
+
+    Attributes
+    ----------
+    corrected:
+        Codeword batch after correction, same shape as the input.
+    ok:
+        Per-word flag: True when the word is clean or was fully corrected
+        (recomputed syndromes are zero).
+    had_errors:
+        Per-word flag: the received word had nonzero syndromes or erasures.
+    n_corrected:
+        Number of symbols whose value was changed, per word.
+    """
+
+    corrected: np.ndarray
+    ok: np.ndarray
+    had_errors: np.ndarray
+    n_corrected: np.ndarray
+
+
+class ReedSolomon:
+    """An ``(n, k)`` systematic Reed-Solomon code over *field*.
+
+    Corrects any pattern of ``e`` symbol errors and ``f`` symbol erasures
+    with ``2e + f <= n - k``.
+    """
+
+    def __init__(self, field: GF2m, n: int, k: int):
+        if not (0 < k < n <= field.order - 1):
+            raise ValueError(f"invalid RS parameters n={n}, k={k} over GF(2^{field.m})")
+        self.field = field
+        self.n = n
+        self.k = k
+        self.num_check = n - k
+
+        f = field
+        # Generator polynomial g(x) = prod_{j=1..n-k} (x + alpha^j), lowest degree first.
+        g = np.array([1], dtype=f.dtype)
+        for j in range(1, self.num_check + 1):
+            g = f.poly_mul(g, np.array([f.alpha_pow(j), 1], dtype=f.dtype))
+        self._gen_poly = g
+        # Encoder feedback taps: g without the monic leading term, highest degree first.
+        self._gen_taps = g[:-1][::-1].copy()
+
+        # Syndrome evaluation matrix in log space: S_j = sum_i c_i * alpha^{(j+1)(n-1-i)}.
+        j = np.arange(self.num_check)
+        i = np.arange(n)
+        self._synd_log = ((j[None, :] + 1) * (n - 1 - i[:, None])) % (f.order - 1)
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode a batch of messages: shape ``(..., k)`` -> ``(..., n)``."""
+        f = self.field
+        data = np.asarray(data, dtype=f.dtype)
+        if data.shape[-1] != self.k:
+            raise ValueError(f"expected {self.k} data symbols, got {data.shape[-1]}")
+        batch_shape = data.shape[:-1]
+        flat = data.reshape(-1, self.k)
+        rem = np.zeros((flat.shape[0], self.num_check), dtype=f.dtype)
+        for col in range(self.k):
+            fb = f.add(rem[:, 0], flat[:, col])
+            rem[:, :-1] = rem[:, 1:]
+            rem[:, -1] = 0
+            rem = f.add(rem, f.mul(fb[:, None], self._gen_taps[None, :]))
+        out = np.concatenate([flat, rem], axis=-1)
+        return out.reshape(*batch_shape, self.n)
+
+    # -- syndromes / detection ----------------------------------------------------
+
+    def syndromes(self, codewords: np.ndarray) -> np.ndarray:
+        """Syndrome batch: shape ``(..., n)`` -> ``(..., n-k)``; zero means clean."""
+        f = self.field
+        cw = np.asarray(codewords, dtype=np.int64)
+        if cw.shape[-1] != self.n:
+            raise ValueError(f"expected {self.n} symbols, got {cw.shape[-1]}")
+        logs = f._log[cw]  # (..., n)
+        terms = f._exp[logs[..., :, None] + self._synd_log[None, :, :]]
+        terms = np.where(cw[..., :, None] == 0, 0, terms)
+        return np.bitwise_xor.reduce(terms, axis=-2).astype(f.dtype)
+
+    def detect(self, codewords: np.ndarray) -> np.ndarray:
+        """Per-word error flag (True where any syndrome is nonzero)."""
+        return np.any(self.syndromes(codewords) != 0, axis=-1)
+
+    # -- decoding ---------------------------------------------------------------
+
+    def decode(
+        self,
+        codewords: np.ndarray,
+        erasures: "list[int] | np.ndarray | None" = None,
+    ) -> RSDecodeResult:
+        """Correct a batch of codewords in place of a copy.
+
+        Parameters
+        ----------
+        codewords:
+            Shape ``(..., n)`` batch.
+        erasures:
+            Optional list of array positions known to be unreliable, shared
+            by every word in the batch (e.g. the symbols supplied by a dead
+            chip).  ``2*errors + erasures <= n-k`` must hold for success.
+        """
+        f = self.field
+        cw = np.array(codewords, dtype=f.dtype, copy=True)
+        batch_shape = cw.shape[:-1]
+        flat = cw.reshape(-1, self.n)
+        n_words = flat.shape[0]
+
+        erasure_pos = np.array(sorted(set(int(e) for e in erasures)), dtype=np.int64) if erasures is not None and len(erasures) else np.array([], dtype=np.int64)
+        if erasure_pos.size and (erasure_pos.min() < 0 or erasure_pos.max() >= self.n):
+            raise ValueError("erasure position out of range")
+
+        synd = self.syndromes(flat)
+        dirty = np.any(synd != 0, axis=-1)
+        ok = np.ones(n_words, dtype=bool)
+        n_corrected = np.zeros(n_words, dtype=np.int64)
+
+        if erasure_pos.size > self.num_check:
+            # More erasures than redundancy: dirty words are unrecoverable.
+            ok = ~dirty
+        else:
+            for w in np.nonzero(dirty)[0]:
+                fixed, count = self._decode_word(flat[w], synd[w], erasure_pos)
+                if fixed is None:
+                    ok[w] = False
+                else:
+                    flat[w] = fixed
+                    n_corrected[w] = count
+
+        had = dirty | bool(erasure_pos.size)
+        return RSDecodeResult(
+            flat.reshape(*batch_shape, self.n),
+            ok.reshape(batch_shape),
+            had.reshape(batch_shape),
+            n_corrected.reshape(batch_shape),
+        )
+
+    def decode_erasures_batch(
+        self, codewords: np.ndarray, erasures: "list[int] | np.ndarray"
+    ) -> RSDecodeResult:
+        """Fully vectorized erasure-only decoding at fixed positions.
+
+        The common memory case - a dead chip erases the *same* symbol
+        position of every word - reduces to one small linear solve: with
+        erasure locators ``X_e = alpha^(n-1-pos_e)``, the magnitudes satisfy
+        ``S_j = sum_e Y_e X_e^(j+1)``; the f x f system is inverted once and
+        applied to the whole batch with a GF matmul.  Words whose residual
+        syndromes stay nonzero (extra errors beyond the erasures) are
+        reported ``ok=False`` - chain into :meth:`decode` for those.
+        """
+        f = self.field
+        positions = sorted(set(int(e) for e in erasures))
+        if not positions:
+            raise ValueError("decode_erasures_batch needs at least one erasure")
+        if len(positions) > self.num_check:
+            raise ValueError("more erasures than check symbols")
+        if min(positions) < 0 or max(positions) >= self.n:
+            raise ValueError("erasure position out of range")
+
+        cw = np.array(codewords, dtype=f.dtype, copy=True)
+        batch_shape = cw.shape[:-1]
+        flat = cw.reshape(-1, self.n)
+        nf = len(positions)
+
+        # A[j, e] = X_e^(j+1) for the first nf syndrome rows.
+        x = f.alpha_pow([self.n - 1 - p for p in positions])  # (nf,)
+        rows = np.arange(1, nf + 1)
+        a = f.pow(np.broadcast_to(x, (nf, nf)), rows[:, None])
+        inv_a = f.mat_inv(a)
+
+        synd = self.syndromes(flat)  # (W, 2t)
+        dirty = np.any(synd != 0, axis=-1)
+        # Y = inv_a @ S[:nf] per word  ==  S[:, :nf] @ inv_a.T batched.
+        magnitudes = f.matmul(synd[:, :nf], inv_a.T.copy())  # (W, nf)
+        flat[:, positions] ^= magnitudes
+
+        resid = self.syndromes(flat)
+        ok = ~np.any(resid != 0, axis=-1)
+        if not ok.all():
+            # Words with extra errors keep their original content.
+            bad_idx = np.nonzero(~ok)[0]
+            flat[np.ix_(bad_idx, positions)] ^= magnitudes[bad_idx]
+        n_corrected = np.where(ok, (magnitudes != 0).sum(axis=-1), 0)
+        # Declared erasures make every word "suspected" regardless of dirt.
+        had = np.ones_like(dirty)
+        return RSDecodeResult(
+            flat.reshape(*batch_shape, self.n),
+            ok.reshape(batch_shape),
+            had.reshape(batch_shape),
+            n_corrected.reshape(batch_shape),
+        )
+
+    # -- scalar word decode (cold path) -----------------------------------------
+
+    def _decode_word(
+        self, word: np.ndarray, synd: np.ndarray, erasure_pos: np.ndarray
+    ) -> "tuple[np.ndarray | None, int]":
+        """Errors-and-erasures decode of one word; returns (fixed, n_changed)."""
+        f = self.field
+        two_t = self.num_check
+        rho = int(erasure_pos.size)
+
+        # Erasure locator Gamma(x) = prod (1 + X_e x), X_e = alpha^{n-1-pos}.
+        gamma = np.array([1], dtype=f.dtype)
+        for pos in erasure_pos:
+            x_e = f.alpha_pow(self.n - 1 - int(pos))
+            gamma = f.poly_mul(gamma, np.array([1, x_e], dtype=f.dtype))
+
+        # Modified syndrome Xi(x) = S(x) * Gamma(x) mod x^{2t}.
+        s_poly = np.asarray(synd, dtype=f.dtype)
+        xi = f.poly_mul(s_poly, gamma)[:two_t]
+
+        # Sugiyama: extended Euclid on (x^{2t}, Xi) until deg r < (2t + rho)/2.
+        r_prev = np.zeros(two_t + 1, dtype=f.dtype)
+        r_prev[-1] = 1  # x^{2t}
+        r_cur = _trim(xi)
+        u_prev = np.array([0], dtype=f.dtype)
+        u_cur = np.array([1], dtype=f.dtype)
+        while 2 * _deg(r_cur) >= two_t + rho and np.any(r_cur != 0):
+            q, rem = _poly_divmod(f, r_prev, r_cur)
+            qu = f.poly_mul(q, u_cur)
+            width = max(len(u_prev), len(qu))
+            u_next = _trim(f.add(_pad_to(u_prev, width), _pad_to(qu, width)))
+            r_prev, r_cur = r_cur, _trim(rem)
+            u_prev, u_cur = u_cur, u_next
+
+        lam = u_cur
+        omega = r_cur
+        if lam[0] == 0:
+            return None, 0
+        scale = f.inv(lam[0])
+        lam = f.mul(lam, scale)
+        omega = f.mul(omega, scale)
+
+        psi = _trim(f.poly_mul(lam, gamma))  # combined error+erasure locator
+
+        # Chien search: roots of Psi at alpha^{-p} identify positions p (as powers).
+        n_roots_expected = _deg(psi)
+        if n_roots_expected == 0:
+            # Syndromes nonzero but locator trivial: only possible if all the
+            # corruption is in the erased positions with zero magnitude - bail.
+            return None, 0
+        powers = np.arange(self.n)
+        inv_x = f.alpha_pow(-(powers) % (f.order - 1))
+        vals = f.poly_eval(psi, inv_x)
+        root_powers = powers[vals == 0]
+        if root_powers.size != n_roots_expected:
+            return None, 0
+
+        psi_deriv = f.poly_deriv(psi)
+        fixed = word.copy()
+        changed = 0
+        for p in root_powers:
+            x_inv = f.alpha_pow(-int(p) % (f.order - 1))
+            num = f.poly_eval(omega, x_inv)
+            den = f.poly_eval(psi_deriv, x_inv)
+            if den == 0:
+                return None, 0
+            mag = f.div(num, den)
+            pos = self.n - 1 - int(p)
+            if pos < 0 or pos >= self.n:
+                return None, 0
+            if mag != 0:
+                fixed[pos] = f.add(fixed[pos], mag)
+                changed += 1
+
+        if np.any(self.syndromes(fixed[None, :])[0] != 0):
+            return None, 0
+        return fixed, changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReedSolomon(n={self.n}, k={self.k}, GF(2^{self.field.m}))"
+
+
+def _deg(p: np.ndarray) -> int:
+    """Degree of a lowest-first coefficient array (deg(0) == -1... we use 0)."""
+    nz = np.nonzero(p)[0]
+    return int(nz[-1]) if nz.size else 0
+
+
+def _trim(p: np.ndarray) -> np.ndarray:
+    """Strip trailing zero coefficients, keeping at least one term."""
+    nz = np.nonzero(p)[0]
+    if not nz.size:
+        return p[:1].copy()
+    return p[: nz[-1] + 1].copy()
+
+
+def _pad_to(p: np.ndarray, length: int) -> np.ndarray:
+    if len(p) >= length:
+        return p
+    out = np.zeros(length, dtype=p.dtype)
+    out[: len(p)] = p
+    return out
+
+
+def _poly_divmod(f: GF2m, a: np.ndarray, b: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Polynomial division ``a = q*b + r`` over GF(2^m), lowest-first coeffs."""
+    a = _trim(np.asarray(a, dtype=f.dtype)).copy()
+    b = _trim(np.asarray(b, dtype=f.dtype))
+    db = _deg(b)
+    if np.all(b == 0):
+        raise ZeroDivisionError("polynomial division by zero")
+    da = _deg(a)
+    if da < db:
+        return np.zeros(1, dtype=f.dtype), a
+    q = np.zeros(da - db + 1, dtype=f.dtype)
+    inv_lead = f.inv(b[db])
+    for d in range(da, db - 1, -1):
+        if a[d]:
+            coef = f.mul(a[d], inv_lead)
+            q[d - db] = coef
+            a[d - db : d + 1] = f.add(a[d - db : d + 1], f.mul(coef, b[: db + 1]))
+    return q, a

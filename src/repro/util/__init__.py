@@ -1,0 +1,42 @@
+"""Shared low-level utilities: bit manipulation, units, deterministic RNG."""
+
+from repro.util.bitops import (
+    bytes_to_bits,
+    bits_to_bytes,
+    xor_reduce,
+    popcount,
+    interleave_symbols,
+    deinterleave_symbols,
+)
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    CACHELINE_64B,
+    HOURS,
+    DAYS,
+    YEARS,
+    FIT_TO_PER_HOUR,
+)
+from repro.util.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "xor_reduce",
+    "popcount",
+    "interleave_symbols",
+    "deinterleave_symbols",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "CACHELINE_64B",
+    "HOURS",
+    "DAYS",
+    "YEARS",
+    "FIT_TO_PER_HOUR",
+    "make_rng",
+    "spawn_rngs",
+]

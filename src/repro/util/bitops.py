@@ -1,0 +1,70 @@
+"""Vectorized bit- and symbol-manipulation helpers.
+
+All routines operate on :class:`numpy.ndarray` inputs and avoid per-element
+Python loops; they form the hot path of the bit-true ECC codecs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def bytes_to_bits(data: np.ndarray) -> np.ndarray:
+    """Expand a uint8 array into a uint8 array of 0/1 bits (MSB first).
+
+    The output has shape ``data.shape + (8,)`` flattened on the last axis,
+    i.e. ``(..., n)`` becomes ``(..., 8*n)``.
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    bits = np.unpackbits(data.reshape(*data.shape[:-1], -1), axis=-1)
+    return bits
+
+
+def bits_to_bytes(bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`bytes_to_bits`; last axis length must be a multiple of 8."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.shape[-1] % 8:
+        raise ValueError(f"bit count {bits.shape[-1]} is not a multiple of 8")
+    return np.packbits(bits, axis=-1)
+
+
+def xor_reduce(arrays: "list[np.ndarray] | np.ndarray", axis: int = 0) -> np.ndarray:
+    """Bitwise XOR of a stack of equal-shape uint8 arrays.
+
+    Accepts either a list of arrays or a single stacked array; reduces along
+    *axis* using ufunc reduction (no Python loop).
+    """
+    if isinstance(arrays, (list, tuple)):
+        if not arrays:
+            raise ValueError("xor_reduce of an empty sequence")
+        stacked = np.stack([np.asarray(a, dtype=np.uint8) for a in arrays], axis=0)
+        axis = 0
+    else:
+        stacked = np.asarray(arrays, dtype=np.uint8)
+    return np.bitwise_xor.reduce(stacked, axis=axis)
+
+
+def popcount(data: np.ndarray) -> int:
+    """Total number of set bits in a uint8 array."""
+    data = np.asarray(data, dtype=np.uint8)
+    return int(_POPCOUNT_TABLE[data].sum())
+
+
+def interleave_symbols(chunks: np.ndarray) -> np.ndarray:
+    """Interleave symbols from ``k`` sources: shape ``(k, n)`` -> ``(n*k,)``.
+
+    Used to lay words out across DRAM chips: chip ``i`` supplies symbol
+    position ``i`` of every word.
+    """
+    chunks = np.asarray(chunks)
+    return chunks.T.reshape(-1)
+
+
+def deinterleave_symbols(flat: np.ndarray, k: int) -> np.ndarray:
+    """Inverse of :func:`interleave_symbols`: ``(n*k,)`` -> ``(k, n)``."""
+    flat = np.asarray(flat)
+    if flat.shape[-1] % k:
+        raise ValueError(f"length {flat.shape[-1]} not divisible by {k}")
+    return flat.reshape(-1, k).T

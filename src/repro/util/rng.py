@@ -1,0 +1,34 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  Routing all construction through
+:func:`make_rng` keeps experiments reproducible and lets callers share one
+generator when they want correlated streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` yields a fresh OS-seeded generator; an existing generator is
+    passed through unchanged so callers can share streams.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Derive *n* independent child generators from *seed*.
+
+    Uses ``Generator.spawn`` so the children's streams are statistically
+    independent regardless of how many are requested.
+    """
+    parent = make_rng(seed)
+    return parent.spawn(n)

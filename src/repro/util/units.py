@@ -1,0 +1,21 @@
+"""Physical and architectural unit constants used across the library.
+
+Time constants are expressed in hours, the natural unit for FIT-rate
+arithmetic (1 FIT = 1 failure per 10^9 device-hours).
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+#: Size in bytes of the data payload of one cache line in 64B-line systems.
+CACHELINE_64B = 64
+
+#: One hour, in hours.  Defined for symmetry with DAYS/YEARS.
+HOURS = 1.0
+DAYS = 24.0 * HOURS
+YEARS = 365.0 * DAYS
+
+#: Multiply a FIT rate by this to obtain a per-hour failure rate.
+FIT_TO_PER_HOUR = 1e-9

@@ -1,0 +1,24 @@
+"""Synthetic workload profiles and reference-stream generators."""
+
+from repro.workloads.generator import INSTANCE_STRIDE_LINES, make_core_traces
+from repro.workloads.tracefile import load_traces, record, trace_summary
+from repro.workloads.profiles import (
+    ALL_WORKLOADS,
+    PARSEC,
+    SPEC,
+    WORKLOADS_BY_NAME,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "INSTANCE_STRIDE_LINES",
+    "make_core_traces",
+    "load_traces",
+    "record",
+    "trace_summary",
+    "ALL_WORKLOADS",
+    "PARSEC",
+    "SPEC",
+    "WORKLOADS_BY_NAME",
+    "WorkloadProfile",
+]

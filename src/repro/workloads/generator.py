@@ -1,0 +1,121 @@
+"""Reference-stream generators for the synthetic workloads.
+
+Produces an infinite stream of ``(instruction_gap, line_address, is_write)``
+tuples per core.  Addresses follow a run-and-jump model: sequential runs of
+geometric mean length ``seq_run`` (spatial locality), with jumps landing in
+a small hot region with probability ``hot_prob`` (temporal locality) or
+uniformly in the footprint otherwise.  Gaps are geometric with mean
+``1000 / apki`` instructions.
+
+SPEC workloads are multiprogrammed: each of the 8 instances gets a disjoint
+address-space slice (and the paper's 10M-instruction skews are emulated by
+independent RNG streams).  PARSEC workloads are multithreaded: all cores
+share one footprint and one hot region, so they genuinely share LLC lines.
+
+Items are drawn from precomputed NumPy batches so the per-item Python cost
+stays at a couple of hundred nanoseconds (the timing plane consumes tens of
+millions of items per experiment sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.workloads.profiles import WorkloadProfile
+
+#: Line-address stride between multiprogrammed instances (1 TiB apart).
+INSTANCE_STRIDE_LINES = (1 << 40) // 64
+
+#: Line-address base of the shared hot arena used for Section VI-A hot-page
+#: placement experiments: above every instance's footprint, below the ECC
+#: region (1 << 40 lines).
+HOT_ARENA_BASE_LINE = 1 << 38
+
+
+def _batched_stream(
+    profile: WorkloadProfile,
+    rng: np.random.Generator,
+    base_line: int,
+    lines_per_llc_block: int,
+    footprint_scale: float = 1.0,
+    batch: int = 4096,
+    hot_base: "int | None" = None,
+) -> Iterator:
+    """Yield (gap, line_addr, is_write) forever, batch-generating randomness.
+
+    When *hot_base* is set, the hot region lives at that separate address
+    (an OS that segregated hot pages); sequential runs continue inside
+    whichever region the last jump landed in.
+    """
+    footprint = max(int(profile.footprint_lines / footprint_scale), 64)
+    hot_lines = max(int(footprint * profile.hot_frac), 16)
+    mean_gap = 1000.0 / profile.apki
+    pos = int(rng.integers(0, footprint))
+    region_base = base_line  # where `pos` is currently relative to
+    region_span = footprint
+    while True:
+        gaps = rng.geometric(min(1.0, 1.0 / mean_gap), size=batch)
+        writes = rng.random(size=batch) < profile.write_frac
+        jumps = rng.random(size=batch) < (1.0 / profile.seq_run)
+        hot = rng.random(size=batch) < profile.hot_prob
+        targets_hot = rng.integers(0, hot_lines, size=batch)
+        targets_all = rng.integers(0, footprint, size=batch)
+        for i in range(batch):
+            if jumps[i]:
+                if hot[i]:
+                    pos = int(targets_hot[i])
+                    region_base = hot_base if hot_base is not None else base_line
+                    region_span = hot_lines if hot_base is not None else footprint
+                else:
+                    pos = int(targets_all[i])
+                    region_base = base_line
+                    region_span = footprint
+            else:
+                pos += 1
+                if pos >= region_span:
+                    pos = 0
+            # Addresses are LLC-block granular: with 128B blocks two adjacent
+            # 64B references coalesce, which is the large-line spatial benefit.
+            line = (region_base + pos) // lines_per_llc_block
+            yield int(gaps[i]), int(line), bool(writes[i])
+
+
+def make_core_traces(
+    profile: WorkloadProfile,
+    cores: int = 8,
+    llc_block_bytes: int = 64,
+    seed: "int | None" = 0,
+    footprint_scale: float = 1.0,
+    hot_arena: bool = False,
+) -> "list[Iterator]":
+    """Build one reference stream per core for *profile*.
+
+    ``llc_block_bytes`` is the memory-system line size (64 or 128); the
+    generator emits block-granular addresses so the LLC model sees coalesced
+    references for large-line systems.  ``footprint_scale`` shrinks working
+    sets in lockstep with a shrunken LLC (the standard cache-scaling trick
+    that keeps miss rates while cutting warm-up cost).
+    """
+    lines_per_block = max(1, llc_block_bytes // 64)
+    parent = make_rng(seed)
+    children = parent.spawn(cores)
+    footprint = max(int(profile.footprint_lines / footprint_scale), 64)
+    hot_span = max(int(footprint * profile.hot_frac), 16)
+    traces = []
+    for cid in range(cores):
+        if profile.suite == "parsec":
+            base = 0  # shared address space
+            hot_base = HOT_ARENA_BASE_LINE if hot_arena else None
+        else:
+            base = cid * INSTANCE_STRIDE_LINES
+            hot_base = HOT_ARENA_BASE_LINE + cid * hot_span if hot_arena else None
+        traces.append(
+            _batched_stream(
+                profile, children[cid], base, lines_per_block, footprint_scale,
+                hot_base=hot_base,
+            )
+        )
+    return traces

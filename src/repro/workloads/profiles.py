@@ -1,0 +1,76 @@
+"""Synthetic workload profiles standing in for the paper's 16 workloads.
+
+The paper evaluates 12 eight-core multiprogrammed SPEC CPU2006 workloads and
+4 eight-core multithreaded PARSEC workloads, selected to consume at least 1%
+of memory bandwidth, then bins them into the 8 lower-bandwidth (Bin1) and 8
+higher-bandwidth (Bin2) workloads.  We cannot redistribute SPEC/PARSEC, so
+each named workload becomes a parameterized reference-stream generator whose
+knobs span the axes the paper's results actually depend on:
+
+* ``apki`` - LLC accesses per kilo-instruction (post-L1 filtering), the
+  memory-intensity knob behind the Bin1/Bin2 split;
+* ``write_frac`` - store fraction, which drives ECC-update traffic;
+* ``seq_run`` - mean sequential run length in lines, the spatial-locality
+  knob (streamcluster's long runs are what make 128B-line baselines shine in
+  Fig. 14);
+* ``footprint_mb`` - working set vs the 8 MB LLC, setting the miss rate;
+* ``hot_frac``/``hot_prob`` - a small hot region for temporal reuse.
+
+Values are chosen to match each program's published memory character
+qualitatively (pointer-chasing mcf/canneal/omnetpp, streaming
+lbm/libquantum/streamcluster, compute-bound sjeng/gobmk/hmmer, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bumped whenever profile parameters change; keys the evaluation cache so
+#: stale simulation results are never reused across calibrations.
+PROFILES_VERSION = 3
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Knobs of one synthetic workload (see module docstring)."""
+
+    name: str
+    suite: str  # "spec" (multiprogrammed) or "parsec" (multithreaded, shared heap)
+    apki: float
+    write_frac: float
+    seq_run: float
+    footprint_mb: float
+    hot_frac: float = 0.05
+    hot_prob: float = 0.3
+
+    @property
+    def footprint_lines(self) -> int:
+        return int(self.footprint_mb * (1 << 20) // 64)
+
+
+#: The 12 SPEC CPU2006 profiles (each run as 8 instances of the same program).
+SPEC = [
+    WorkloadProfile("bwaves", "spec", apki=16.0, write_frac=0.28, seq_run=512.0, footprint_mb=28.0),
+    WorkloadProfile("gcc", "spec", apki=7.0, write_frac=0.33, seq_run=5.0, footprint_mb=14.0),
+    WorkloadProfile("gobmk", "spec", apki=3.5, write_frac=0.30, seq_run=3.0, footprint_mb=9.0, hot_prob=0.5),
+    WorkloadProfile("hmmer", "spec", apki=4.5, write_frac=0.45, seq_run=48.0, footprint_mb=3.0, hot_prob=0.6),
+    WorkloadProfile("sjeng", "spec", apki=2.5, write_frac=0.35, seq_run=2.0, footprint_mb=12.0),
+    WorkloadProfile("libquantum", "spec", apki=28.0, write_frac=0.25, seq_run=2048.0, footprint_mb=24.0),
+    WorkloadProfile("omnetpp", "spec", apki=12.0, write_frac=0.40, seq_run=2.5, footprint_mb=22.0, hot_prob=0.4),
+    WorkloadProfile("astar", "spec", apki=9.0, write_frac=0.30, seq_run=3.0, footprint_mb=20.0, hot_prob=0.4),
+    WorkloadProfile("mcf", "spec", apki=38.0, write_frac=0.25, seq_run=2.5, footprint_mb=80.0, hot_prob=0.4),
+    WorkloadProfile("milc", "spec", apki=26.0, write_frac=0.30, seq_run=256.0, footprint_mb=56.0),
+    WorkloadProfile("leslie3d", "spec", apki=22.0, write_frac=0.32, seq_run=384.0, footprint_mb=44.0),
+    WorkloadProfile("lbm", "spec", apki=32.0, write_frac=0.45, seq_run=4096.0, footprint_mb=96.0),
+]
+
+#: The 4 PARSEC profiles (8 threads sharing one address space).
+PARSEC = [
+    WorkloadProfile("canneal", "parsec", apki=24.0, write_frac=0.22, seq_run=2.2, footprint_mb=72.0, hot_prob=0.4),
+    WorkloadProfile("facesim", "parsec", apki=14.0, write_frac=0.35, seq_run=128.0, footprint_mb=36.0),
+    WorkloadProfile("fluidanimate", "parsec", apki=10.0, write_frac=0.38, seq_run=64.0, footprint_mb=28.0),
+    WorkloadProfile("streamcluster", "parsec", apki=30.0, write_frac=0.12, seq_run=2048.0, footprint_mb=20.0),
+]
+
+ALL_WORKLOADS = SPEC + PARSEC
+WORKLOADS_BY_NAME = {w.name: w for w in ALL_WORKLOADS}

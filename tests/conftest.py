@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import Geometry
+from repro.ecc.chipkill import Chipkill18, Chipkill36
+from repro.ecc.lot_ecc import LotEcc5, LotEcc9
+from repro.ecc.multi_ecc import MultiEcc
+from repro.ecc.raim import Raim18EP, Raim45
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+#: Schemes implementing the full per-line pure-function codec interface.
+PER_LINE_SCHEMES = [Chipkill36, Chipkill18, LotEcc5, LotEcc9, Raim45, Raim18EP]
+ALL_SCHEMES = PER_LINE_SCHEMES + [MultiEcc]
+
+
+@pytest.fixture(params=PER_LINE_SCHEMES, ids=lambda c: c.__name__)
+def scheme(request):
+    return request.param()
+
+
+@pytest.fixture(params=ALL_SCHEMES, ids=lambda c: c.__name__)
+def any_scheme(request):
+    return request.param()
+
+
+@pytest.fixture
+def small_geometry():
+    """A compact machine geometry: 4 channels, 4 banks, 12 rows, 8 lines."""
+    return Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8)

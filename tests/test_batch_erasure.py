@@ -1,0 +1,125 @@
+"""Batch erasure decoder and GF small-matrix algebra tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF256, GF65536, ReedSolomon
+
+RS = ReedSolomon(GF256, 36, 32)
+RS18 = ReedSolomon(GF256, 18, 16)
+
+
+class TestMatAlgebra:
+    def test_identity_inverse(self):
+        eye = np.eye(3, dtype=np.uint8)
+        assert np.array_equal(GF256.mat_inv(eye), eye)
+
+    def test_inverse_roundtrip(self, rng):
+        for n in (1, 2, 3, 5):
+            a = None
+            while a is None:
+                cand = rng.integers(0, 256, (n, n)).astype(np.uint8)
+                try:
+                    inv = GF256.mat_inv(cand)
+                    a = cand
+                except np.linalg.LinAlgError:
+                    continue
+            assert np.array_equal(GF256.matmul(a, inv), np.eye(n, dtype=np.uint8))
+
+    def test_singular_raises(self):
+        sing = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(np.linalg.LinAlgError):
+            GF256.mat_inv(sing)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            GF256.mat_inv(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_matmul_batched(self, rng):
+        a = rng.integers(0, 256, (7, 4, 3)).astype(np.uint8)
+        b = rng.integers(0, 256, (3, 2)).astype(np.uint8)
+        out = GF256.matmul(a, b)
+        assert out.shape == (7, 4, 2)
+        # spot check one cell against scalar arithmetic
+        w, r, c = 3, 1, 1
+        acc = 0
+        for k in range(3):
+            acc ^= int(GF256.mul(a[w, r, k], b[k, c]))
+        assert out[w, r, c] == acc
+
+
+class TestBatchErasure:
+    def cw(self, rng, words=100):
+        return RS.encode(rng.integers(0, 256, (words, 32)).astype(np.uint8))
+
+    def test_single_column_erased(self, rng):
+        cw = self.cw(rng)
+        bad = cw.copy()
+        bad[:, 9] = rng.integers(0, 256, len(bad))
+        res = RS.decode_erasures_batch(bad, [9])
+        assert res.ok.all() and np.array_equal(res.corrected, cw)
+
+    def test_max_erasures(self, rng):
+        cw = self.cw(rng)
+        bad = cw.copy()
+        cols = [0, 11, 22, 35]
+        for c in cols:
+            bad[:, c] ^= 0x5A
+        res = RS.decode_erasures_batch(bad, cols)
+        assert res.ok.all() and np.array_equal(res.corrected, cw)
+
+    def test_matches_scalar_decoder(self, rng):
+        cw = self.cw(rng, 40)
+        bad = cw.copy()
+        bad[:, 4] ^= 0x21
+        bad[:, 20] ^= 0x9C
+        batch = RS.decode_erasures_batch(bad, [4, 20])
+        scalar = RS.decode(bad, erasures=[4, 20])
+        assert np.array_equal(batch.corrected, scalar.corrected)
+        assert np.array_equal(batch.ok, scalar.ok)
+
+    def test_clean_erasure_zero_magnitude(self, rng):
+        cw = self.cw(rng, 10)
+        res = RS.decode_erasures_batch(cw, [7])
+        assert res.ok.all()
+        assert not res.n_corrected.any()
+        assert res.had_errors.all()  # declared suspicion
+
+    def test_extra_error_flagged_and_untouched(self, rng):
+        cw = self.cw(rng, 20)
+        bad = cw.copy()
+        bad[:, 3] ^= 0x10
+        bad[5, 30] ^= 0x44  # beyond the erasure budget for word 5
+        res = RS.decode_erasures_batch(bad, [3])
+        assert res.ok.sum() == 19 and not res.ok[5]
+        assert np.array_equal(res.corrected[5], bad[5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RS.decode_erasures_batch(np.zeros((1, 36), dtype=np.uint8), [])
+        with pytest.raises(ValueError):
+            RS.decode_erasures_batch(np.zeros((1, 36), dtype=np.uint8), [36])
+        with pytest.raises(ValueError):
+            RS18.decode_erasures_batch(np.zeros((1, 18), dtype=np.uint8), [0, 1, 2])
+
+    def test_gf16_field(self, rng):
+        rs = ReedSolomon(GF65536, 10, 8)
+        cw = rs.encode(rng.integers(0, 65536, (30, 8)).astype(np.uint16))
+        bad = cw.copy()
+        bad[:, 2] ^= 0x1234
+        res = rs.decode_erasures_batch(bad, [2])
+        assert res.ok.all() and np.array_equal(res.corrected, cw)
+
+    @given(st.integers(0, 2**32 - 1), st.sets(st.integers(0, 17), min_size=1, max_size=2))
+    @settings(max_examples=25, deadline=None)
+    def test_property_rs18(self, seed, positions):
+        rng = np.random.default_rng(seed)
+        cw = RS18.encode(rng.integers(0, 256, (5, 16)).astype(np.uint8))
+        bad = cw.copy()
+        for p in positions:
+            bad[:, p] ^= np.uint8(rng.integers(1, 256))
+        res = RS18.decode_erasures_batch(bad, sorted(positions))
+        assert res.ok.all()
+        assert np.array_equal(res.corrected, cw)

@@ -1,0 +1,74 @@
+"""Table II configuration catalog invariants."""
+
+import pytest
+
+from repro.ecc.catalog import (
+    DUAL_EQUIVALENT,
+    QUAD_EQUIVALENT,
+    SCHEMES,
+    SYSTEM_CLASSES,
+    pin_count,
+    total_physical_gbits,
+)
+
+
+class TestTable2:
+    @pytest.mark.parametrize("key", list(DUAL_EQUIVALENT))
+    def test_dual_pin_counts_match_table(self, key):
+        cfg = DUAL_EQUIVALENT[key]
+        assert pin_count(cfg) == cfg.total_pins
+
+    @pytest.mark.parametrize("key", list(QUAD_EQUIVALENT))
+    def test_quad_pin_counts_match_table(self, key):
+        cfg = QUAD_EQUIVALENT[key]
+        assert pin_count(cfg) == cfg.total_pins
+
+    def test_quad_doubles_dual(self):
+        for key in DUAL_EQUIVALENT:
+            assert QUAD_EQUIVALENT[key].channels == 2 * DUAL_EQUIVALENT[key].channels
+
+    def test_chipkill_class_same_capacity(self):
+        """All chipkill-class systems have equal total physical capacity."""
+        for cfgs in SYSTEM_CLASSES.values():
+            caps = {
+                key: total_physical_gbits(cfgs[key])
+                for key in ("chipkill36", "chipkill18", "lot_ecc5", "lot_ecc9", "multi_ecc", "lot_ecc5_ep")
+            }
+            assert len(set(caps.values())) == 1, caps
+
+    def test_raim_class_same_capacity(self):
+        for cfgs in SYSTEM_CLASSES.values():
+            assert total_physical_gbits(cfgs["raim"]) == total_physical_gbits(cfgs["raim_ep"])
+
+    def test_line_sizes(self):
+        assert DUAL_EQUIVALENT["chipkill36"].make_scheme().line_size == 128
+        assert DUAL_EQUIVALENT["raim"].make_scheme().line_size == 128
+        for key in ("chipkill18", "lot_ecc5", "lot_ecc9", "multi_ecc", "raim_ep"):
+            assert DUAL_EQUIVALENT[key].make_scheme().line_size == 64
+
+    def test_ranks_per_channel(self):
+        """LOT-ECC5 needs 4 ranks/channel; LOT-ECC9/Multi-ECC need 2."""
+        assert DUAL_EQUIVALENT["lot_ecc5"].ranks_per_channel == 4
+        assert DUAL_EQUIVALENT["lot_ecc9"].ranks_per_channel == 2
+        assert DUAL_EQUIVALENT["multi_ecc"].ranks_per_channel == 2
+        assert DUAL_EQUIVALENT["chipkill36"].ranks_per_channel == 1
+
+    def test_raim_ep_channel_counts(self):
+        """RAIM+EP gets 5 and 10 channels (Table II)."""
+        assert DUAL_EQUIVALENT["raim_ep"].channels == 5
+        assert QUAD_EQUIVALENT["raim_ep"].channels == 10
+
+    def test_ecc_parity_flags(self):
+        for cfgs in SYSTEM_CLASSES.values():
+            for key, cfg in cfgs.items():
+                assert cfg.ecc_parity == key.endswith("_ep")
+
+    def test_labels(self):
+        assert "ECC Parity" in DUAL_EQUIVALENT["lot_ecc5_ep"].label
+        assert "ECC Parity" not in DUAL_EQUIVALENT["lot_ecc5"].label
+
+    def test_all_scheme_keys_resolvable(self):
+        for cfgs in SYSTEM_CLASSES.values():
+            for cfg in cfgs.values():
+                assert cfg.scheme_key in SCHEMES
+                cfg.make_scheme()  # must not raise

@@ -1,0 +1,79 @@
+"""Tests for intra-chip checksum primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.checksum import ones_complement_checksum16, xor_checksum8
+
+
+class TestOnesComplement16:
+    def test_shape(self, rng):
+        data = rng.integers(0, 256, (5, 16), dtype=np.uint8)
+        assert ones_complement_checksum16(data).shape == (5, 2)
+
+    def test_deterministic(self, rng):
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        a = ones_complement_checksum16(data)
+        assert np.array_equal(a, ones_complement_checksum16(data))
+
+    def test_detects_single_byte_change(self, rng):
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        ref = ones_complement_checksum16(data)
+        for i in range(16):
+            bad = data.copy()
+            bad[i] ^= 0x01
+            assert not np.array_equal(ones_complement_checksum16(bad), ref), i
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            ones_complement_checksum16(np.zeros(7, dtype=np.uint8))
+
+    def test_zero_data(self):
+        # sum = 0 -> checksum = ~0 = 0xFFFF
+        out = ones_complement_checksum16(np.zeros(8, dtype=np.uint8))
+        assert out[0] == 0xFF and out[1] == 0xFF
+
+    def test_verification_identity(self, rng):
+        """Standard internet-checksum property: sum(data + csum words) is all-ones."""
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        csum = ones_complement_checksum16(data)
+        combined = np.concatenate([data, csum])
+        words = (combined[0::2].astype(np.uint32) << 8) | combined[1::2]
+        total = int(words.sum())
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        assert total == 0xFFFF
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 15), st.integers(1, 255))
+    @settings(max_examples=40)
+    def test_any_single_corruption_detected(self, seed, pos, delta):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        bad = data.copy()
+        bad[pos] ^= delta
+        assert not np.array_equal(
+            ones_complement_checksum16(bad), ones_complement_checksum16(data)
+        )
+
+
+class TestXor8:
+    def test_shape(self, rng):
+        data = rng.integers(0, 256, (4, 8), dtype=np.uint8)
+        assert xor_checksum8(data).shape == (4, 1)
+
+    def test_detects_single_byte_change(self, rng):
+        data = rng.integers(0, 256, 8, dtype=np.uint8)
+        ref = xor_checksum8(data)
+        for i in range(8):
+            bad = data.copy()
+            bad[i] ^= 0xFF
+            assert not np.array_equal(xor_checksum8(bad), ref), i
+
+    def test_detects_swapped_bytes_usually(self, rng):
+        """The rotation term makes simple transpositions visible."""
+        data = np.array([1, 2, 3, 4, 5, 6, 7, 8], dtype=np.uint8)
+        swapped = data.copy()
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        assert not np.array_equal(xor_checksum8(swapped), xor_checksum8(data))

@@ -1,0 +1,28 @@
+"""Additional CLI coverage: fig1/fig8/list/all plumbing."""
+
+import pytest
+
+from repro.__main__ import ARTIFACTS, main
+
+
+class TestCliArtifacts:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "LOT-ECC II" in out and "40.6%" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--trials", "500"]) == 0
+        assert "channels" in capsys.readouterr().out
+
+    def test_every_cheap_artifact_registered(self):
+        for name in ("fig1", "fig2", "fig8", "fig18", "table3"):
+            assert name in ARTIFACTS
+
+    def test_sweep_artifacts_registered(self):
+        for name in ("fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"):
+            assert name in ARTIFACTS
+
+    def test_unknown_artifact_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])

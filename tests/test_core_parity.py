@@ -1,0 +1,102 @@
+"""Tests for the two-stage ECC parity math (Section III-A, Equation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parity import (
+    correction_delta,
+    ecc_parity,
+    reconstruct_correction,
+    updated_parity,
+)
+from repro.ecc import Chipkill36, LotEcc5, Raim18EP
+
+
+@pytest.fixture(params=[LotEcc5, Chipkill36, Raim18EP], ids=lambda c: c.__name__)
+def base(request):
+    return request.param()
+
+
+def lines(base, rng, n):
+    return [rng.integers(0, 256, base.line_size, dtype=np.uint8) for _ in range(n)]
+
+
+class TestEccParity:
+    def test_reconstruct_any_member(self, base, rng):
+        """Parity XOR other members' correction bits = missing member's bits."""
+        group = lines(base, rng, 3)
+        parity = ecc_parity(base, group)
+        for missing in range(3):
+            healthy = [l for i, l in enumerate(group) if i != missing]
+            rebuilt = reconstruct_correction(base, parity, healthy)
+            assert np.array_equal(rebuilt, base.compute_correction(group[missing]))
+
+    def test_single_member_group(self, base, rng):
+        """N=2 channels: the parity IS the lone member's correction bits."""
+        (line,) = lines(base, rng, 1)
+        assert np.array_equal(ecc_parity(base, [line]), base.compute_correction(line))
+
+    def test_empty_group_rejected(self, base):
+        with pytest.raises(ValueError):
+            ecc_parity(base, [])
+
+    def test_parity_is_commutative(self, base, rng):
+        group = lines(base, rng, 4)
+        assert np.array_equal(ecc_parity(base, group), ecc_parity(base, group[::-1]))
+
+    def test_parity_size(self, base, rng):
+        group = lines(base, rng, 3)
+        assert ecc_parity(base, group).shape == (base.correction_bytes_per_line,)
+
+
+class TestEquation1:
+    def test_update_matches_rebuild(self, base, rng):
+        """Eq. 1 incremental update == full recomputation of the parity."""
+        group = lines(base, rng, 3)
+        parity = ecc_parity(base, group)
+        new_line = rng.integers(0, 256, base.line_size, dtype=np.uint8)
+        updated = updated_parity(base, parity, group[1], new_line)
+        group[1] = new_line
+        assert np.array_equal(updated, ecc_parity(base, group))
+
+    def test_update_is_involution(self, base, rng):
+        """Writing a line back to its old value restores the old parity."""
+        group = lines(base, rng, 3)
+        parity = ecc_parity(base, group)
+        new_line = rng.integers(0, 256, base.line_size, dtype=np.uint8)
+        forward = updated_parity(base, parity, group[0], new_line)
+        back = updated_parity(base, forward, new_line, group[0])
+        assert np.array_equal(back, parity)
+
+    def test_identity_write(self, base, rng):
+        group = lines(base, rng, 3)
+        parity = ecc_parity(base, group)
+        assert np.array_equal(updated_parity(base, parity, group[0], group[0]), parity)
+
+    def test_delta_accumulation(self, base, rng):
+        """XOR-cacheline semantics: accumulated deltas apply like Eq. 1."""
+        group = lines(base, rng, 3)
+        parity = ecc_parity(base, group)
+        new0 = rng.integers(0, 256, base.line_size, dtype=np.uint8)
+        new2 = rng.integers(0, 256, base.line_size, dtype=np.uint8)
+        delta = correction_delta(base, group[0], new0) ^ correction_delta(base, group[2], new2)
+        applied = parity ^ delta
+        group[0], group[2] = new0, new2
+        assert np.array_equal(applied, ecc_parity(base, group))
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(2, 8))
+@settings(max_examples=25, deadline=None)
+def test_property_reconstruction(seed, n_members):
+    rng = np.random.default_rng(seed)
+    base = LotEcc5()
+    group = [rng.integers(0, 256, 64, dtype=np.uint8) for _ in range(n_members)]
+    parity = ecc_parity(base, group)
+    missing = int(rng.integers(0, n_members))
+    healthy = [l for i, l in enumerate(group) if i != missing]
+    assert np.array_equal(
+        reconstruct_correction(base, parity, healthy),
+        base.compute_correction(group[missing]),
+    )

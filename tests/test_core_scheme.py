@@ -1,0 +1,70 @@
+"""ECCParityScheme capacity formulas vs the paper's Section III-E / Table III."""
+
+import pytest
+
+from repro.core.scheme import ECCParityScheme
+from repro.ecc import Chipkill36, EccTraffic, LotEcc5, Raim18EP
+
+
+class TestCapacityFormulas:
+    @pytest.mark.parametrize(
+        "base_cls,channels,expected",
+        [
+            (LotEcc5, 8, 0.165),  # Table III
+            (LotEcc5, 4, 0.219),
+            (Raim18EP, 10, 0.188),
+            (Raim18EP, 5, 0.266),
+        ],
+    )
+    def test_static_overhead_matches_table3(self, base_cls, channels, expected):
+        ep = ECCParityScheme(base_cls(), channels)
+        assert ep.capacity_overhead == pytest.approx(expected, abs=0.002)
+
+    def test_parity_overhead_formula(self):
+        """(1 + 12.5%) * R / (N-1) exactly."""
+        ep = ECCParityScheme(LotEcc5(), 8)
+        assert ep.parity_overhead == pytest.approx(1.125 * 0.25 / 7)
+
+    def test_overhead_shrinks_with_channels(self):
+        overheads = [ECCParityScheme(LotEcc5(), n).capacity_overhead for n in (2, 4, 8, 16)]
+        assert overheads == sorted(overheads, reverse=True)
+
+    def test_detection_unchanged(self):
+        """ECC Parity never touches detection bits (Section VI-D)."""
+        base = LotEcc5()
+        assert ECCParityScheme(base, 8).detection_overhead == base.detection_overhead
+
+    def test_eol_overhead(self):
+        """EOL adds faulty_fraction * 2R * (1+12.5%)."""
+        ep = ECCParityScheme(LotEcc5(), 8)
+        assert ep.eol_capacity_overhead(0.0) == ep.capacity_overhead
+        delta = ep.eol_capacity_overhead(0.004) - ep.capacity_overhead
+        assert delta == pytest.approx(0.004 * 1.125 * 0.5)
+
+    def test_retired_pages_bound(self):
+        assert ECCParityScheme(LotEcc5(), 8).retired_pages_bound() == 28
+        assert ECCParityScheme(LotEcc5(), 4).retired_pages_bound(threshold=4) == 12
+
+    def test_needs_two_channels(self):
+        with pytest.raises(ValueError):
+            ECCParityScheme(LotEcc5(), 1)
+
+
+class TestTrafficDescriptor:
+    def test_always_xor_line(self):
+        assert ECCParityScheme(LotEcc5(), 8).traffic == EccTraffic.XOR_LINE
+
+    def test_coverage_scales_with_channels(self):
+        """Section IV-C: XOR line covers base coverage x (N-1) lines."""
+        assert ECCParityScheme(LotEcc5(), 8).ecc_line_coverage == 4 * 7
+        assert ECCParityScheme(LotEcc5(), 4).ecc_line_coverage == 4 * 3
+        assert ECCParityScheme(Raim18EP(), 10).ecc_line_coverage == 2 * 9
+
+    def test_geometry_passthrough(self):
+        ep = ECCParityScheme(LotEcc5(), 8)
+        assert ep.line_size == 64
+        assert ep.chips_per_rank == 5
+        assert ep.chip_widths() == [16, 16, 16, 16, 8]
+
+    def test_name(self):
+        assert "ECC Parity" in ECCParityScheme(Chipkill36(), 4).name

@@ -1,0 +1,104 @@
+"""Degraded-mode and scrub-traffic timing-plane tests."""
+
+import pytest
+
+from repro.cpu.degraded import MATERIALIZED_BASE, DegradedMode
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.cpu.llc import LLC
+from repro.cpu.system import ScrubConfig, SimSystem
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.ecc import LotEcc5
+from repro.ecc.catalog import QUAD_EQUIVALENT
+from repro.experiments.degraded import degraded_sweep
+from repro.experiments.scrub import scrub_bandwidth_fraction, scrub_sweep
+from repro.workloads import WORKLOADS_BY_NAME
+
+
+class TestDegradedMode:
+    def test_for_scheme_coverage(self):
+        d = DegradedMode.for_scheme(LotEcc5(), [(0, 0, 0)])
+        # 64B line / (2 * 16B correction) = 2 lines per materialized ECC line.
+        assert d.ecc_line_coverage == 2
+
+    def test_is_faulty(self):
+        d = DegradedMode(frozenset({(0, 1, 2)}))
+        assert d.is_faulty(0, 1, 2)
+        assert not d.is_faulty(0, 1, 3)
+
+    def test_ecc_addr_region(self):
+        d = DegradedMode(frozenset(), ecc_line_coverage=2)
+        assert d.ecc_addr(0) >= MATERIALIZED_BASE
+        assert d.ecc_addr(0) == d.ecc_addr(1)
+        assert d.ecc_addr(0) != d.ecc_addr(2)
+
+    def _run(self, degraded):
+        scheme = LotEcc5()
+        mem = MemorySystem(
+            MemorySystemConfig(channels=2, ranks_per_channel=1, chip_widths=scheme.chip_widths())
+        )
+        model = EccTrafficModel.for_scheme(scheme, ecc_parity_channels=2)
+        items = [(10, i, i % 3 == 0) for i in range(800)]
+        llc = LLC(size_bytes=32 * 1024)
+        sys_ = SimSystem(mem, [iter(items)], model, llc=llc, degraded=degraded)
+        return sys_.run(0, 100_000)
+
+    def test_faulty_banks_add_ecc_reads(self):
+        all_banks = frozenset(
+            (c, r, b) for c in range(2) for r in range(1) for b in range(8)
+        )
+        healthy = self._run(None)
+        degraded = self._run(DegradedMode(all_banks, ecc_line_coverage=2))
+        assert degraded.counters.ecc_reads > healthy.counters.ecc_reads
+        assert degraded.accesses_64b > healthy.accesses_64b
+
+    def test_sweep_monotone(self):
+        points = degraded_sweep(
+            WORKLOADS_BY_NAME["streamcluster"],
+            QUAD_EQUIVALENT["lot_ecc5_ep"],
+            fractions=[0.0, 1.0],
+            scale=64,
+        )
+        assert (
+            points[1].result.accesses_per_instruction
+            >= points[0].result.accesses_per_instruction
+        )
+
+
+class TestScrub:
+    def test_bandwidth_fraction_formula(self):
+        # 32 GiB per 8h against 102.4 GB/s: ~1.2e-5.
+        frac = scrub_bandwidth_fraction(32.0, 8.0, 102.4)
+        assert frac == pytest.approx(32 * 2**30 / (8 * 3600) / 102.4e9)
+
+    def test_faster_scrub_costs_more(self):
+        assert scrub_bandwidth_fraction(32, 1, 100) > scrub_bandwidth_fraction(32, 8, 100)
+
+    def test_scrub_reads_counted(self):
+        scheme = LotEcc5()
+        mem = MemorySystem(
+            MemorySystemConfig(channels=2, ranks_per_channel=1, chip_widths=scheme.chip_widths())
+        )
+        model = EccTrafficModel.for_scheme(scheme)
+        items = [(100, i, False) for i in range(200)]
+        sys_ = SimSystem(
+            mem, [iter(items)], model,
+            llc=LLC(size_bytes=32 * 1024),
+            scrub=ScrubConfig(interval_cycles=200, region_lines=4096),
+        )
+        res = sys_.run(0, 50_000)
+        assert sys_.scrub_reads > 10
+        # Scrub reads reach memory (bypassing the LLC).
+        assert res.counters.data_reads > 200
+
+    def test_sweep_monotone_traffic(self):
+        points = scrub_sweep(
+            WORKLOADS_BY_NAME["streamcluster"],
+            QUAD_EQUIVALENT["lot_ecc5_ep"],
+            intervals=[None, 200],
+            scale=64,
+        )
+        assert (
+            points[1].result.accesses_per_instruction
+            > points[0].result.accesses_per_instruction
+        )
+        assert points[0].scrub_reads == 0 and points[1].scrub_reads > 0

@@ -1,0 +1,97 @@
+"""Double chipkill correct tests, including under ECC Parity."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import Geometry
+from repro.core.machine import Address, ECCParityMachine, PermanentFault
+from repro.core.scheme import ECCParityScheme
+from repro.ecc.double_chipkill import DoubleChipkill40
+
+
+@pytest.fixture
+def s():
+    return DoubleChipkill40()
+
+
+def line(rng, s):
+    return rng.integers(0, 256, s.line_size, dtype=np.uint8)
+
+
+class TestGeometryAndCapacity:
+    def test_overheads(self, s):
+        assert s.detection_overhead == 0.125
+        assert s.correction_overhead == 0.125
+        assert s.capacity_overhead == 0.25
+
+    def test_correction_ratio(self, s):
+        assert s.correction_ratio == 0.125
+
+    def test_under_ecc_parity_overhead(self, s):
+        """EP shrinks the 12.5% correction share to 2% in 8 channels."""
+        ep = ECCParityScheme(s, 8)
+        assert ep.parity_overhead == pytest.approx(1.125 * 0.125 / 7)
+        assert ep.capacity_overhead < 0.15
+
+
+class TestCorrection:
+    def test_roundtrip(self, s, rng):
+        assert s.roundtrip_ok(line(rng, s))
+
+    def test_single_chip_kill(self, s, rng):
+        data = line(rng, s)
+        chips, det, cor = s.encode_line(data)
+        bad = chips.copy()
+        bad[11] = rng.integers(0, 256, s.chip_bytes)
+        res = s.correct_line(bad, det, cor)
+        assert res.data is not None and np.array_equal(res.data, data)
+
+    def test_double_chip_kill(self, s, rng):
+        """The defining capability: two dead chips, fully recovered."""
+        data = line(rng, s)
+        chips, det, cor = s.encode_line(data)
+        for pair in ((0, 1), (5, 20), (30, 31)):
+            bad = chips.copy()
+            for victim in pair:
+                bad[victim] = rng.integers(0, 256, s.chip_bytes)
+            res = s.correct_line(bad, det, cor)
+            assert res.data is not None and np.array_equal(res.data, data), pair
+
+    def test_double_kill_with_erasure_hints(self, s, rng):
+        data = line(rng, s)
+        chips, det, cor = s.encode_line(data)
+        bad = chips.copy()
+        bad[3] ^= 0x55
+        bad[17] ^= 0xAA
+        res = s.correct_line(bad, det, cor, erasures={3, 17})
+        assert res.data is not None and np.array_equal(res.data, data)
+
+    def test_triple_unlocated_flagged(self, s, rng):
+        data = line(rng, s)
+        chips, det, cor = s.encode_line(data)
+        bad = chips.copy()
+        for victim in (2, 9, 27, 14, 6):
+            bad[victim] ^= 0x10 + victim
+        res = s.correct_line(bad, det, cor)
+        if res.data is not None:  # either flagged or truly corrected
+            assert np.array_equal(res.data, data)
+
+    def test_detection(self, s, rng):
+        data = line(rng, s)
+        chips, det, _ = s.encode_line(data)
+        bad = chips.copy()
+        bad[0, 0] ^= 1
+        assert s.detect_line(bad, det).error
+
+
+class TestUnderEccParityMachine:
+    def test_two_chip_fault_in_one_channel(self):
+        g = Geometry(channels=4, banks=2, rows_per_bank=6, lines_per_row=4)
+        m = ECCParityMachine(DoubleChipkill40(), g, seed=0)
+        # two chips die in the same bank of one channel
+        m.add_permanent_fault(PermanentFault(1, 0, (2, 3), (0, 4), 4, seed=1))
+        m.add_permanent_fault(PermanentFault(1, 0, (2, 3), (0, 4), 19, seed=2))
+        res = m.read(Address(1, 0, 2, 1))
+        assert res.data is not None
+        assert np.array_equal(res.data, m.golden[1, 0, 2, 1])
+        assert res.corrected and res.used_parity_reconstruction

@@ -1,0 +1,291 @@
+"""Cross-scheme codec tests (all ECCScheme implementations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (
+    Chipkill18,
+    Chipkill36,
+    EccTraffic,
+    LotEcc5,
+    LotEcc9,
+    MultiEcc,
+    Raim18EP,
+    Raim45,
+)
+
+
+def random_line(scheme, rng):
+    return rng.integers(0, 256, scheme.line_size, dtype=np.uint8)
+
+
+class TestGeometry:
+    def test_chip_split_roundtrip(self, any_scheme, rng):
+        data = random_line(any_scheme, rng)
+        chips = any_scheme.split_to_chips(data)
+        assert chips.shape == (any_scheme.data_chips, any_scheme.chip_bytes)
+        assert np.array_equal(any_scheme.merge_from_chips(chips), data)
+
+    def test_chip_split_batch(self, any_scheme, rng):
+        batch = rng.integers(0, 256, (6, any_scheme.line_size), dtype=np.uint8)
+        chips = any_scheme.split_to_chips(batch)
+        assert chips.shape == (6, any_scheme.data_chips, any_scheme.chip_bytes)
+        assert np.array_equal(any_scheme.merge_from_chips(chips), batch)
+
+    def test_split_wrong_size_raises(self, any_scheme):
+        with pytest.raises(ValueError):
+            any_scheme.split_to_chips(np.zeros(any_scheme.line_size + 1, dtype=np.uint8))
+
+    def test_chip_widths_length(self, any_scheme):
+        assert len(any_scheme.chip_widths()) == any_scheme.chips_per_rank
+
+    def test_payload_sizes(self, any_scheme, rng):
+        data = random_line(any_scheme, rng)
+        det = any_scheme.compute_detection(data)
+        assert det.shape == (any_scheme.detection_bytes_per_line,)
+        cor = any_scheme.compute_correction(data)
+        assert cor.shape == (any_scheme.correction_bytes_per_line,)
+
+    def test_batched_payloads_match_scalar(self, any_scheme, rng):
+        batch = rng.integers(0, 256, (4, any_scheme.line_size), dtype=np.uint8)
+        det = any_scheme.compute_detection(batch)
+        cor = any_scheme.compute_correction(batch)
+        for i in range(4):
+            assert np.array_equal(det[i], any_scheme.compute_detection(batch[i]))
+            assert np.array_equal(cor[i], any_scheme.compute_correction(batch[i]))
+
+
+class TestDetection:
+    def test_clean_line_not_flagged(self, scheme, rng):
+        data = random_line(scheme, rng)
+        chips, det, _ = scheme.encode_line(data)
+        assert not scheme.detect_line(chips, det).error
+
+    def test_chip_kill_detected(self, scheme, rng):
+        data = random_line(scheme, rng)
+        chips, det, _ = scheme.encode_line(data)
+        for victim in range(scheme.data_chips):
+            bad = chips.copy()
+            bad[victim] ^= 0xA5
+            assert scheme.detect_line(bad, det).error, f"chip {victim}"
+
+    def test_single_bit_flip_detected(self, scheme, rng):
+        data = random_line(scheme, rng)
+        chips, det, _ = scheme.encode_line(data)
+        bad = chips.copy()
+        bad[0, 0] ^= 0x01
+        assert scheme.detect_line(bad, det).error
+
+    def test_detection_storage_corruption_detected(self, scheme, rng):
+        data = random_line(scheme, rng)
+        chips, det, _ = scheme.encode_line(data)
+        bad_det = det.copy()
+        bad_det[0] ^= 0xFF
+        assert scheme.detect_line(chips, bad_det).error
+
+
+class TestCorrection:
+    def test_roundtrip_clean(self, scheme, rng):
+        assert scheme.roundtrip_ok(random_line(scheme, rng))
+
+    def test_chip_kill_corrected(self, scheme, rng):
+        data = random_line(scheme, rng)
+        chips, det, cor = scheme.encode_line(data)
+        for victim in range(scheme.data_chips):
+            bad = chips.copy()
+            bad[victim] = rng.integers(0, 256, scheme.chip_bytes)
+            res = scheme.correct_line(bad, det, cor)
+            assert res.data is not None, f"chip {victim} uncorrectable"
+            assert np.array_equal(res.data, data), f"chip {victim} miscorrected"
+            assert res.corrected and res.detected
+
+    def test_chip_kill_with_erasure_hint(self, scheme, rng):
+        data = random_line(scheme, rng)
+        chips, det, cor = scheme.encode_line(data)
+        bad = chips.copy()
+        bad[1] ^= 0x3C
+        res = scheme.correct_line(bad, det, cor, erasures={1})
+        assert res.data is not None and np.array_equal(res.data, data)
+
+    def test_clean_line_reports_no_correction(self, scheme, rng):
+        data = random_line(scheme, rng)
+        chips, det, cor = scheme.encode_line(data)
+        res = scheme.correct_line(chips, det, cor)
+        assert res.data is not None and not res.corrected and not res.detected
+
+    def test_correction_payload_is_pure_function(self, scheme, rng):
+        data = random_line(scheme, rng)
+        assert np.array_equal(scheme.compute_correction(data), scheme.compute_correction(data))
+
+
+class TestOverheads:
+    """Capacity numbers from the paper (Figure 1, Table III)."""
+
+    @pytest.mark.parametrize(
+        "cls,total",
+        [
+            (Chipkill36, 0.125),
+            (Chipkill18, 0.125),
+            (LotEcc9, 0.2656),
+            (LotEcc5, 0.4062),
+            (Raim45, 0.4062),
+            (MultiEcc, 0.129),
+        ],
+    )
+    def test_total_overhead(self, cls, total):
+        assert cls().capacity_overhead == pytest.approx(total, abs=5e-4)
+
+    def test_chipkill36_split_is_even(self):
+        s = Chipkill36()
+        assert s.detection_overhead == pytest.approx(s.correction_overhead)
+
+    def test_lot5_correction_ratio(self):
+        assert LotEcc5().correction_ratio == 0.25
+
+    def test_lot9_correction_ratio(self):
+        assert LotEcc9().correction_ratio == 0.125
+
+    def test_raim18_correction_ratio_is_half(self):
+        assert Raim18EP().correction_ratio == 0.5
+
+    def test_chipkill36_correction_ratio(self):
+        assert Chipkill36().correction_ratio == 0.0625
+
+    def test_traffic_kinds(self):
+        assert Chipkill36().traffic == EccTraffic.INLINE
+        assert Raim45().traffic == EccTraffic.INLINE
+        assert LotEcc5().traffic == EccTraffic.ECC_LINE
+        assert LotEcc9().traffic == EccTraffic.ECC_LINE
+        assert MultiEcc().traffic == EccTraffic.XOR_LINE
+
+    def test_ecc_line_coverage(self):
+        """Section IV-C: LOT5 -> 4 lines, LOT9 -> 8 lines per ECC line."""
+        assert LotEcc5().ecc_line_coverage == 4
+        assert LotEcc9().ecc_line_coverage == 8
+        assert MultiEcc().ecc_line_coverage == 16
+
+
+class TestLotEccSpecifics:
+    def test_checksum_localizes_chip(self, rng):
+        s = LotEcc5()
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        chips, det, _ = s.encode_line(data)
+        bad = chips.copy()
+        bad[2] ^= 0x0F
+        assert s.detect_line(bad, det).chip == 2
+
+    def test_checksum_chip_failure_recoverable(self, rng):
+        """All checksums garbage but data intact: GEC verifies the data."""
+        s = LotEcc5()
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        chips, det, cor = s.encode_line(data)
+        bad_det = rng.integers(0, 256, det.shape).astype(np.uint8)
+        res = s.correct_line(chips, bad_det, cor)
+        assert res.data is not None and np.array_equal(res.data, data)
+
+    def test_two_data_chips_uncorrectable(self, rng):
+        s = LotEcc5()
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        chips, det, cor = s.encode_line(data)
+        bad = chips.copy()
+        bad[0] ^= 0x11
+        bad[1] ^= 0x22
+        res = s.correct_line(bad, det, cor)
+        assert res.data is None and res.detected
+
+    def test_mixed_rank_widths(self):
+        assert LotEcc5().chip_widths() == [16, 16, 16, 16, 8]
+        assert LotEcc9().chip_widths() == [8] * 9
+
+
+class TestRaimSpecifics:
+    def test_dimm_kill_corrected(self, rng):
+        """A whole-DIMM failure (9 chips incl. its ECC chip) is survivable."""
+        s = Raim45()
+        data = rng.integers(0, 256, 128, dtype=np.uint8)
+        chips, det, cor = s.encode_line(data)
+        bad = chips.copy()
+        bad[0:8] = rng.integers(0, 256, (8, s.chip_bytes))  # DIMM 0 data chips
+        bad_det = det.copy()
+        bad_det[0:4] ^= 0x5A  # DIMM 0's detection bytes die too
+        res = s.correct_line(bad, bad_det, cor)
+        assert res.data is not None and np.array_equal(res.data, data)
+
+    def test_two_dimms_uncorrectable(self, rng):
+        s = Raim45()
+        data = rng.integers(0, 256, 128, dtype=np.uint8)
+        chips, det, cor = s.encode_line(data)
+        bad = chips.copy()
+        bad[0] ^= 1  # DIMM 0
+        bad[8] ^= 1  # DIMM 1
+        res = s.correct_line(bad, det, cor)
+        assert res.data is None
+
+    def test_raim18_halves(self, rng):
+        s = Raim18EP()
+        assert s.n_data_dimms == 2
+        data = rng.integers(0, 256, 64, dtype=np.uint8)
+        cor = s.compute_correction(data)
+        segs = s._dimm_segments(data).reshape(2, -1)
+        assert np.array_equal(cor, segs[0] ^ segs[1])
+
+
+class TestMultiEccSpecifics:
+    def test_group_parity_roundtrip(self, rng):
+        s = MultiEcc()
+        group = rng.integers(0, 256, (16, 64), dtype=np.uint8)
+        dets = s.compute_detection(group)
+        parity = s.group_parity(group)
+        for victim in (0, 7, 15):
+            damaged = group.copy()
+            damaged[victim] = rng.integers(0, 256, 64)
+            res = s.correct_group(damaged, dets, parity, victim)
+            assert res.data is not None and np.array_equal(res.data, group[victim])
+
+    def test_group_parity_is_xor(self, rng):
+        s = MultiEcc()
+        group = rng.integers(0, 256, (16, 64), dtype=np.uint8)
+        assert np.array_equal(s.group_parity(group), np.bitwise_xor.reduce(group, axis=0))
+
+    def test_corrupt_sibling_detected(self, rng):
+        """Rebuild fails verification when a sibling is also corrupt."""
+        s = MultiEcc()
+        group = rng.integers(0, 256, (16, 64), dtype=np.uint8)
+        dets = s.compute_detection(group)
+        parity = s.group_parity(group)
+        damaged = group.copy()
+        damaged[3] = rng.integers(0, 256, 64)
+        damaged[9] ^= 0x77  # second corruption poisons the reconstruction
+        res = s.correct_group(damaged, dets, parity, 3)
+        assert res.data is None
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_property_chipkill36_any_chip_kill(seed, victim_mod):
+    rng = np.random.default_rng(seed)
+    s = Chipkill36()
+    data = rng.integers(0, 256, 128, dtype=np.uint8)
+    chips, det, cor = s.encode_line(data)
+    victim = int(rng.integers(0, s.data_chips))
+    bad = chips.copy()
+    bad[victim] = rng.integers(0, 256, s.chip_bytes)
+    res = s.correct_line(bad, det, cor)
+    if res.data is not None:
+        assert np.array_equal(res.data, data)
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_property_lot5_any_chip_kill(seed):
+    rng = np.random.default_rng(seed)
+    s = LotEcc5()
+    data = rng.integers(0, 256, 64, dtype=np.uint8)
+    chips, det, cor = s.encode_line(data)
+    victim = int(rng.integers(0, 4))
+    bad = chips.copy()
+    bad[victim] = rng.integers(0, 256, 16)
+    res = s.correct_line(bad, det, cor)
+    assert res.data is not None and np.array_equal(res.data, data)

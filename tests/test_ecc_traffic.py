@@ -1,0 +1,75 @@
+"""ECC-traffic model tests (Section IV-C address grouping)."""
+
+import pytest
+
+from repro.cpu.ecc_traffic import ECC_REGION_BASE, EccTrafficModel
+from repro.ecc import Chipkill36, EccTraffic, LotEcc5, LotEcc9, MultiEcc
+
+
+class TestInline:
+    def test_inline_has_no_ecc_addr(self):
+        m = EccTrafficModel.for_scheme(Chipkill36())
+        assert m.kind == EccTraffic.INLINE
+        assert m.ecc_addr(12345) is None
+
+
+class TestEccLine:
+    def test_lot5_coverage(self):
+        m = EccTrafficModel.for_scheme(LotEcc5())
+        assert m.kind == EccTraffic.ECC_LINE
+        # 4 adjacent lines share one ECC line
+        assert m.ecc_addr(0) == m.ecc_addr(3)
+        assert m.ecc_addr(0) != m.ecc_addr(4)
+
+    def test_lot9_coverage(self):
+        m = EccTrafficModel.for_scheme(LotEcc9())
+        assert m.ecc_addr(0) == m.ecc_addr(7)
+        assert m.ecc_addr(0) != m.ecc_addr(8)
+
+    def test_region_disjoint_from_data(self):
+        m = EccTrafficModel.for_scheme(LotEcc5())
+        assert m.ecc_addr(0) >= ECC_REGION_BASE
+
+    def test_multi_ecc_16(self):
+        m = EccTrafficModel.for_scheme(MultiEcc())
+        assert m.kind == EccTraffic.XOR_LINE
+        assert m.ecc_addr(0) == m.ecc_addr(15)
+        assert m.ecc_addr(0) != m.ecc_addr(16)
+
+
+class TestEccParityGrouping:
+    def test_same_group_across_adjacent_pages(self):
+        """Same group of 4 lines in N-1 adjacent pages -> one XOR line."""
+        m = EccTrafficModel.for_scheme(LotEcc5(), ecc_parity_channels=8)
+        lpp = m.lines_per_page
+        a = m.ecc_addr(0)  # page 0, lines 0-3
+        for page in range(7):  # pages 0..6 share the group
+            assert m.ecc_addr(page * lpp + 2) == a
+        assert m.ecc_addr(7 * lpp) != a  # page 7 starts a new page group
+
+    def test_different_line_groups_distinct(self):
+        m = EccTrafficModel.for_scheme(LotEcc5(), ecc_parity_channels=8)
+        assert m.ecc_addr(0) != m.ecc_addr(4)
+
+    def test_coverage_value(self):
+        m8 = EccTrafficModel.for_scheme(LotEcc5(), ecc_parity_channels=8)
+        m4 = EccTrafficModel.for_scheme(LotEcc5(), ecc_parity_channels=4)
+        assert m8.coverage == 28 and m4.coverage == 12
+
+    def test_dual_covers_fewer_lines_than_quad(self):
+        """Why Fig. 17's overheads exceed Fig. 16's: fewer channels ->
+        smaller XOR-line coverage -> more XOR lines -> higher miss rate."""
+        m8 = EccTrafficModel.for_scheme(LotEcc5(), ecc_parity_channels=8)
+        m4 = EccTrafficModel.for_scheme(LotEcc5(), ecc_parity_channels=4)
+        lines = range(0, 64 * 56)
+        distinct8 = len({m8.ecc_addr(l) for l in lines})
+        distinct4 = len({m4.ecc_addr(l) for l in lines})
+        assert distinct4 > distinct8
+
+    def test_kind_forced_to_xor(self):
+        m = EccTrafficModel.for_scheme(LotEcc5(), ecc_parity_channels=8)
+        assert m.kind == EccTraffic.XOR_LINE
+
+    def test_128b_line_pages(self):
+        m = EccTrafficModel.for_scheme(Chipkill36(), ecc_parity_channels=4)
+        assert m.lines_per_page == 32

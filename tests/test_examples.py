@@ -1,0 +1,67 @@
+"""Smoke tests: the shipped examples must run clean end to end.
+
+Each example is executed in-process (import side effects are the point);
+the slowest (full energy sweeps) are exercised with reduced arguments.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: "list[str]"):
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", [])
+    out = capsys.readouterr().out
+    assert "accumulated faults across channels survived" in out
+    assert "0 uncorrectable" in out
+
+
+def test_fault_injection_campaign(capsys):
+    run_example("fault_injection_campaign.py", ["3", "5"])
+    out = capsys.readouterr().out
+    assert "full-memory verification" in out
+
+
+def test_scrub_interval_explorer(capsys):
+    run_example("scrub_interval_explorer.py", ["10000"])
+    out = capsys.readouterr().out
+    assert "scrub every" in out
+
+
+def test_xor_caching_demo(capsys):
+    run_example("xor_caching_demo.py", [])
+    out = capsys.readouterr().out
+    assert "audit_parity() == 0" in out
+
+
+def test_lifetime_simulation(capsys):
+    run_example("lifetime_simulation.py", ["2"])
+    out = capsys.readouterr().out
+    assert "end of life" in out
+
+
+@pytest.mark.slow
+def test_capacity_planner(capsys):
+    run_example("capacity_planner.py", [])
+    out = capsys.readouterr().out
+    assert "ECC Parity over LOT-ECC5" in out
+
+
+@pytest.mark.slow
+def test_reliability_report(capsys):
+    run_example("reliability_report.py", ["4", "44"])
+    out = capsys.readouterr().out
+    assert "Capacity" in out and "Reliability" in out

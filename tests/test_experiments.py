@@ -1,0 +1,112 @@
+"""Experiment-driver tests: capacity/reliability tables and the report
+helpers (cheap, no timing simulation)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE3,
+    DiscussionEstimates,
+    estimates,
+    figure1_breakdown,
+    figure2,
+    figure8,
+    figure18,
+    format_percent,
+    format_table,
+    geomean,
+    table3,
+)
+
+
+class TestFigure1:
+    def test_four_schemes(self):
+        rows = figure1_breakdown()
+        assert len(rows) == 4
+
+    def test_correction_at_least_half_for_most(self):
+        """Paper: typically 50% or more of the overhead is correction bits."""
+        rows = figure1_breakdown()
+        at_least_half = [r for r in rows if r.correction >= r.detection]
+        assert len(at_least_half) == len(rows)
+
+    def test_lot_ecc_values(self):
+        rows = {r.label: r for r in figure1_breakdown()}
+        assert rows["LOT-ECC II (5 chips/rank)"].total == pytest.approx(0.406, abs=0.001)
+        assert rows["LOT-ECC I (9 chips/rank)"].total == pytest.approx(0.265, abs=0.001)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r.label: r for r in table3(trials=3000, seed=1)}
+
+    @pytest.mark.parametrize("label,expected", sorted(PAPER_TABLE3.items()))
+    def test_matches_paper(self, rows, label, expected):
+        assert rows[label].total == pytest.approx(expected, abs=0.002)
+
+    def test_eol_only_for_ecc_parity_rows(self, rows):
+        for label, row in rows.items():
+            assert (row.eol_average is not None) == ("ECC Parity" in label)
+
+    def test_eol_exceeds_static(self, rows):
+        for row in rows.values():
+            if row.eol_average is not None:
+                assert row.eol_average >= row.total
+
+    def test_eol_close_to_paper(self, rows):
+        """Paper: 16.5% -> 16.7% EOL for 8-chan LOT-ECC5+EP."""
+        r = rows["8 chan LOT-ECC5 + ECC Parity"]
+        assert r.eol_average == pytest.approx(0.167, abs=0.004)
+
+
+class TestReliabilityFigures:
+    def test_figure2_monotone_decreasing(self):
+        rows = figure2()
+        days = [r.mtbf_days for r in rows]
+        assert days == sorted(days, reverse=True)
+
+    def test_figure8_rows(self):
+        rows = figure8(trials=2000, seed=0)
+        assert [r.channels for r in rows] == [2, 4, 8, 16]
+        for r in rows:
+            assert 0 <= r.mean_fraction < 0.02
+            assert r.p999_fraction >= r.mean_fraction
+
+    def test_figure18_grid(self):
+        rows = figure18()
+        assert all(set(r.probabilities) == {25, 50, 100} for r in rows)
+        eight_hour = next(r for r in rows if r.window_hours == 8)
+        assert eight_hour.probabilities[100] == pytest.approx(2e-4, rel=0.3)
+
+
+class TestDiscussion:
+    def test_estimates_in_paper_regime(self):
+        e = estimates()
+        assert e.hpc_stall_fraction == pytest.approx(
+            DiscussionEstimates.PAPER_STALL, rel=0.5
+        )
+        assert e.added_ue_interval_years == pytest.approx(
+            DiscussionEstimates.PAPER_ADDED_UE_YEARS, rel=0.5
+        )
+        assert 0.1 < (
+            e.undetectable_interval_years / DiscussionEstimates.PAPER_UNDETECTABLE_YEARS
+        ) < 10
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_title(self):
+        out = format_table(["h"], [["v"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_format_percent(self):
+        assert format_percent(0.125) == "12.5%"
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)

@@ -1,0 +1,153 @@
+"""Field-axiom and table-consistency tests for GF(2^m)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF16, GF256, GF65536, GF2m
+
+FIELDS = {"GF16": GF16, "GF256": GF256, "GF65536": GF65536}
+
+
+@pytest.fixture(params=list(FIELDS), ids=list(FIELDS))
+def field(request):
+    return FIELDS[request.param]
+
+
+def elements(field, rng, n=500):
+    return rng.integers(0, field.order, n)
+
+
+def nonzero(field, rng, n=500):
+    return rng.integers(1, field.order, n)
+
+
+class TestFieldAxioms:
+    def test_add_is_xor(self, field, rng):
+        a, b = elements(field, rng), elements(field, rng)
+        assert np.array_equal(field.add(a, b), (a ^ b).astype(field.dtype))
+
+    def test_additive_inverse_is_self(self, field, rng):
+        a = elements(field, rng)
+        assert not field.add(a, a).any()
+
+    def test_mul_commutative(self, field, rng):
+        a, b = elements(field, rng), elements(field, rng)
+        assert np.array_equal(field.mul(a, b), field.mul(b, a))
+
+    def test_mul_associative(self, field, rng):
+        a, b, c = (elements(field, rng) for _ in range(3))
+        assert np.array_equal(field.mul(field.mul(a, b), c), field.mul(a, field.mul(b, c)))
+
+    def test_distributive(self, field, rng):
+        a, b, c = (elements(field, rng) for _ in range(3))
+        left = field.mul(a, field.add(b, c))
+        right = field.add(field.mul(a, b), field.mul(a, c))
+        assert np.array_equal(left, right)
+
+    def test_mul_identity(self, field, rng):
+        a = elements(field, rng)
+        assert np.array_equal(field.mul(a, 1), a.astype(field.dtype))
+
+    def test_mul_zero(self, field, rng):
+        a = elements(field, rng)
+        assert not field.mul(a, 0).any()
+
+    def test_inverse(self, field, rng):
+        a = nonzero(field, rng)
+        assert np.all(field.mul(a, field.inv(a)) == 1)
+
+    def test_division(self, field, rng):
+        a, b = elements(field, rng), nonzero(field, rng)
+        assert np.array_equal(field.mul(field.div(a, b), b), a.astype(field.dtype))
+
+    def test_div_by_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.div(np.array([1]), np.array([0]))
+
+    def test_inv_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(np.array([0]))
+
+    def test_fermat(self, field, rng):
+        """a^(2^m - 1) == 1 for nonzero a."""
+        a = nonzero(field, rng, 200)
+        assert np.all(field.pow(a, field.order - 1) == 1)
+
+    def test_pow_zero_conventions(self, field):
+        assert field.pow(np.array([0]), np.array([0]))[0] == 1
+        assert field.pow(np.array([0]), np.array([3]))[0] == 0
+
+    def test_alpha_generates_field(self, field):
+        """Powers of alpha enumerate every nonzero element exactly once."""
+        powers = field.alpha_pow(np.arange(field.order - 1))
+        assert len(set(int(x) for x in powers)) == field.order - 1
+
+    def test_log_alpha_inverts_alpha_pow(self, field, rng):
+        e = rng.integers(0, field.order - 1, 100)
+        assert np.array_equal(field.log_alpha(field.alpha_pow(e)), e)
+
+
+class TestPolynomials:
+    def test_poly_eval_constant(self, field):
+        c = np.array([7 % field.order], dtype=field.dtype)
+        assert field.poly_eval(c, np.array([0, 1, 2]))[1] == c[0]
+
+    def test_poly_eval_linear(self, field, rng):
+        # p(x) = 3 + 2x evaluated manually
+        p = np.array([3, 2], dtype=field.dtype)
+        x = nonzero(field, rng, 50)
+        expected = field.add(3, field.mul(2, x))
+        assert np.array_equal(field.poly_eval(p, x), expected)
+
+    def test_poly_mul_degree(self, field):
+        p = np.array([1, 1], dtype=field.dtype)  # x + 1
+        q = field.poly_mul(p, p)  # x^2 + 1 over GF(2^m)
+        assert len(q) == 3
+        assert q[0] == 1 and q[1] == 0 and q[2] == 1
+
+    def test_poly_mul_matches_eval(self, field, rng):
+        p = np.array(rng.integers(0, field.order, 4), dtype=field.dtype)
+        q = np.array(rng.integers(0, field.order, 3), dtype=field.dtype)
+        x = nonzero(field, rng, 20)
+        lhs = field.poly_eval(field.poly_mul(p, q), x)
+        rhs = field.mul(field.poly_eval(p, x), field.poly_eval(q, x))
+        assert np.array_equal(lhs, rhs)
+
+    def test_poly_deriv_char2(self, field):
+        # d/dx (a + bx + cx^2 + dx^3) = b + 3d x^2 = b + d x^2 in char 2
+        p = np.array([5 % field.order, 7 % field.order, 11 % field.order, 13 % field.order],
+                     dtype=field.dtype)
+        d = field.poly_deriv(p)
+        assert d[0] == p[1] and d[1] == 0 and d[2] == p[3]
+
+
+class TestConstruction:
+    def test_bad_poly_rejected(self):
+        # x^8 + 1 is not primitive.
+        with pytest.raises(ValueError):
+            GF2m(8, 0b100000001)
+
+    def test_unknown_degree_rejected(self):
+        with pytest.raises(ValueError):
+            GF2m(13)
+
+    def test_dtype_selection(self):
+        assert GF256.dtype == np.uint8
+        assert GF65536.dtype == np.uint16
+
+    @given(st.integers(1, 255), st.integers(1, 255))
+    @settings(max_examples=50)
+    def test_gf256_mul_matches_reference(self, a, b):
+        """Cross-check table multiplication against shift-and-add."""
+        ref = 0
+        x, y = a, b
+        while y:
+            if y & 1:
+                ref ^= x
+            y >>= 1
+            x <<= 1
+            if x & 0x100:
+                x ^= 0x11D
+        assert int(GF256.mul(a, b)) == ref

@@ -1,0 +1,88 @@
+"""Golden-shape regression pins against the cached evaluation matrix.
+
+These tests read whatever matrix cache exists (quick or full) and assert
+the paper's qualitative conclusions with generous tolerances, so future
+changes to the simulator that silently break a headline shape fail loudly.
+They skip on a cold cache (CI machines regenerate via the benchmarks).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import COMPARISONS, epi_report, perf_report, traffic_report
+from repro.experiments.evaluation import CONFIG_KEYS, FULL, QUICK, _cache_path
+from repro.workloads import ALL_WORKLOADS
+
+
+def _complete(path) -> bool:
+    if not path.exists():
+        return False
+    cache = json.loads(path.read_text())
+    return all(
+        f"{wl.name}|{key}" in cache for wl in ALL_WORKLOADS for key in CONFIG_KEYS
+    )
+
+
+def _available_fidelity(system_class):
+    for fid in (FULL, QUICK):
+        if _complete(_cache_path(system_class, fid, 0)):
+            return fid
+    pytest.skip("no complete cached evaluation matrix; run the benchmarks first")
+
+
+@pytest.fixture(scope="module")
+def quad_epi():
+    fid = _available_fidelity("quad")
+    return epi_report("quad", fidelity=fid).averages()
+
+
+@pytest.fixture(scope="module")
+def quad_perf():
+    fid = _available_fidelity("quad")
+    return perf_report("quad", fidelity=fid)
+
+
+@pytest.fixture(scope="module")
+def quad_traffic():
+    fid = _available_fidelity("quad")
+    return traffic_report("quad", fidelity=fid)
+
+
+class TestGoldenShapes:
+    def test_headline_epi_win_vs_ck36(self, quad_epi):
+        assert 0.35 < quad_epi[("All", "lot_ecc5_ep", "chipkill36")] < 0.65
+
+    def test_epi_win_vs_ck18(self, quad_epi):
+        assert 0.20 < quad_epi[("All", "lot_ecc5_ep", "chipkill18")] < 0.55
+
+    def test_epi_win_vs_lot9(self, quad_epi):
+        assert 0.0 < quad_epi[("All", "lot_ecc5_ep", "lot_ecc9")] < 0.30
+
+    def test_epi_parity_with_lot5(self, quad_epi):
+        assert abs(quad_epi[("All", "lot_ecc5_ep", "lot_ecc5")]) < 0.08
+
+    def test_raim_ep_wins(self, quad_epi):
+        assert quad_epi[("All", "raim_ep", "raim")] > 0.05
+
+    def test_bin2_gains_exceed_bin1(self, quad_epi):
+        """Memory-intensive workloads benefit more (the paper's key trend)."""
+        for base in ("chipkill36", "chipkill18", "lot_ecc9"):
+            assert (
+                quad_epi[("Bin2", "lot_ecc5_ep", base)]
+                > quad_epi[("Bin1", "lot_ecc5_ep", base)] - 0.03
+            ), base
+
+    def test_perf_near_parity_64b_baselines(self, quad_perf):
+        for base in ("lot_ecc9", "multi_ecc", "lot_ecc5"):
+            assert 0.88 < quad_perf.average("lot_ecc5_ep", base) < 1.12, base
+
+    def test_traffic_overhead_vs_ck18(self, quad_traffic):
+        assert 1.05 < quad_traffic.average("lot_ecc5_ep", "chipkill18") < 1.40
+
+    def test_traffic_beats_128b_lines(self, quad_traffic):
+        assert quad_traffic.average("lot_ecc5_ep", "chipkill36") < 1.0
+
+    def test_all_comparisons_present(self, quad_epi):
+        for prop, base in COMPARISONS:
+            assert ("All", prop, base) in quad_epi

@@ -1,0 +1,85 @@
+"""Bank health table tests (Section III-C semantics)."""
+
+import pytest
+
+from repro.core.health import BankHealthTable
+from repro.core.layout import Geometry
+
+
+@pytest.fixture
+def table(small_geometry):
+    return BankHealthTable(small_geometry, threshold=4)
+
+
+class TestCounting:
+    def test_fresh_table_is_healthy(self, table):
+        assert not table.is_faulty(0, 0)
+        assert table.counter(0, 0) == 0
+
+    def test_errors_count_up(self, table):
+        assert table.record_error(0, 0, row=1) == "counted"
+        assert table.record_error(0, 0, row=2) == "counted"
+        assert table.counter(0, 0) == 2
+
+    def test_threshold_materializes(self, table):
+        for row in range(3):
+            assert table.record_error(1, 2, row) == "counted"
+        assert table.record_error(1, 2, 3) == "materialize"
+        assert table.is_faulty(1, 2)
+
+    def test_pair_shares_counter(self, table):
+        """Banks 2k and 2k+1 increment the same counter."""
+        table.record_error(0, 2, 0)
+        table.record_error(0, 3, 1)
+        assert table.counter(0, 2) == 2 == table.counter(0, 3)
+
+    def test_pair_marked_faulty_together(self, table):
+        for row in range(4):
+            table.record_error(0, 0, row)
+        assert table.is_faulty(0, 0) and table.is_faulty(0, 1)
+        assert not table.is_faulty(0, 2)
+
+    def test_faulty_pair_absorbs_further_errors(self, table):
+        for row in range(4):
+            table.record_error(0, 0, row)
+        assert table.record_error(0, 0, 5) == "faulty"
+
+    def test_channels_independent(self, table):
+        for row in range(4):
+            table.record_error(0, 0, row)
+        assert not table.is_faulty(1, 0)
+
+    def test_materialize_fires_exactly_once(self, table):
+        actions = [table.record_error(2, 4, r) for r in range(6)]
+        assert actions.count("materialize") == 1
+
+
+class TestRetirement:
+    def test_retire_and_query(self, table):
+        table.retire_page(0, 1, 7)
+        assert table.is_retired(0, 1, 7)
+        assert not table.is_retired(0, 1, 6)
+
+    def test_retire_idempotent(self, table):
+        table.retire_page(0, 0, 0)
+        table.retire_page(0, 0, 0)
+        assert table.retired_page_count == 1
+
+    def test_retired_bound(self, table):
+        """Paper: at most threshold * (N-1) retired pages per saturation."""
+        assert table.max_retired_pages_bound() == 4 * 3
+
+
+class TestAccounting:
+    def test_sram_budget(self, small_geometry):
+        """0.5B per bank pair; the paper's 1024-bank example gives 512B."""
+        t = BankHealthTable(small_geometry)
+        assert t.sram_bytes == 0.5 * small_geometry.bank_pairs
+        big = Geometry(channels=8, banks=128, rows_per_bank=7, lines_per_row=1)
+        assert BankHealthTable(big).sram_bytes == 256.0  # 512 pairs
+
+    def test_event_log(self, table):
+        table.record_error(0, 0, 3)
+        table.retire_page(0, 0, 3)
+        kinds = [e.kind for e in table.events]
+        assert kinds == ["count", "retire"]

@@ -1,0 +1,124 @@
+"""End-to-end integration tests: tiny timing-plane sweeps checking the
+paper's qualitative claims, plus functional-machine campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import Geometry
+from repro.core.machine import Address, ECCParityMachine
+from repro.ecc import LotEcc5
+from repro.ecc.catalog import QUAD_EQUIVALENT
+from repro.experiments.evaluation import Fidelity, evaluation_matrix
+from repro.faults import FaultInjector, FaultMode
+from repro.workloads import WORKLOADS_BY_NAME
+
+#: Very small preset so the sweep stays in CI budget.
+TINY = Fidelity("tiny", scale=64, access_target=6000)
+
+
+@pytest.fixture(scope="module")
+def mini_matrix(tmp_path_factory):
+    """streamcluster + mcf across the main configs, quad class."""
+    return evaluation_matrix(
+        "quad",
+        fidelity=TINY,
+        workloads=["streamcluster", "mcf"],
+        config_keys=["chipkill36", "chipkill18", "lot_ecc5", "lot_ecc5_ep", "raim", "raim_ep"],
+        use_cache=False,
+    )
+
+
+class TestHeadlineShapes:
+    """The qualitative results the paper's evaluation rests on."""
+
+    @pytest.mark.parametrize("wl", ["streamcluster", "mcf"])
+    def test_ep_beats_ck36_on_energy(self, mini_matrix, wl):
+        ep = mini_matrix[(wl, "lot_ecc5_ep")].epi_nj
+        ck = mini_matrix[(wl, "chipkill36")].epi_nj
+        assert ep < ck * 0.75  # paper: ~50-60% reduction
+
+    @pytest.mark.parametrize("wl", ["streamcluster", "mcf"])
+    def test_ep_beats_ck18_on_energy(self, mini_matrix, wl):
+        ep = mini_matrix[(wl, "lot_ecc5_ep")].epi_nj
+        ck = mini_matrix[(wl, "chipkill18")].epi_nj
+        assert ep < ck
+
+    @pytest.mark.parametrize("wl", ["streamcluster", "mcf"])
+    def test_ep_energy_close_to_lot5(self, mini_matrix, wl):
+        """The point of ECC Parity: keep LOT-ECC5's energy at lower capacity."""
+        ep = mini_matrix[(wl, "lot_ecc5_ep")].epi_nj
+        lot = mini_matrix[(wl, "lot_ecc5")].epi_nj
+        assert ep == pytest.approx(lot, rel=0.25)
+
+    @pytest.mark.parametrize("wl", ["streamcluster", "mcf"])
+    def test_raim_ep_beats_raim(self, mini_matrix, wl):
+        ep = mini_matrix[(wl, "raim_ep")].epi_nj
+        raim = mini_matrix[(wl, "raim")].epi_nj
+        assert ep < raim
+
+    def test_streamcluster_perf_gap_vs_128b_lines(self, mini_matrix):
+        """High-spatial-locality workloads favor the 128B-line baseline
+        (Fig. 14's streamcluster outlier)."""
+        ep = mini_matrix[("streamcluster", "lot_ecc5_ep")]
+        ck36 = mini_matrix[("streamcluster", "chipkill36")]
+        assert ep.ipc < ck36.ipc
+
+    def test_ck36_more_accesses_than_ep_for_random(self, mini_matrix):
+        """128B lines waste bandwidth on low-locality workloads (Fig. 16)."""
+        ep = mini_matrix[("mcf", "lot_ecc5_ep")]
+        ck36 = mini_matrix[("mcf", "chipkill36")]
+        assert ep.accesses_per_instruction < ck36.accesses_per_instruction
+
+    def test_ep_has_traffic_overhead_vs_ck18(self, mini_matrix):
+        """Parity updates cost bandwidth vs the no-overhead 18-dev baseline."""
+        ep = mini_matrix[("mcf", "lot_ecc5_ep")]
+        ck18 = mini_matrix[("mcf", "chipkill18")]
+        assert ep.accesses_per_instruction > ck18.accesses_per_instruction
+
+    def test_background_epi_reduced(self, mini_matrix):
+        """Fewer chips per rank -> more sleep -> lower background EPI (Fig. 13)."""
+        ep = mini_matrix[("mcf", "lot_ecc5_ep")]
+        ck36 = mini_matrix[("mcf", "chipkill36")]
+        assert ep.background_epi_nj < ck36.background_epi_nj
+
+    def test_dynamic_epi_reduced(self, mini_matrix):
+        ep = mini_matrix[("mcf", "lot_ecc5_ep")]
+        ck36 = mini_matrix[("mcf", "chipkill36")]
+        assert ep.dynamic_epi_nj < ck36.dynamic_epi_nj
+
+
+class TestFunctionalCampaign:
+    """Inject the full field fault-mode mix; everything must stay correct."""
+
+    def test_mixed_fault_campaign(self):
+        g = Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8)
+        m = ECCParityMachine(LotEcc5(), g, seed=11)
+        inj = FaultInjector(m, seed=13)
+        inj.inject(FaultMode.SINGLE_BIT, location=(0, 0, 2))
+        inj.inject(FaultMode.SINGLE_ROW, location=(1, 1, 0))
+        inj.inject(FaultMode.SINGLE_BANK, location=(2, 2, 3))
+        m.scrub()
+        assert m.stats.uncorrectable == 0
+        # Every line in the machine must still read back as golden data.
+        bad = 0
+        for c in range(g.channels):
+            for b in range(g.banks):
+                for r in range(g.rows_per_bank):
+                    for l in range(g.lines_per_row):
+                        if not m.readable_and_correct(Address(c, b, r, l)):
+                            bad += 1
+        assert bad == 0
+
+    def test_sequential_channel_faults_with_scrubs(self):
+        """Faults in two channels separated by a scrub stay correctable -
+        the scenario Figure 18's scrub-interval analysis protects."""
+        g = Geometry(channels=4, banks=2, rows_per_bank=6, lines_per_row=4)
+        m = ECCParityMachine(LotEcc5(), g, seed=2)
+        inj = FaultInjector(m, seed=3)
+        inj.inject(FaultMode.SINGLE_BANK, location=(0, 0, 1))
+        m.scrub()  # reacts: materializes pair in channel 0
+        inj.inject(FaultMode.SINGLE_BANK, location=(1, 0, 2))
+        m.scrub()
+        assert m.stats.uncorrectable == 0
+        res = m.read(Address(1, 0, 3, 1))
+        assert np.array_equal(res.data, m.golden[1, 0, 3, 1])

@@ -1,0 +1,146 @@
+"""Parity-layout (Fig. 4) and materialized-ECC layout (Fig. 5) tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import Geometry, MaterializedLayout, ParityLayout
+
+
+def make_layout(channels, rows_mult=3):
+    g = Geometry(
+        channels=channels, banks=4, rows_per_bank=(channels - 1) * rows_mult, lines_per_row=8
+    )
+    return ParityLayout(g)
+
+
+class TestGeometry:
+    def test_basic_counts(self, small_geometry):
+        g = small_geometry
+        assert g.lines_per_bank == 96
+        assert g.total_data_lines == 4 * 4 * 96
+        assert g.bank_pairs == 8
+
+    def test_rejects_single_channel(self):
+        with pytest.raises(ValueError):
+            Geometry(channels=1, banks=2, rows_per_bank=4, lines_per_row=4)
+
+    def test_rejects_odd_banks(self):
+        with pytest.raises(ValueError):
+            Geometry(channels=4, banks=3, rows_per_bank=6, lines_per_row=4)
+
+    def test_rows_must_divide_into_blocks(self):
+        g = Geometry(channels=4, banks=2, rows_per_bank=7, lines_per_row=4)
+        with pytest.raises(ValueError):
+            ParityLayout(g)
+
+
+class TestLatinSquare:
+    @pytest.mark.parametrize("channels", [2, 3, 4, 5, 8, 10])
+    def test_every_cell_covered_exactly_once(self, channels):
+        """Each (channel, row) belongs to exactly one parity group."""
+        lay = make_layout(channels)
+        g = lay.geometry
+        seen = set()
+        for c in range(channels):
+            for r in range(g.rows_per_bank):
+                p, blk = lay.group_of(c, r)
+                assert (c, r) in lay.members_of_group(p, blk)
+                seen.add((c, r))
+        assert len(seen) == channels * g.rows_per_bank
+
+    @pytest.mark.parametrize("channels", [2, 3, 4, 8])
+    def test_groups_partition_cells(self, channels):
+        """Union of all groups = all cells, with no double membership."""
+        lay = make_layout(channels)
+        g = lay.geometry
+        covered = []
+        for p in range(channels):
+            for blk in range(lay.blocks_per_bank):
+                covered.extend(lay.members_of_group(p, blk))
+        assert len(covered) == len(set(covered)) == channels * g.rows_per_bank
+
+    @pytest.mark.parametrize("channels", [3, 4, 8, 10])
+    def test_group_members_in_distinct_channels(self, channels):
+        lay = make_layout(channels)
+        for p in range(channels):
+            for blk in range(lay.blocks_per_bank):
+                members = lay.members_of_group(p, blk)
+                chans = [c for c, _ in members]
+                assert len(members) == channels - 1
+                assert len(set(chans)) == channels - 1
+                assert p not in chans  # parity channel holds no member
+
+    @pytest.mark.parametrize("channels", [3, 4, 8])
+    def test_single_channel_fault_hits_one_element_per_group(self, channels):
+        """The property ECC parity depends on: any one channel holds at most
+        one element (member or the parity itself) of any group."""
+        lay = make_layout(channels)
+        for p in range(channels):
+            for blk in range(lay.blocks_per_bank):
+                holders = [c for c, _ in lay.members_of_group(p, blk)] + [p]
+                assert len(holders) == len(set(holders))
+
+    def test_location_of_consistency(self):
+        lay = make_layout(4)
+        loc = lay.location_of(channel=2, bank=1, row=5)
+        assert loc.bank == 1
+        assert (2, 5) in loc.members
+        assert loc.parity_channel not in [c for c, _ in loc.members]
+
+    @given(st.integers(2, 12), st.integers(0, 200))
+    @settings(max_examples=60)
+    def test_property_membership(self, channels, row_seed):
+        lay = make_layout(channels)
+        g = lay.geometry
+        row = row_seed % g.rows_per_bank
+        chan = row_seed % channels
+        p, blk = lay.group_of(chan, row)
+        assert p != chan
+        assert (chan, row) in lay.members_of_group(p, blk)
+
+
+class TestParityCapacity:
+    def test_parity_rows_per_bank(self):
+        """blocks * R rows of parity per bank per channel."""
+        lay = make_layout(4, rows_mult=4)  # 12 rows, 4 blocks
+        assert lay.parity_rows_per_bank(0.25) == 1
+        assert lay.parity_rows_per_bank(0.5) == 2
+        assert lay.parity_rows_per_bank(1.0) == 4
+
+    def test_data_rows_per_parity_row_formula(self):
+        """Paper: each parity row protects (N-1)/R rows of data."""
+        lay = make_layout(4)
+        assert lay.data_rows_per_parity_row(0.5) == 6.0  # the paper's example
+        lay8 = make_layout(8)
+        assert lay8.data_rows_per_parity_row(0.25) == 28.0
+
+    def test_overhead_matches_formula(self):
+        """Parity rows / data rows == R/(N-1) (up to rounding)."""
+        for n in (3, 4, 8):
+            for r in (0.125, 0.25, 0.5):
+                lay = make_layout(n, rows_mult=16)
+                overhead = lay.parity_rows_per_bank(r) / lay.geometry.rows_per_bank
+                assert overhead == pytest.approx(r / (n - 1), rel=0.05)
+
+
+class TestMaterializedLayout:
+    def test_partner_is_involution(self):
+        for bank in range(8):
+            assert MaterializedLayout.partner(MaterializedLayout.partner(bank)) == bank
+
+    def test_partner_in_same_pair(self):
+        for bank in range(8):
+            assert MaterializedLayout.pair_of(bank) == MaterializedLayout.pair_of(
+                MaterializedLayout.partner(bank)
+            )
+
+    def test_partner_differs(self):
+        for bank in range(8):
+            assert MaterializedLayout.partner(bank) != bank
+
+    def test_ecc_rows_doubled(self):
+        """Materialized ECC gets 2R (its own protection, Section III-B)."""
+        assert MaterializedLayout.ecc_rows_needed(100, 0.25) == 50
+        assert MaterializedLayout.ecc_rows_needed(100, 0.5) == 100
+        assert MaterializedLayout.ecc_rows_needed(10, 0.26) == 6  # ceil

@@ -1,0 +1,98 @@
+"""LLC model tests: replacement, dirtiness, line kinds."""
+
+import pytest
+
+from repro.cpu.llc import LLC, LineKind
+
+
+@pytest.fixture
+def llc():
+    return LLC(size_bytes=16 * 1024, assoc=4, line_size=64)  # 64 sets
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self, llc):
+        hit, ev = llc.access(100)
+        assert not hit and ev is None
+        hit, _ = llc.access(100)
+        assert hit
+
+    def test_probe_no_side_effects(self, llc):
+        assert not llc.probe(5)
+        llc.access(5)
+        assert llc.probe(5)
+        assert llc.stats.accesses == 1  # probe didn't count
+
+    def test_stats(self, llc):
+        llc.access(1)
+        llc.access(1)
+        llc.access(2)
+        assert llc.stats.hits == 1 and llc.stats.misses == 2
+        assert llc.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_set_count_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            LLC(size_bytes=3 * 64 * 4, assoc=4, line_size=64)
+
+
+class TestReplacement:
+    def test_lru_victim(self, llc):
+        n = llc.n_sets
+        addrs = [i * n for i in range(5)]  # all map to set 0, 4 ways
+        for a in addrs[:4]:
+            llc.access(a)
+        llc.access(addrs[0])  # refresh
+        _, ev = llc.access(addrs[4])
+        assert ev is not None and ev.addr == addrs[1]  # LRU was addrs[1]
+
+    def test_eviction_reports_dirtiness(self, llc):
+        n = llc.n_sets
+        llc.access(0, make_dirty=True)
+        for i in range(1, 4):
+            llc.access(i * n)
+        _, ev = llc.access(4 * n)
+        assert ev.dirty and ev.addr == 0
+
+    def test_clean_eviction(self, llc):
+        n = llc.n_sets
+        for i in range(5):
+            _, ev = llc.access(i * n)
+        assert ev is not None and not ev.dirty
+
+
+class TestDirty:
+    def test_write_marks_dirty(self, llc):
+        llc.access(7, make_dirty=True)
+        evs = llc.flush_dirty()
+        assert len(evs) == 1 and evs[0].addr == 7
+
+    def test_read_after_write_stays_dirty(self, llc):
+        llc.access(7, make_dirty=True)
+        llc.access(7, make_dirty=False)
+        assert len(llc.flush_dirty()) == 1
+
+    def test_flush_clears(self, llc):
+        llc.access(7, make_dirty=True)
+        llc.flush_dirty()
+        assert llc.flush_dirty() == []
+
+
+class TestKinds:
+    def test_kind_preserved_through_eviction(self, llc):
+        n = llc.n_sets
+        llc.access(0, kind=LineKind.XOR, make_dirty=True)
+        for i in range(1, 5):
+            _, ev = llc.access(i * n)
+        assert ev.kind == LineKind.XOR
+
+    def test_default_kind_is_data(self, llc):
+        llc.access(3, make_dirty=True)
+        assert llc.flush_dirty()[0].kind == LineKind.DATA
+
+    def test_ecc_and_data_share_sets(self, llc):
+        """ECC lines compete with data lines (paper Section IV-C)."""
+        n = llc.n_sets
+        for i in range(4):
+            llc.access(i * n, kind=LineKind.DATA)
+        _, ev = llc.access(4 * n, kind=LineKind.ECC)
+        assert ev is not None  # the ECC line displaced a data line

@@ -1,0 +1,160 @@
+"""Section VI-D modified encoding: LOT-ECC5 with inter-chip RS(10,8)/GF(2^16)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import Geometry
+from repro.core.machine import Address, ECCParityMachine, PermanentFault
+from repro.ecc import LotEcc5, LotEcc5RS
+from repro.ecc.lot_ecc_rs import _bytes_to_symbols, _symbols_to_bytes
+
+
+@pytest.fixture
+def s():
+    return LotEcc5RS()
+
+
+def line(rng):
+    return rng.integers(0, 256, 64, dtype=np.uint8)
+
+
+class TestSymbolPlumbing:
+    def test_byte_symbol_roundtrip(self, rng):
+        data = rng.integers(0, 256, (3, 8), dtype=np.uint8)
+        assert np.array_equal(_symbols_to_bytes(_bytes_to_symbols(data)), data)
+
+    def test_big_endian(self):
+        sym = _bytes_to_symbols(np.array([0x12, 0x34], dtype=np.uint8))
+        assert sym[0] == 0x1234
+
+    def test_words_interleave_chips(self, s, rng):
+        """Chip c supplies symbols 2c and 2c+1 of every word."""
+        data = line(rng)
+        chips = s.split_to_chips(data)
+        words = s._words_symbols(data)
+        for w in range(4):
+            for c in range(4):
+                seg = _bytes_to_symbols(chips[c, 4 * w : 4 * w + 4])
+                assert words[w, 2 * c] == seg[0]
+                assert words[w, 2 * c + 1] == seg[1]
+
+    def test_symbols_to_chips_roundtrip(self, s, rng):
+        data = line(rng)
+        words = s._words_symbols(data)
+        chips = s._symbols_to_chips(words)
+        assert np.array_equal(s.merge_from_chips(chips), data)
+
+
+class TestBudget:
+    def test_same_capacity_budget_as_plain_lot5(self, s):
+        """VI-D: no change to rank size or capacity overhead."""
+        plain = LotEcc5()
+        assert s.detection_overhead == plain.detection_overhead
+        assert s.correction_overhead == pytest.approx(plain.correction_overhead)
+        assert s.correction_ratio == plain.correction_ratio == 0.25
+        assert s.chip_widths() == plain.chip_widths()
+
+    def test_payload_sizes(self, s, rng):
+        data = line(rng)
+        assert s.compute_detection(data).shape == (8,)
+        assert s.compute_correction(data).shape == (16,)
+
+    def test_batched_payloads(self, s, rng):
+        batch = rng.integers(0, 256, (5, 64), dtype=np.uint8)
+        det = s.compute_detection(batch)
+        cor = s.compute_correction(batch)
+        for i in range(5):
+            assert np.array_equal(det[i], s.compute_detection(batch[i]))
+            assert np.array_equal(cor[i], s.compute_correction(batch[i]))
+
+
+class TestCorrection:
+    def test_roundtrip(self, s, rng):
+        assert s.roundtrip_ok(line(rng))
+
+    def test_chip_kill_all_chips(self, s, rng):
+        data = line(rng)
+        chips, det, cor = s.encode_line(data)
+        for victim in range(4):
+            bad = chips.copy()
+            bad[victim] = rng.integers(0, 256, 16)
+            res = s.correct_line(bad, det, cor)
+            assert res.data is not None and np.array_equal(res.data, data), victim
+
+    def test_erasure_hint(self, s, rng):
+        data = line(rng)
+        chips, det, cor = s.encode_line(data)
+        bad = chips.copy()
+        bad[3] ^= 0x7E
+        res = s.correct_line(bad, det, cor, erasures={3})
+        assert res.data is not None and np.array_equal(res.data, data)
+
+    def test_two_chips_uncorrectable(self, s, rng):
+        data = line(rng)
+        chips, det, cor = s.encode_line(data)
+        bad = chips.copy()
+        bad[0] ^= 1
+        bad[1] ^= 1
+        res = s.correct_line(bad, det, cor)
+        assert res.data is None and res.detected
+
+
+class TestAddressErrors:
+    """The whole point of VI-D: inter-chip detection catches address faults."""
+
+    def _address_error(self, scheme, data, wrong, victim):
+        chips = scheme.split_to_chips(data).copy()
+        chips[victim] = scheme.split_to_chips(wrong)[victim]
+        return chips
+
+    def test_rs_variant_detects(self, s, rng):
+        data, wrong = line(rng), line(rng)
+        _, det, _ = s.encode_line(data)
+        bad = self._address_error(s, data, wrong, victim=1)
+        assert s.detect_line(bad, det).error
+
+    def test_rs_variant_corrects(self, s, rng):
+        data, wrong = line(rng), line(rng)
+        _, det, cor = s.encode_line(data)
+        bad = self._address_error(s, data, wrong, victim=1)
+        res = s.correct_line(bad, det, cor)
+        assert res.data is not None and np.array_equal(res.data, data)
+
+    def test_plain_lot5_misses_chip_local_address_error(self, rng):
+        """With chip-local checksums the wrong-row data is self-consistent."""
+        p = LotEcc5()
+        data, wrong = line(rng), line(rng)
+        chips, det, _ = p.encode_line(data)
+        wchips, wdet, _ = p.encode_line(wrong)
+        bad = chips.copy()
+        bad[2] = wchips[2]
+        bad_det = det.reshape(4, 2).copy()
+        bad_det[2] = wdet.reshape(4, 2)[2]  # checksum travels with wrong data
+        assert not p.detect_line(bad, bad_det.reshape(-1)).error
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_address_error_detected(self, seed, victim):
+        rng = np.random.default_rng(seed)
+        s = LotEcc5RS()
+        data, wrong = line(rng), line(rng)
+        if np.array_equal(data, wrong):
+            return
+        _, det, _ = s.encode_line(data)
+        bad = s.split_to_chips(data).copy()
+        bad[victim] = s.split_to_chips(wrong)[victim]
+        if np.array_equal(bad[victim], s.split_to_chips(data)[victim]):
+            return
+        assert s.detect_line(bad, det).error
+
+
+class TestUnderEccParity:
+    def test_machine_integration(self):
+        """The VI-D scheme drops into the ECC Parity machine unchanged."""
+        g = Geometry(channels=4, banks=2, rows_per_bank=6, lines_per_row=4)
+        m = ECCParityMachine(LotEcc5RS(), g, seed=0)
+        m.add_permanent_fault(PermanentFault(2, 1, (1, 2), (0, 4), 3, seed=6))
+        res = m.read(Address(2, 1, 1, 2))
+        assert res.corrected and np.array_equal(res.data, m.golden[2, 1, 1, 2])

@@ -1,0 +1,256 @@
+"""Functional machine tests: the full protocol of Figure 6."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import Geometry
+from repro.core.machine import Address, ECCParityMachine, PermanentFault
+from repro.ecc import Chipkill36, LotEcc5, LotEcc9, Raim18EP
+
+
+@pytest.fixture
+def machine(small_geometry):
+    return ECCParityMachine(LotEcc5(), small_geometry, seed=7)
+
+
+def chip_fault(chan=0, bank=0, rows=(3, 4), lines=(0, 8), chip=1, seed=5):
+    return PermanentFault(chan, bank, rows, lines, chip, seed)
+
+
+class TestCleanOperation:
+    def test_read_returns_data(self, machine):
+        a = Address(1, 2, 4, 3)
+        res = machine.read(a)
+        assert res.data is not None
+        assert np.array_equal(res.data, machine.golden[a])
+        assert not res.detected
+
+    def test_read_counts_one_access(self, machine):
+        machine.read(Address(0, 0, 0, 0))
+        assert machine.stats.app_reads == 1
+        assert machine.stats.mem_reads == 1
+
+    def test_write_then_read(self, machine):
+        a = Address(2, 1, 7, 5)
+        payload = np.arange(64, dtype=np.uint8)
+        machine.write(a, payload)
+        assert np.array_equal(machine.read(a).data, payload)
+
+    def test_write_updates_parity(self, machine):
+        """After a write, the parity group still reconstructs correctly."""
+        a = Address(0, 0, 0, 0)
+        machine.write(a, np.full(64, 0xAB, dtype=np.uint8))
+        rebuilt = machine._reconstruct_correction(a)
+        assert np.array_equal(rebuilt, machine.scheme.compute_correction(machine.data[a]))
+
+    def test_write_costs_parity_rmw(self, machine):
+        """Step E: old-line read + parity read + parity write on top of the
+        data write."""
+        before_r, before_w = machine.stats.mem_reads, machine.stats.mem_writes
+        machine.write(Address(0, 0, 0, 0), np.zeros(64, dtype=np.uint8))
+        assert machine.stats.mem_writes - before_w == 2  # data + parity line
+        assert machine.stats.mem_reads - before_r == 2  # old value + parity line
+        assert machine.stats.parity_updates == 1
+
+    def test_write_validates_size(self, machine):
+        with pytest.raises(ValueError):
+            machine.write(Address(0, 0, 0, 0), np.zeros(32, dtype=np.uint8))
+
+    def test_initial_parity_consistent(self, machine):
+        """Freshly built parity reconstructs every line's correction bits."""
+        for addr in (Address(0, 0, 0, 0), Address(3, 2, 11, 7), Address(1, 3, 6, 2)):
+            rebuilt = machine._reconstruct_correction(addr)
+            expected = machine.scheme.compute_correction(machine.data[addr])
+            assert np.array_equal(rebuilt, expected), addr
+
+
+class TestFaultCorrection:
+    def test_detected_and_corrected_via_parity(self, machine):
+        machine.add_permanent_fault(chip_fault())
+        res = machine.read(Address(0, 0, 3, 2))
+        assert res.detected and res.corrected
+        assert res.used_parity_reconstruction and not res.used_ecc_line
+        assert np.array_equal(res.data, machine.golden[0, 0, 3, 2])
+
+    def test_reconstruction_costs_n_minus_1_accesses(self, machine):
+        """Step C: N-1 additional accesses (parity + N-2 members)."""
+        machine.add_permanent_fault(chip_fault())
+        before = machine.stats.mem_reads
+        machine.read(Address(0, 0, 3, 1))
+        # 1 (line itself) + (N-1) reconstruction accesses
+        assert machine.stats.mem_reads - before == 1 + (machine.geom.channels - 1)
+
+    def test_error_below_threshold_retires_pages(self, machine):
+        machine.add_permanent_fault(chip_fault())
+        machine.read(Address(0, 0, 3, 0))
+        # The page plus its N-2 parity-sharing sibling pages (the member set
+        # includes the faulty page itself).
+        assert machine.health.retired_page_count == machine.geom.channels - 1
+        assert machine.health.is_retired(0, 0, 3)
+
+    def test_retired_page_errors_not_recounted(self, machine):
+        machine.add_permanent_fault(chip_fault())
+        machine.read(Address(0, 0, 3, 0))
+        count = machine.health.counter(0, 0)
+        machine.read(Address(0, 0, 3, 1))  # same page, second line
+        assert machine.health.counter(0, 0) == count
+
+    def test_write_to_faulted_line_rehabilitates_it(self, machine):
+        machine.add_permanent_fault(chip_fault())
+        a = Address(0, 0, 3, 4)
+        payload = np.full(64, 0x5C, dtype=np.uint8)
+        machine.write(a, payload)
+        res = machine.read(a)
+        assert np.array_equal(res.data, payload) and not res.detected
+
+
+class TestMaterialization:
+    @pytest.fixture
+    def faulted(self, small_geometry):
+        """Machine with a whole-bank fault scrubbed to saturation."""
+        m = ECCParityMachine(LotEcc5(), small_geometry, seed=3)
+        m.add_permanent_fault(
+            PermanentFault(1, 2, rows=(0, 12), lines=(0, 8), chip=0, seed=9)
+        )
+        m.scrub()
+        return m
+
+    def test_bank_fault_saturates_counter(self, faulted):
+        assert (1, 1) in faulted.health.faulty_pairs  # bank 2 -> pair 1
+
+    def test_reads_use_materialized_ecc(self, faulted):
+        res = faulted.read(Address(1, 2, 9, 6))
+        assert res.corrected and res.used_ecc_line
+        assert not res.used_parity_reconstruction
+        assert np.array_equal(res.data, faulted.golden[1, 2, 9, 6])
+
+    def test_partner_bank_also_materialized(self, faulted):
+        assert (1, 2) in faulted.materialized and (1, 3) in faulted.materialized
+
+    def test_bank_excluded_from_parity(self, faulted):
+        assert (1, 2) in faulted.excluded and (1, 3) in faulted.excluded
+
+    def test_other_channels_still_parity_protected(self, faulted):
+        """After exclusion, other channels' lines in the same bank still
+        reconstruct through the recalculated parity."""
+        addr = Address(2, 2, 5, 1)
+        rebuilt = faulted._reconstruct_correction(addr)
+        assert rebuilt is not None
+        assert np.array_equal(rebuilt, faulted.scheme.compute_correction(faulted.data[addr]))
+
+    def test_accumulated_fault_in_second_channel_correctable(self, faulted):
+        """The paper's headline reliability property: after materialization,
+        a later fault in a different channel at the same location is still
+        correctable (via parity, since the first bank no longer contributes)."""
+        faulted.add_permanent_fault(
+            PermanentFault(3, 2, rows=(0, 12), lines=(0, 8), chip=2, seed=11)
+        )
+        res = faulted.read(Address(3, 2, 4, 4))
+        assert res.data is not None
+        assert np.array_equal(res.data, faulted.golden[3, 2, 4, 4])
+
+    def test_write_to_faulty_bank_updates_ecc_line(self, faulted):
+        a = Address(1, 2, 0, 0)
+        before = faulted.stats.ecc_line_writes
+        faulted.write(a, np.zeros(64, dtype=np.uint8))
+        assert faulted.stats.ecc_line_writes == before + 1
+        res = faulted.read(a)
+        assert np.array_equal(res.data, np.zeros(64, dtype=np.uint8))
+
+    def test_read_to_faulty_bank_reads_ecc_line(self, faulted):
+        before = faulted.stats.ecc_line_reads
+        faulted.read(Address(1, 3, 1, 1))
+        assert faulted.stats.ecc_line_reads == before + 1
+
+    def test_capacity_loss_recorded(self, faulted):
+        assert faulted.effective_capacity_loss_rows > 0
+
+
+class TestUncorrectable:
+    def test_same_location_two_channels_before_scrub(self, small_geometry):
+        """Two channels failing at the same relative location with no scrub
+        in between defeats the parity (the paper's residual risk)."""
+        m = ECCParityMachine(LotEcc5(), small_geometry, seed=1)
+        # Both faults land in the same parity group members before any scrub.
+        m.add_permanent_fault(PermanentFault(0, 0, (3, 4), (0, 8), 0, seed=1))
+        loc = m.layout.location_of(0, 0, 3)
+        other = next((c, r) for c, r in loc.members if c != 0)
+        m.add_permanent_fault(PermanentFault(other[0], 0, (other[1], other[1] + 1), (0, 8), 1, seed=2))
+        res = m.read(Address(0, 0, 3, 0))
+        assert res.uncorrectable and res.data is None
+        assert m.stats.uncorrectable >= 1
+
+
+class TestScrub:
+    def test_scrub_clean_memory_finds_nothing(self, machine):
+        assert machine.scrub() == 0
+        assert machine.stats.scrubs == 1
+
+    def test_scrub_finds_injected_errors(self, machine):
+        machine.add_permanent_fault(chip_fault(rows=(5, 6)))
+        dirty = machine.scrub()
+        assert dirty > 0
+
+    def test_scrub_skips_retired_pages(self, machine):
+        machine.add_permanent_fault(chip_fault(rows=(5, 6)))
+        machine.scrub()
+        first_counter = machine.health.counter(0, 0)
+        machine.scrub()  # page now retired; counter must not climb
+        assert machine.health.counter(0, 0) == first_counter
+
+
+class TestOtherSchemes:
+    @pytest.mark.parametrize("scheme_cls,chip", [(Chipkill36, 7), (LotEcc9, 3), (Raim18EP, 11)])
+    def test_protocol_works_for_scheme(self, scheme_cls, chip):
+        g = Geometry(channels=3, banks=2, rows_per_bank=6, lines_per_row=4)
+        m = ECCParityMachine(scheme_cls(), g, seed=0)
+        m.add_permanent_fault(PermanentFault(1, 0, (2, 3), (0, 4), chip, seed=4))
+        res = m.read(Address(1, 0, 2, 1))
+        assert res.data is not None
+        assert np.array_equal(res.data, m.golden[1, 0, 2, 1])
+
+    def test_two_channel_machine(self):
+        """N=2: parity is a plain remote copy of correction bits."""
+        g = Geometry(channels=2, banks=2, rows_per_bank=4, lines_per_row=4)
+        m = ECCParityMachine(LotEcc5(), g, seed=0)
+        m.add_permanent_fault(PermanentFault(0, 0, (1, 2), (0, 4), 0, seed=8))
+        res = m.read(Address(0, 0, 1, 2))
+        assert res.corrected and np.array_equal(res.data, m.golden[0, 0, 1, 2])
+
+
+class TestDeterminism:
+    def test_same_seed_same_memory(self, small_geometry):
+        a = ECCParityMachine(LotEcc5(), small_geometry, seed=5)
+        b = ECCParityMachine(LotEcc5(), small_geometry, seed=5)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.parity, b.parity)
+
+    def test_fault_masks_deterministic(self, small_geometry):
+        a = ECCParityMachine(LotEcc5(), small_geometry, seed=5)
+        b = ECCParityMachine(LotEcc5(), small_geometry, seed=5)
+        for m in (a, b):
+            m.add_permanent_fault(chip_fault())
+        assert np.array_equal(a.data, b.data)
+
+
+class TestFaultValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(channel=9, bank=0, rows=(0, 1), lines=(0, 1), chip=0),
+            dict(channel=0, bank=9, rows=(0, 1), lines=(0, 1), chip=0),
+            dict(channel=0, bank=0, rows=(5, 5), lines=(0, 1), chip=0),
+            dict(channel=0, bank=0, rows=(0, 99), lines=(0, 1), chip=0),
+            dict(channel=0, bank=0, rows=(0, 1), lines=(0, 99), chip=0),
+            dict(channel=0, bank=0, rows=(0, 1), lines=(0, 1), chip=77),
+        ],
+    )
+    def test_invalid_regions_rejected(self, machine, kwargs):
+        with pytest.raises(ValueError):
+            machine.add_permanent_fault(PermanentFault(seed=1, **kwargs))
+
+    def test_transient_also_validated(self, machine):
+        with pytest.raises(ValueError):
+            machine.add_transient_fault(
+                PermanentFault(channel=0, bank=0, rows=(0, 1), lines=(0, 1), chip=99)
+            )

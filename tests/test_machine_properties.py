@@ -1,0 +1,125 @@
+"""Property-based protocol harness: random operation sequences against the
+functional machine, verified with a twin (fault-free) oracle.
+
+The oracle tracks only application-visible state: what was last written to
+each address (or the machine's seeded initial content).  Whatever sequence
+of writes, single-channel faults, and scrubs occurs, a read must either
+return the oracle value or (only when a second channel collides in the same
+parity group before a scrub could react) flag itself uncorrectable - never
+silently return wrong data for in-spec fault patterns.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import Geometry
+from repro.core.machine import Address, ECCParityMachine, PermanentFault
+from repro.ecc import LotEcc5, LotEcc9
+
+
+def small_machine(scheme_cls, seed):
+    g = Geometry(channels=3, banks=2, rows_per_bank=6, lines_per_row=4)
+    return ECCParityMachine(scheme_cls(), g, seed=seed)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "scrub"]),
+        st.integers(0, 2),  # channel
+        st.integers(0, 1),  # bank
+        st.integers(0, 5),  # row
+        st.integers(0, 3),  # line
+        st.integers(0, 2**16 - 1),  # payload seed
+    ),
+    min_size=5,
+    max_size=40,
+)
+
+
+class TestProtocolProperties:
+    @given(st.integers(0, 2**31 - 1), ops)
+    @settings(max_examples=30, deadline=None)
+    def test_faultless_machine_is_transparent(self, seed, sequence):
+        """Without faults, the machine is plain memory + zero error events."""
+        m = small_machine(LotEcc5, seed & 0xFFFF)
+        oracle = {}
+        for op, c, b, r, l, pseed in sequence:
+            addr = Address(c, b, r, l)
+            if op == "write":
+                payload = np.random.default_rng(pseed).integers(0, 256, 64, dtype=np.uint8)
+                m.write(addr, payload)
+                oracle[addr] = payload
+            elif op == "read":
+                res = m.read(addr)
+                expected = oracle.get(addr)
+                if expected is not None:
+                    assert np.array_equal(res.data, expected)
+                assert not res.detected
+            else:
+                assert m.scrub() == 0
+        assert m.stats.detected_errors == 0
+        assert m.audit_parity() == 0
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        ops,
+        st.integers(0, 2),  # faulty channel
+        st.integers(0, 3),  # faulty chip
+        st.integers(0, 38),  # inject after op k
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_channel_fault_never_corrupts(self, seed, sequence, fchan, fchip, when):
+        """One faulty channel: reads return oracle data or flag; never lie."""
+        m = small_machine(LotEcc5, seed & 0xFFFF)
+        oracle = {}
+        injected = False
+        for i, (op, c, b, r, l, pseed) in enumerate(sequence):
+            if i == when and not injected:
+                m.add_permanent_fault(
+                    PermanentFault(fchan, 0, (0, 6), (0, 4), fchip, seed=seed & 0xFF)
+                )
+                injected = True
+            addr = Address(c, b, r, l)
+            if op == "write":
+                payload = np.random.default_rng(pseed).integers(0, 256, 64, dtype=np.uint8)
+                m.write(addr, payload)
+                oracle[addr] = payload
+            elif op == "read":
+                res = m.read(addr)
+                if res.data is not None:
+                    expected = oracle.get(addr)
+                    if expected is not None:
+                        assert np.array_equal(res.data, expected), addr
+                    else:
+                        assert np.array_equal(res.data, m.golden[addr]), addr
+            else:
+                m.scrub()
+        assert m.stats.uncorrectable == 0  # single-channel faults always correct
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_scrub_then_second_channel_fault_correctable(self, seed):
+        """Materialize-then-fault: the accumulation scenario must survive."""
+        m = small_machine(LotEcc9, seed & 0xFFFF)
+        rng = np.random.default_rng(seed)
+        c1, c2 = rng.choice(3, size=2, replace=False)
+        m.add_permanent_fault(PermanentFault(int(c1), 0, (0, 6), (0, 4), 1, seed=1))
+        m.scrub()  # reacts: retires/materializes channel c1's pair
+        m.add_permanent_fault(PermanentFault(int(c2), 0, (0, 6), (0, 4), 2, seed=2))
+        m.scrub()
+        assert m.stats.uncorrectable == 0
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_stats_monotone_and_consistent(self, seed, n_scrubs):
+        m = small_machine(LotEcc5, seed & 0xFFFF)
+        m.add_permanent_fault(PermanentFault(0, 0, (1, 2), (0, 4), 0, seed=3))
+        prev_reads = 0
+        for _ in range(n_scrubs):
+            m.scrub()
+            assert m.stats.mem_reads >= prev_reads
+            prev_reads = m.stats.mem_reads
+        assert m.stats.corrected + m.stats.uncorrectable <= m.stats.detected_errors + m.stats.corrected
+        assert m.stats.scrubs == n_scrubs

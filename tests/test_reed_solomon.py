@@ -1,0 +1,188 @@
+"""Reed-Solomon codec tests: encode/decode round trips, errors, erasures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf import GF256, GF65536, ReedSolomon
+
+RS_36_32 = ReedSolomon(GF256, 36, 32)
+RS_18_16 = ReedSolomon(GF256, 18, 16)
+RS_9_8 = ReedSolomon(GF256, 9, 8)
+RS_16 = ReedSolomon(GF65536, 10, 8)
+
+
+@pytest.fixture(params=["36_32", "18_16", "9_8", "gf16"], ids=str)
+def rs(request):
+    return {"36_32": RS_36_32, "18_16": RS_18_16, "9_8": RS_9_8, "gf16": RS_16}[request.param]
+
+
+def random_data(rs, rng, words=20):
+    return rng.integers(0, rs.field.order, (words, rs.k)).astype(rs.field.dtype)
+
+
+class TestEncode:
+    def test_systematic(self, rs, rng):
+        data = random_data(rs, rng)
+        cw = rs.encode(data)
+        assert np.array_equal(cw[:, : rs.k], data)
+
+    def test_clean_codewords_have_zero_syndromes(self, rs, rng):
+        cw = rs.encode(random_data(rs, rng))
+        assert not rs.syndromes(cw).any()
+        assert not rs.detect(cw).any()
+
+    def test_linear(self, rs, rng):
+        a = random_data(rs, rng)
+        b = random_data(rs, rng)
+        assert np.array_equal(rs.encode(a ^ b), rs.encode(a) ^ rs.encode(b))
+
+    def test_batch_shapes(self, rs, rng):
+        data = rng.integers(0, rs.field.order, (3, 4, rs.k)).astype(rs.field.dtype)
+        assert rs.encode(data).shape == (3, 4, rs.n)
+
+    def test_wrong_length_raises(self, rs):
+        with pytest.raises(ValueError):
+            rs.encode(np.zeros(rs.k + 1, dtype=rs.field.dtype))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            ReedSolomon(GF256, 300, 8)
+        with pytest.raises(ValueError):
+            ReedSolomon(GF256, 8, 8)
+
+
+class TestDetect:
+    def test_any_single_symbol_corruption_detected(self, rs, rng):
+        cw = rs.encode(random_data(rs, rng, 50))
+        pos = rng.integers(0, rs.n, 50)
+        delta = rng.integers(1, rs.field.order, 50).astype(rs.field.dtype)
+        cw[np.arange(50), pos] ^= delta
+        assert rs.detect(cw).all()
+
+    def test_detect_is_per_word(self, rs, rng):
+        cw = rs.encode(random_data(rs, rng, 4))
+        cw[2, 0] ^= 1
+        flags = rs.detect(cw)
+        assert list(flags) == [False, False, True, False]
+
+
+class TestDecodeErrors:
+    def test_no_errors_is_noop(self, rs, rng):
+        cw = rs.encode(random_data(rs, rng))
+        res = rs.decode(cw)
+        assert res.ok.all() and not res.had_errors.any()
+        assert np.array_equal(res.corrected, cw)
+        assert not res.n_corrected.any()
+
+    def test_single_error_corrected(self, rs, rng):
+        if rs.num_check < 2:
+            pytest.skip("needs t >= 1")
+        cw = rs.encode(random_data(rs, rng, 30))
+        bad = cw.copy()
+        pos = rng.integers(0, rs.n, 30)
+        bad[np.arange(30), pos] ^= rng.integers(1, rs.field.order, 30).astype(rs.field.dtype)
+        res = rs.decode(bad)
+        assert res.ok.all()
+        assert np.array_equal(res.corrected, cw)
+        assert np.all(res.n_corrected == 1)
+
+    def test_t_errors_corrected(self, rng):
+        cw = RS_36_32.encode(rng.integers(0, 256, (10, 32)).astype(np.uint8))
+        bad = cw.copy()
+        bad[:, 2] ^= 0x11
+        bad[:, 30] ^= 0x22
+        res = RS_36_32.decode(bad)
+        assert res.ok.all() and np.array_equal(res.corrected, cw)
+
+    def test_beyond_capacity_flagged(self, rng):
+        cw = RS_36_32.encode(rng.integers(0, 256, (20, 32)).astype(np.uint8))
+        bad = cw.copy()
+        for c in (1, 5, 9):
+            bad[:, c] ^= 0x40 + c
+        res = RS_36_32.decode(bad)
+        # d=5 code with 3 errors: must not silently "correct" to wrong data.
+        for w in range(20):
+            if res.ok[w]:
+                assert np.array_equal(res.corrected[w], cw[w])
+
+    def test_decode_does_not_mutate_input(self, rs, rng):
+        cw = rs.encode(random_data(rs, rng, 5))
+        bad = cw.copy()
+        bad[:, 0] ^= 1
+        before = bad.copy()
+        rs.decode(bad)
+        assert np.array_equal(bad, before)
+
+
+class TestDecodeErasures:
+    def test_full_erasure_budget(self, rng):
+        cw = RS_36_32.encode(rng.integers(0, 256, (10, 32)).astype(np.uint8))
+        bad = cw.copy()
+        positions = [0, 7, 19, 35]
+        for p in positions:
+            bad[:, p] ^= 0x55
+        res = RS_36_32.decode(bad, erasures=positions)
+        assert res.ok.all() and np.array_equal(res.corrected, cw)
+
+    def test_erasure_plus_error(self, rng):
+        cw = RS_36_32.encode(rng.integers(0, 256, (10, 32)).astype(np.uint8))
+        bad = cw.copy()
+        bad[:, 4] = rng.integers(0, 256, 10).astype(np.uint8)  # erased chip
+        bad[:, 20] ^= 0x3C  # plus an unlocated error: 2*1 + 1 <= 4
+        res = RS_36_32.decode(bad, erasures=[4])
+        assert res.ok.all() and np.array_equal(res.corrected, cw)
+
+    def test_erasure_of_clean_symbol_is_harmless(self, rs, rng):
+        cw = rs.encode(random_data(rs, rng, 5))
+        res = rs.decode(cw, erasures=[0])
+        assert res.ok.all() and np.array_equal(res.corrected, cw)
+        assert res.had_errors.all()  # erasures count as suspected errors
+
+    def test_two_erasures_two_check_symbols(self, rng):
+        """RS(18,16) corrects exactly 2 erasures - a located chip pair."""
+        cw = RS_18_16.encode(rng.integers(0, 256, (10, 16)).astype(np.uint8))
+        bad = cw.copy()
+        bad[:, 3] ^= 0x77
+        bad[:, 12] ^= 0x19
+        res = RS_18_16.decode(bad, erasures=[3, 12])
+        assert res.ok.all() and np.array_equal(res.corrected, cw)
+
+    def test_too_many_erasures_flagged(self, rng):
+        cw = RS_18_16.encode(rng.integers(0, 256, (5, 16)).astype(np.uint8))
+        bad = cw.copy()
+        for p in (1, 2, 3):
+            bad[:, p] ^= 0xAA
+        res = RS_18_16.decode(bad, erasures=[1, 2, 3])
+        assert not res.ok.any()
+
+    def test_erasure_position_validated(self, rs):
+        cw = rs.encode(np.zeros((1, rs.k), dtype=rs.field.dtype))
+        with pytest.raises(ValueError):
+            rs.decode(cw, erasures=[rs.n])
+
+
+class TestProperties:
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 35), st.integers(1, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_any_single_corruption_roundtrips(self, seed, pos, delta):
+        rng = np.random.default_rng(seed)
+        cw = RS_36_32.encode(rng.integers(0, 256, (1, 32)).astype(np.uint8))
+        bad = cw.copy()
+        bad[0, pos] ^= delta
+        res = RS_36_32.decode(bad)
+        assert res.ok.all()
+        assert np.array_equal(res.corrected, cw)
+
+    @given(st.integers(0, 2**32 - 1), st.sets(st.integers(0, 17), min_size=1, max_size=2))
+    @settings(max_examples=40, deadline=None)
+    def test_rs18_erasures_roundtrip(self, seed, positions):
+        rng = np.random.default_rng(seed)
+        cw = RS_18_16.encode(rng.integers(0, 256, (1, 16)).astype(np.uint8))
+        bad = cw.copy()
+        for p in positions:
+            bad[0, p] ^= rng.integers(1, 256)
+        res = RS_18_16.decode(bad, erasures=sorted(positions))
+        assert res.ok.all()
+        assert np.array_equal(res.corrected, cw)

@@ -1,0 +1,173 @@
+"""Co-simulation tests: cores + LLC + ECC traffic + DRAM."""
+
+import pytest
+
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.cpu.llc import LLC
+from repro.cpu.system import SimSystem
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.ecc import Chipkill18, LotEcc5
+
+
+def synthetic_trace(pattern):
+    """Replay a fixed list of (gap, addr, is_write) items."""
+    return iter(pattern)
+
+
+def make_system(traces, scheme=None, ecc_parity_channels=None, channels=2):
+    scheme = scheme or Chipkill18()
+    mem = MemorySystem(
+        MemorySystemConfig(
+            channels=channels,
+            ranks_per_channel=1,
+            chip_widths=scheme.chip_widths(),
+            line_size=scheme.line_size,
+        )
+    )
+    model = EccTrafficModel.for_scheme(scheme, ecc_parity_channels)
+    llc = LLC(size_bytes=64 * 1024, line_size=scheme.line_size)
+    return SimSystem(mem, traces, model, llc=llc)
+
+
+class TestBasics:
+    def test_empty_traces_finish(self):
+        sys_ = make_system([synthetic_trace([])])
+        res = sys_.run(0, 100)
+        assert res.instructions == 0
+
+    def test_single_read(self):
+        sys_ = make_system([synthetic_trace([(10, 5, False)])])
+        res = sys_.run(0, 100)
+        assert res.llc_misses == 1
+        assert res.counters.data_reads == 1
+        assert res.accesses_64b == 1
+
+    def test_hits_generate_no_memory_traffic(self):
+        items = [(10, 5, False)] * 10
+        sys_ = make_system([synthetic_trace(items)])
+        res = sys_.run(0, 1000)
+        assert res.llc_misses == 1 and res.llc_hits == 9
+        assert res.accesses_64b == 1
+
+    def test_instructions_accumulate(self):
+        items = [(100, i, False) for i in range(10)]
+        sys_ = make_system([synthetic_trace(items)])
+        res = sys_.run(0, 10_000)
+        assert res.instructions == 1000
+
+    def test_cycles_respect_ipc_and_latency(self):
+        """10 hits of gap 100 at IPC 2 need >= 10 * (50 + hit latency)."""
+        items = [(100, 5, False)] * 10
+        sys_ = make_system([synthetic_trace(items)])
+        res = sys_.run(0, 10_000)
+        assert res.cycles >= 10 * (50 + SimSystem.HIT_LATENCY) - 100
+        assert res.ipc <= SimSystem.IPC
+
+    def test_misses_stall(self):
+        hit_items = [(10, 5, False)] * 50
+        miss_items = [(10, i * 999, False) for i in range(50)]
+        fast = make_system([synthetic_trace(hit_items)]).run(0, 10000)
+        slow = make_system([synthetic_trace(miss_items)]).run(0, 10000)
+        assert slow.cycles > fast.cycles
+
+    def test_multicore_parallelism(self):
+        items = [(50, i, False) for i in range(40)]
+        one = make_system([synthetic_trace(list(items))]).run(0, 10_000)
+        two_traces = [synthetic_trace(list(items)), synthetic_trace([(50, 10_000 + i, False) for i in range(40)])]
+        two = make_system(two_traces).run(0, 10_000)
+        assert two.instructions == 2 * one.instructions
+        assert two.cycles < 2 * one.cycles  # overlap
+
+
+class TestWritePath:
+    def test_store_miss_fills_then_dirties(self):
+        sys_ = make_system([synthetic_trace([(10, 5, True)])])
+        res = sys_.run(0, 100)
+        assert res.counters.data_reads == 1  # write-allocate fill
+        assert res.counters.data_writes == 0  # not yet evicted
+
+    def test_dirty_eviction_writes_back(self):
+        # Fill one set beyond capacity with dirty lines: 16-way LLC of 1024
+        # lines -> 64 sets; addresses i*64 all land in set 0.
+        items = [(10, i * 64, True) for i in range(20)]
+        sys_ = make_system([synthetic_trace(items)])
+        res = sys_.run(0, 10_000)
+        assert res.counters.data_writes >= 3
+
+    def test_writeback_triggers_ecc_line_insert(self):
+        items = [(10, i * 64, True) for i in range(20)]
+        sys_ = make_system([synthetic_trace(items)], scheme=LotEcc5())
+        sys_.run(0, 10_000)
+        # ECC lines inserted dirty but not yet evicted: no reads ever.
+        assert sys_.counters.ecc_reads == 0
+
+
+class TestEccTrafficCharges:
+    def _run_with_pressure(self, scheme, ecc_parity_channels=None):
+        """Generate enough set pressure to evict ECC/XOR lines."""
+        items = []
+        for rep in range(6):
+            for i in range(600):
+                items.append((5, i * 16 + rep, True))
+        sys_ = make_system(
+            [synthetic_trace(items)], scheme=scheme, ecc_parity_channels=ecc_parity_channels
+        )
+        res = sys_.run(0, 100_000)
+        return res
+
+    def test_ecc_line_eviction_costs_one_write(self):
+        res = self._run_with_pressure(LotEcc5())
+        assert res.counters.ecc_writes > 0
+        assert res.counters.ecc_reads == 0  # LOT ECC lines never read
+
+    def test_xor_line_eviction_costs_read_plus_write(self):
+        res = self._run_with_pressure(LotEcc5(), ecc_parity_channels=4)
+        assert res.counters.ecc_writes > 0
+        assert res.counters.ecc_reads == res.counters.ecc_writes
+
+    def test_inline_scheme_no_ecc_traffic(self):
+        res = self._run_with_pressure(Chipkill18())
+        assert res.counters.ecc_reads == 0 and res.counters.ecc_writes == 0
+
+
+class TestDeterminism:
+    def test_same_trace_same_result(self):
+        items = [(13, (i * 37) % 500, i % 3 == 0) for i in range(300)]
+        a = make_system([synthetic_trace(list(items))]).run(100, 1000)
+        b = make_system([synthetic_trace(list(items))]).run(100, 1000)
+        assert a.cycles == b.cycles
+        assert a.energy.total == pytest.approx(b.energy.total)
+        assert a.accesses_64b == b.accesses_64b
+
+
+class TestMlpCores:
+    def _run(self, mlp, items=None):
+        items = items or [(10, i * 997, False) for i in range(200)]
+        scheme = Chipkill18()
+        mem = MemorySystem(
+            MemorySystemConfig(channels=2, ranks_per_channel=1, chip_widths=scheme.chip_widths())
+        )
+        sys_ = SimSystem(
+            mem,
+            [iter(list(items))],
+            EccTrafficModel.for_scheme(scheme),
+            llc=LLC(size_bytes=64 * 1024),
+            load_mlp=mlp,
+        )
+        return sys_.run(0, 100_000)
+
+    def test_mlp_overlaps_misses(self):
+        blocking = self._run(1)
+        mlp = self._run(4)
+        assert mlp.instructions == blocking.instructions
+        assert mlp.cycles < blocking.cycles  # overlap shortens the run
+
+    def test_mlp_same_traffic(self):
+        blocking = self._run(1)
+        mlp = self._run(4)
+        assert mlp.accesses_64b == blocking.accesses_64b
+
+    def test_mlp_one_equals_blocking(self):
+        a = self._run(1)
+        b = self._run(1)
+        assert a.cycles == b.cycles  # determinism sanity under the default

@@ -1,0 +1,105 @@
+"""Trace-file record/replay and layout-visualization tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.layout import Geometry, ParityLayout
+from repro.core.layout_viz import render_group, render_materialized_state, render_parity_layout
+from repro.core.machine import ECCParityMachine, PermanentFault
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.cpu.llc import LLC
+from repro.cpu.system import SimSystem
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.ecc import Chipkill18, LotEcc5
+from repro.workloads import WORKLOADS_BY_NAME, make_core_traces
+from repro.workloads.tracefile import load_traces, record, trace_summary
+
+
+class TestTraceFile:
+    def test_record_replay_identity(self, tmp_path):
+        traces = make_core_traces(WORKLOADS_BY_NAME["milc"], cores=2, seed=5)
+        path = tmp_path / "milc.npz"
+        record(traces, path, items_per_core=300)
+        fresh = make_core_traces(WORKLOADS_BY_NAME["milc"], cores=2, seed=5)
+        loaded = load_traces(path)
+        for c in range(2):
+            assert list(itertools.islice(fresh[c], 300)) == list(loaded[c])
+
+    def test_replay_ends_without_repeat(self, tmp_path):
+        traces = make_core_traces(WORKLOADS_BY_NAME["milc"], cores=1, seed=5)
+        path = tmp_path / "t.npz"
+        record(traces, path, items_per_core=50)
+        assert len(list(load_traces(path)[0])) == 50
+
+    def test_repeat_loops(self, tmp_path):
+        traces = make_core_traces(WORKLOADS_BY_NAME["milc"], cores=1, seed=5)
+        path = tmp_path / "t.npz"
+        record(traces, path, items_per_core=10)
+        looped = list(itertools.islice(load_traces(path, repeat=True)[0], 25))
+        assert len(looped) == 25
+        assert looped[:10] == looped[10:20]
+
+    def test_summary(self, tmp_path):
+        traces = make_core_traces(WORKLOADS_BY_NAME["lbm"], cores=2, seed=1)
+        path = tmp_path / "t.npz"
+        record(traces, path, items_per_core=500)
+        s = trace_summary(path)
+        assert s["cores"] == 2 and s["items"] == 1000
+        assert s["write_frac"] == pytest.approx(0.45, abs=0.07)
+        assert s["mean_gap"] == pytest.approx(1000 / 32.0, rel=0.2)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            record([iter([])], tmp_path / "t.npz", items_per_core=10)
+
+    def test_recorded_trace_drives_simulation(self, tmp_path):
+        """A replayed file produces the exact same SimResult."""
+        def build(traces):
+            scheme = Chipkill18()
+            mem = MemorySystem(
+                MemorySystemConfig(channels=2, ranks_per_channel=1,
+                                   chip_widths=scheme.chip_widths())
+            )
+            return SimSystem(mem, traces, EccTrafficModel.for_scheme(scheme),
+                             llc=LLC(size_bytes=64 * 1024))
+
+        path = tmp_path / "t.npz"
+        record(make_core_traces(WORKLOADS_BY_NAME["milc"], cores=2, seed=2,
+                                footprint_scale=64), path, items_per_core=400)
+        a = build(load_traces(path)).run(0, 50_000)
+        b = build(load_traces(path)).run(0, 50_000)
+        assert a.cycles == b.cycles and a.accesses_64b == b.accesses_64b
+
+
+class TestLayoutViz:
+    @pytest.fixture
+    def layout(self):
+        return ParityLayout(Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8))
+
+    def test_parity_map_dimensions(self, layout):
+        out = render_parity_layout(layout)
+        # one line per row plus headers/footers
+        assert out.count("\n") >= layout.geometry.rows_per_bank + 3
+        assert "P0" in out and "P3" in out
+
+    def test_parity_map_consistent_with_layout(self, layout):
+        out = render_parity_layout(layout)
+        row0 = [l for l in out.splitlines() if l.startswith("  0 |")][0]
+        p, _ = layout.group_of(0, 0)
+        assert f"P{p}" in row0
+
+    def test_group_rendering(self, layout):
+        out = render_group(layout, parity_channel=2, block=1)
+        assert out.count("member:") == 3
+        assert "parity: channel 2" in out
+
+    def test_materialized_state(self):
+        g = Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8)
+        m = ECCParityMachine(LotEcc5(), g, seed=1)
+        m.add_permanent_fault(PermanentFault(1, 0, (0, 12), (0, 8), 0, seed=2))
+        m.scrub()
+        out = render_materialized_state(m)
+        assert "M" in out
+        assert out.count("ch") >= 4

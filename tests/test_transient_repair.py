@@ -1,0 +1,89 @@
+"""Transient-fault injection and scrub-with-repair semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine import Address, ECCParityMachine, PermanentFault
+from repro.ecc import LotEcc5
+from repro.faults import FaultInjector, FaultMode
+
+
+@pytest.fixture
+def machine(small_geometry):
+    return ECCParityMachine(LotEcc5(), small_geometry, seed=33)
+
+
+class TestTransient:
+    def test_transient_corrupts_once(self, machine):
+        f = PermanentFault(0, 0, (2, 3), (0, 4), chip=1, seed=6)
+        machine.add_transient_fault(f)
+        assert machine.permanent_faults == []  # not registered
+        res = machine.read(Address(0, 0, 2, 1))
+        assert res.detected and res.corrected
+
+    def test_repair_heals_transient(self, machine):
+        """A single-line transient is fully healed by one repair pass."""
+        machine.add_transient_fault(PermanentFault(0, 0, (2, 3), (0, 1), 1, seed=6))
+        assert machine.scrub(repair=True) == 1
+        assert machine.scrub(repair=True) == 0
+        # The repaired line reads clean (its page is retired - the OS would
+        # have migrated it - but the stored bytes are pristine again).
+        res = machine._read_internal(Address(0, 0, 2, 0), count_errors=False)
+        assert not res.detected
+
+    def test_retired_pages_not_repaired(self, machine):
+        """Retirement (first error) stops scrubbing the rest of the page -
+        the OS migrates it instead, so lines 1..3 keep their corruption."""
+        machine.add_transient_fault(PermanentFault(0, 0, (2, 3), (0, 4), 1, seed=6))
+        assert machine.scrub(repair=True) == 1  # only line 0 processed
+        assert machine.health.is_retired(0, 0, 2)
+        assert machine.scrub(repair=True) == 0  # retired page skipped
+
+    def test_repair_keeps_parity_consistent(self, machine):
+        """After healing a single-line transient, every parity group is
+        exactly the XOR of its members again."""
+        machine.add_transient_fault(PermanentFault(1, 2, (4, 5), (3, 4), 0, seed=7))
+        machine.scrub(repair=True)
+        assert machine.audit_parity() == 0
+
+    def test_permanent_fault_reasserts_after_repair(self, machine):
+        machine.add_permanent_fault(PermanentFault(0, 0, (2, 3), (0, 4), 1, seed=6))
+        machine.scrub(repair=True)
+        # The device is still broken: corruption comes right back.
+        computed = machine.scheme.compute_detection(machine.data[0, 0, 2])
+        mismatch = np.any(computed != machine.detection[0, 0, 2], axis=-1)
+        assert mismatch.any()
+
+    def test_scrub_without_repair_leaves_corruption(self, machine):
+        machine.add_transient_fault(PermanentFault(0, 0, (2, 3), (0, 4), 1, seed=6))
+        first = machine.scrub(repair=False)
+        assert first > 0
+        # Still dirty (pages retired though, so not recounted).
+        computed = machine.scheme.compute_detection(machine.data[0, 0, 2])
+        assert np.any(computed != machine.detection[0, 0, 2])
+
+
+class TestInjectorTransient:
+    def test_transient_flag(self, machine):
+        inj = FaultInjector(machine, seed=1)
+        inj.inject(FaultMode.SINGLE_ROW, location=(0, 1, 2), transient=True)
+        assert machine.permanent_faults == []
+        machine.scrub(repair=True)
+        assert machine.scrub(repair=True) == 0  # retired or healed
+
+    def test_permanent_flag_registers(self, machine):
+        inj = FaultInjector(machine, seed=1)
+        inj.inject(FaultMode.SINGLE_ROW, location=(0, 1, 2), transient=False)
+        assert len(machine.permanent_faults) == 1
+
+    def test_mixed_campaign_all_correct(self, machine):
+        inj = FaultInjector(machine, seed=9)
+        inj.inject(FaultMode.SINGLE_BIT, location=(0, 0, 1), transient=True)
+        inj.inject(FaultMode.SINGLE_ROW, location=(2, 3, 2), transient=False)
+        machine.scrub(repair=True)
+        assert machine.stats.uncorrectable == 0
+        g = machine.geom
+        for addr in (Address(0, 0, 0, 0), Address(2, 3, 5, 1)):
+            res = machine._read_internal(addr, count_errors=False)
+            assert res.data is not None
+            assert np.array_equal(res.data, machine.golden[addr])

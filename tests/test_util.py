@@ -1,0 +1,117 @@
+"""Tests for repro.util: bit operations, units, RNG helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    bits_to_bytes,
+    bytes_to_bits,
+    deinterleave_symbols,
+    interleave_symbols,
+    make_rng,
+    popcount,
+    spawn_rngs,
+    xor_reduce,
+)
+from repro.util.units import DAYS, FIT_TO_PER_HOUR, GIB, KIB, MIB, YEARS
+
+
+class TestBits:
+    def test_roundtrip_simple(self):
+        data = np.array([0x00, 0xFF, 0xA5, 0x3C], dtype=np.uint8)
+        assert np.array_equal(bits_to_bytes(bytes_to_bits(data)), data)
+
+    def test_bit_order_msb_first(self):
+        bits = bytes_to_bits(np.array([0x80], dtype=np.uint8))
+        assert bits[0] == 1 and bits[1:].sum() == 0
+
+    def test_bits_shape(self):
+        data = np.zeros((3, 4), dtype=np.uint8)
+        assert bytes_to_bits(data).shape == (3, 32)
+
+    def test_bits_to_bytes_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.zeros(7, dtype=np.uint8))
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_roundtrip_property(self, raw):
+        data = np.frombuffer(raw, dtype=np.uint8)
+        assert np.array_equal(bits_to_bytes(bytes_to_bits(data)), data)
+
+
+class TestXorReduce:
+    def test_list_input(self):
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        b = np.array([4, 5, 6], dtype=np.uint8)
+        assert np.array_equal(xor_reduce([a, b]), a ^ b)
+
+    def test_stacked_input(self):
+        stack = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        assert np.array_equal(xor_reduce(stack), stack[0] ^ stack[1] ^ stack[2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            xor_reduce([])
+
+    def test_self_inverse(self, rng):
+        a = rng.integers(0, 256, 32, dtype=np.uint8)
+        b = rng.integers(0, 256, 32, dtype=np.uint8)
+        assert np.array_equal(xor_reduce([xor_reduce([a, b]), b]), a)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        assert popcount(np.array([0xFF], dtype=np.uint8)) == 8
+        assert popcount(np.array([0x00], dtype=np.uint8)) == 0
+        assert popcount(np.array([0x0F, 0xF0], dtype=np.uint8)) == 8
+
+    @given(st.integers(0, 255))
+    def test_single_byte(self, v):
+        assert popcount(np.array([v], dtype=np.uint8)) == bin(v).count("1")
+
+
+class TestInterleave:
+    def test_roundtrip(self, rng):
+        chunks = rng.integers(0, 256, (5, 8), dtype=np.uint8)
+        flat = interleave_symbols(chunks)
+        assert np.array_equal(deinterleave_symbols(flat, 5), chunks)
+
+    def test_interleave_order(self):
+        chunks = np.array([[1, 2], [10, 20], [100, 200]])
+        assert list(interleave_symbols(chunks)) == [1, 10, 100, 2, 20, 200]
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            deinterleave_symbols(np.arange(10), 3)
+
+
+class TestUnits:
+    def test_sizes(self):
+        assert KIB == 1024 and MIB == KIB**2 and GIB == KIB**3
+
+    def test_times(self):
+        assert DAYS == 24.0
+        assert YEARS == 365 * 24.0
+
+    def test_fit_conversion(self):
+        # 44 FIT over 7 years of 288 chips: ~0.78 expected faults.
+        rate = 288 * 44 * FIT_TO_PER_HOUR * 7 * YEARS
+        assert 0.7 < rate < 0.85
+
+
+class TestRng:
+    def test_seed_reproducible(self):
+        assert make_rng(7).integers(1 << 30) == make_rng(7).integers(1 << 30)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_spawn_independent(self):
+        a, b = spawn_rngs(42, 2)
+        assert a.integers(1 << 30) != b.integers(1 << 30)
+
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 5)) == 5

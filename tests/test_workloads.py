@@ -1,0 +1,120 @@
+"""Workload profile and trace generator tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ALL_WORKLOADS,
+    INSTANCE_STRIDE_LINES,
+    PARSEC,
+    SPEC,
+    WORKLOADS_BY_NAME,
+    make_core_traces,
+)
+
+
+def take(trace, n):
+    return list(itertools.islice(trace, n))
+
+
+class TestProfiles:
+    def test_sixteen_workloads(self):
+        assert len(ALL_WORKLOADS) == 16
+        assert len(SPEC) == 12 and len(PARSEC) == 4
+
+    def test_names_unique(self):
+        assert len(WORKLOADS_BY_NAME) == 16
+
+    def test_paper_named_workloads_present(self):
+        for name in ("sjeng", "omnetpp", "streamcluster"):
+            assert name in WORKLOADS_BY_NAME
+
+    def test_parameters_sane(self):
+        for w in ALL_WORKLOADS:
+            assert 0 < w.apki < 100
+            assert 0 < w.write_frac < 1
+            assert w.seq_run >= 1
+            assert w.footprint_lines > 0
+
+    def test_streamcluster_is_streaming(self):
+        """The workload the paper singles out for spatial locality."""
+        sc = WORKLOADS_BY_NAME["streamcluster"]
+        assert sc.seq_run >= 512  # long scans: the 128B-line baseline's friend
+
+    def test_sjeng_is_light(self):
+        assert WORKLOADS_BY_NAME["sjeng"].apki == min(w.apki for w in ALL_WORKLOADS)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = make_core_traces(SPEC[0], cores=2, seed=3)
+        b = make_core_traces(SPEC[0], cores=2, seed=3)
+        assert take(a[0], 50) == take(b[0], 50)
+
+    def test_seed_changes_stream(self):
+        a = make_core_traces(SPEC[0], cores=1, seed=3)[0]
+        b = make_core_traces(SPEC[0], cores=1, seed=4)[0]
+        assert take(a, 50) != take(b, 50)
+
+    def test_item_shape(self):
+        t = make_core_traces(SPEC[0], cores=1)[0]
+        gap, addr, is_write = next(t)
+        assert isinstance(gap, int) and gap >= 1
+        assert isinstance(addr, int) and addr >= 0
+        assert isinstance(is_write, bool)
+
+    def test_spec_instances_disjoint(self):
+        traces = make_core_traces(SPEC[0], cores=2, seed=0)
+        a = {addr for _, addr, _ in take(traces[0], 500)}
+        b = {addr for _, addr, _ in take(traces[1], 500)}
+        assert not (a & b)
+
+    def test_parsec_instances_shared(self):
+        traces = make_core_traces(WORKLOADS_BY_NAME["canneal"], cores=2, seed=0)
+        a = {addr for _, addr, _ in take(traces[0], 5000)}
+        b = {addr for _, addr, _ in take(traces[1], 5000)}
+        assert a & b
+
+    def test_mean_gap_tracks_apki(self):
+        wl = WORKLOADS_BY_NAME["mcf"]
+        t = make_core_traces(wl, cores=1, seed=1)[0]
+        gaps = [g for g, _, _ in take(t, 4000)]
+        measured_apki = 1000 / np.mean(gaps)
+        assert measured_apki == pytest.approx(wl.apki, rel=0.15)
+
+    def test_write_fraction(self):
+        wl = WORKLOADS_BY_NAME["lbm"]
+        t = make_core_traces(wl, cores=1, seed=1)[0]
+        writes = [w for _, _, w in take(t, 4000)]
+        assert np.mean(writes) == pytest.approx(wl.write_frac, abs=0.05)
+
+    def test_sequential_locality(self):
+        """streamcluster emits long +1 runs; canneal barely any."""
+
+        def seq_frac(name):
+            t = make_core_traces(WORKLOADS_BY_NAME[name], cores=1, seed=1)[0]
+            addrs = [a for _, a, _ in take(t, 4000)]
+            diffs = np.diff(addrs)
+            return float(np.mean(diffs == 1))
+
+        assert seq_frac("streamcluster") > 0.9
+        assert seq_frac("canneal") < 0.7
+        assert seq_frac("streamcluster") > seq_frac("canneal")
+
+    def test_128b_blocks_halve_address_space(self):
+        t64 = make_core_traces(SPEC[0], cores=1, seed=2, llc_block_bytes=64)[0]
+        t128 = make_core_traces(SPEC[0], cores=1, seed=2, llc_block_bytes=128)[0]
+        a64 = [a for _, a, _ in take(t64, 200)]
+        a128 = [a for _, a, _ in take(t128, 200)]
+        assert a128 == [a // 2 for a in a64]
+
+    def test_footprint_scaling(self):
+        wl = WORKLOADS_BY_NAME["mcf"]
+        t = make_core_traces(wl, cores=1, seed=1, footprint_scale=16)[0]
+        addrs = [a for _, a, _ in take(t, 5000)]
+        assert max(addrs) - min(addrs) <= wl.footprint_lines / 16 + 1
+
+    def test_instance_stride_is_huge(self):
+        assert INSTANCE_STRIDE_LINES * 64 == 1 << 40
