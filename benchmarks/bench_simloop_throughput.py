@@ -1,0 +1,163 @@
+"""Simulation-loop and sweep-engine throughput benchmarks.
+
+Not a paper figure - this guards the two performance claims of the
+parallel-evaluation engine: single-simulation event throughput from the
+scheduler/tag-dispatch kernels, and cold-cache matrix wall-clock with the
+process-parallel sweep versus the serial one.  Numbers land in
+``results/BENCH_simloop_throughput.json`` (plus a rendered table) so CI
+can archive them per commit.
+
+``REPRO_BENCH_QUICK=1`` (used by CI) shrinks the budgets so the whole file
+finishes in about a minute on one core; speedups on a loaded single-core
+runner are then indicative only - the acceptance numbers come from an
+unloaded multi-core run without the flag.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import once
+
+import repro.experiments.evaluation as ev
+from repro.ecc.catalog import SYSTEM_CLASSES
+from repro.experiments import parallel
+from repro.experiments.evaluation import Fidelity
+from repro.experiments.report import format_table
+from repro.experiments.runner import RunSpec, build_system
+from repro.workloads.profiles import WORKLOADS_BY_NAME
+
+QUICK_MODE = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: Instructions per phase for the single-sim measurement.
+SIM_INSTRUCTIONS = 60_000 if QUICK_MODE else 400_000
+SIM_REPS = 1 if QUICK_MODE else 3
+
+#: Cold-cache sweep: a sub-matrix small enough to run twice (serial then
+#: parallel) but wide enough that worker startup amortizes.
+MATRIX_FIDELITY = Fidelity("bench", scale=64, access_target=2_000 if QUICK_MODE else 8_000)
+MATRIX_WORKLOADS = ["streamcluster", "sjeng"] if QUICK_MODE else [
+    "streamcluster", "sjeng", "mcf", "lbm"
+]
+MATRIX_CONFIGS = ["chipkill18", "lot_ecc5_ep"]
+
+
+def _merge_results(results_dir, **fields):
+    path = results_dir / "BENCH_simloop_throughput.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data.update(fields)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _one_sim() -> "tuple[int, float]":
+    spec = RunSpec(
+        WORKLOADS_BY_NAME["mcf"],
+        SYSTEM_CLASSES["quad"]["lot_ecc5_ep"],
+        warmup_instructions=SIM_INSTRUCTIONS,
+        measure_instructions=SIM_INSTRUCTIONS,
+        seed=0,
+        scale=32,
+    )
+    system = build_system(spec)
+    t0 = time.perf_counter()
+    system.run(spec.resolved_warmup, spec.resolved_measure)
+    return system.events_scheduled, time.perf_counter() - t0
+
+
+def bench_single_sim_events_per_sec(benchmark, results_dir, emit):
+    """Event throughput of one timing simulation (best of SIM_REPS)."""
+
+    def measure():
+        best = None
+        for _ in range(SIM_REPS):
+            events, wall = _one_sim()
+            rate = events / wall
+            if best is None or rate > best[0]:
+                best = (rate, events, wall)
+        return best
+
+    rate, events, wall = once(benchmark, measure)
+    _merge_results(
+        results_dir,
+        single_sim={
+            "events": events,
+            "wall_s": round(wall, 4),
+            "events_per_sec": round(rate),
+            "instructions_per_phase": SIM_INSTRUCTIONS,
+            "quick_mode": QUICK_MODE,
+        },
+    )
+    emit(
+        "bench_simloop_single",
+        format_table(
+            ["metric", "value"],
+            [
+                ["events scheduled", f"{events}"],
+                ["wall seconds", f"{wall:.3f}"],
+                ["events / second", f"{rate:,.0f}"],
+            ],
+            title="Simulation-loop throughput (mcf, quad lot_ecc5_ep)",
+        ),
+    )
+    assert events > 0 and rate > 0
+
+
+def _sweep_wall(jobs: int) -> float:
+    """Cold-cache wall-clock of the benchmark sub-matrix with *jobs* workers."""
+    saved = ev.CACHE_DIR
+    with tempfile.TemporaryDirectory() as td:
+        ev.CACHE_DIR = Path(td)
+        try:
+            t0 = time.perf_counter()
+            ev.evaluation_matrix(
+                "quad",
+                fidelity=MATRIX_FIDELITY,
+                workloads=MATRIX_WORKLOADS,
+                config_keys=MATRIX_CONFIGS,
+                jobs=jobs,
+            )
+            return time.perf_counter() - t0
+        finally:
+            ev.CACHE_DIR = saved
+
+
+def bench_matrix_parallel_speedup(benchmark, results_dir, emit):
+    """Cold-cache sweep: serial vs REPRO_JOBS-parallel wall-clock."""
+    jobs = max(2, parallel.default_jobs())
+
+    def measure():
+        serial = _sweep_wall(1)
+        par = _sweep_wall(jobs)
+        return serial, par
+
+    serial, par = once(benchmark, measure)
+    speedup = serial / par if par else float("inf")
+    cells = len(MATRIX_WORKLOADS) * len(MATRIX_CONFIGS)
+    _merge_results(
+        results_dir,
+        matrix_sweep={
+            "cells": cells,
+            "jobs": jobs,
+            "serial_wall_s": round(serial, 3),
+            "parallel_wall_s": round(par, 3),
+            "speedup": round(speedup, 3),
+            "quick_mode": QUICK_MODE,
+        },
+    )
+    emit(
+        "bench_simloop_matrix",
+        format_table(
+            ["metric", "value"],
+            [
+                ["matrix cells", f"{cells}"],
+                ["workers", f"{jobs}"],
+                ["serial wall s", f"{serial:.2f}"],
+                ["parallel wall s", f"{par:.2f}"],
+                ["speedup", f"{speedup:.2f}x"],
+            ],
+            title="Cold-cache evaluation sweep, serial vs parallel",
+        ),
+    )
+    assert serial > 0 and par > 0

@@ -9,9 +9,11 @@ their fill/eviction traffic, which the simulation layer charges per kind.
 
 Implementation note (profiled per the HPC guide): the timing plane performs
 tens of millions of single-line accesses, so lookups use a flat dict
-(address -> way slot) with small per-set Python lists for LRU/dirty state -
-an order of magnitude faster here than per-set NumPy compares, whose
-per-call overhead dwarfs 16-element work.
+(address -> flat slot index) with flat Python lists for tag/LRU/dirty/kind
+state - an order of magnitude faster here than per-set NumPy compares,
+whose per-call overhead dwarfs 16-element work.  The dominant case by far
+is a hit, so ``access`` resolves it from the single dict probe alone
+(no set arithmetic, no victim scan, no allocation).
 """
 
 from __future__ import annotations
@@ -61,17 +63,32 @@ class LLC:
         self.n_sets = size_bytes // (assoc * line_size)
         if self.n_sets & (self.n_sets - 1):
             raise ValueError("set count must be a power of two")
-        n = self.n_sets
-        self._tags = [[-1] * assoc for _ in range(n)]
-        self._lru = [[0] * assoc for _ in range(n)]
-        self._dirty = [[False] * assoc for _ in range(n)]
-        self._kind = [[0] * assoc for _ in range(n)]
-        self._where: "dict[int, int]" = {}  # addr -> way (set is addr & mask)
+        slots = self.n_sets * assoc
+        self._set_mask = self.n_sets - 1
+        # Flat slot-indexed state (slot = set * assoc + way): one indexing
+        # level instead of two on every touch.
+        self._tags = [-1] * slots
+        self._lru = [0] * slots
+        self._dirty = [False] * slots
+        self._kind: "list[LineKind]" = [LineKind.DATA] * slots
+        self._where: "dict[int, int]" = {}  # addr -> flat slot index
+        # Ways fill strictly left to right (victims reuse their slot), so a
+        # set's occupancy count locates the next free way without scanning.
+        self._fill = [0] * self.n_sets
         self._clock = 0
-        self.stats = LLCStats()
+        self._hits = 0
+        self._misses = 0
+        self._evictions_dirty = 0
+
+    @property
+    def stats(self) -> LLCStats:
+        """Counter snapshot (kept as plain ints internally for hot-path speed)."""
+        return LLCStats(
+            hits=self._hits, misses=self._misses, evictions_dirty=self._evictions_dirty
+        )
 
     def _set_of(self, line_addr: int) -> int:
-        return line_addr & (self.n_sets - 1)
+        return line_addr & self._set_mask
 
     def probe(self, line_addr: int) -> bool:
         """Presence check without any state change."""
@@ -88,59 +105,54 @@ class LLC:
         Returns ``(hit, eviction)``; *eviction* is the displaced line (only
         meaningful traffic-wise when dirty, but always reported).
         """
-        self._clock += 1
-        s = self._set_of(line_addr)
-        w = self._where.get(line_addr)
-        if w is not None:
-            self._lru[s][w] = self._clock
+        slot = self._where.get(line_addr)
+        if slot is not None:
+            # Hit fast path: the dict probe resolves the slot directly.
+            self._clock = clock = self._clock + 1
+            self._lru[slot] = clock
             if make_dirty:
-                self._dirty[s][w] = True
-            self.stats.hits += 1
+                self._dirty[slot] = True
+            self._hits += 1
             return True, None
 
-        self.stats.misses += 1
-        tags = self._tags[s]
-        lru = self._lru[s]
-        victim_way = -1
-        best = None
-        for i in range(self.assoc):
-            if tags[i] == -1:
-                victim_way = i
-                break
-            if best is None or lru[i] < best:
-                best = lru[i]
-                victim_way = i
+        self._clock = clock = self._clock + 1
+        self._misses += 1
+        assoc = self.assoc
+        s = line_addr & self._set_mask
+        base = s * assoc
+        tags = self._tags
         evicted = None
-        old = tags[victim_way]
-        if old != -1:
-            evicted = Eviction(
-                addr=old,
-                kind=LineKind(self._kind[s][victim_way]),
-                dirty=self._dirty[s][victim_way],
-            )
+        filled = self._fill[s]
+        if filled < assoc:  # free way available: no victim scan, no eviction
+            victim = base + filled
+            self._fill[s] = filled + 1
+        else:
+            lru = self._lru
+            victim = base
+            best = lru[base]
+            for i in range(base + 1, base + assoc):
+                v = lru[i]
+                if v < best:
+                    best = v
+                    victim = i
+            old = tags[victim]
+            evicted = Eviction(addr=old, kind=self._kind[victim], dirty=self._dirty[victim])
             if evicted.dirty:
-                self.stats.evictions_dirty += 1
+                self._evictions_dirty += 1
             del self._where[old]
-        tags[victim_way] = line_addr
-        lru[victim_way] = self._clock
-        self._dirty[s][victim_way] = make_dirty
-        self._kind[s][victim_way] = int(kind)
-        self._where[line_addr] = victim_way
+        tags[victim] = line_addr
+        self._lru[victim] = clock
+        self._dirty[victim] = make_dirty
+        self._kind[victim] = kind
+        self._where[line_addr] = victim
         return False, evicted
 
     def flush_dirty(self) -> "list[Eviction]":
         """Drain every dirty line (end-of-run accounting helper)."""
         out = []
-        for s in range(self.n_sets):
-            dirty = self._dirty[s]
-            for w in range(self.assoc):
-                if dirty[w]:
-                    out.append(
-                        Eviction(
-                            addr=self._tags[s][w],
-                            kind=LineKind(self._kind[s][w]),
-                            dirty=True,
-                        )
-                    )
-                    dirty[w] = False
+        dirty = self._dirty
+        for slot in range(len(dirty)):
+            if dirty[slot]:
+                out.append(Eviction(addr=self._tags[slot], kind=self._kind[slot], dirty=True))
+                dirty[slot] = False
         return out

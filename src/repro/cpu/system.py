@@ -14,6 +14,7 @@ request stream and the DRAM system's response to it.
 
 from __future__ import annotations
 
+import copy
 import heapq
 import math
 from dataclasses import dataclass, field
@@ -28,6 +29,33 @@ from repro.ecc.base import EccTraffic
 
 #: A trace element: (instruction gap since last access, line address, is_write).
 TraceItem = "tuple[int, int, bool]"
+
+#: Memory-request tag codes.  Requests carry ``code | (core_id << TAG_SHIFT)``
+#: as a single small int: the completion handler and the counter dispatch in
+#: the enqueue hot path decode it with one mask/shift instead of the old
+#: per-request ``isinstance(tag, tuple)`` + string compares.
+TAG_SHIFT = 4
+TAG_FILL = 1  #: blocking demand fill; completion wakes the stalled core
+TAG_POSTFILL = 2  #: write-allocate fill posted through the write buffer
+TAG_POSTLOAD = 3  #: non-blocking load fill within the MLP window
+TAG_WB = 4  #: dirty data write-back
+TAG_ECCWB = 5  #: LOT-ECC GEC-line eviction write
+TAG_ECCRMW = 6  #: parity/XOR-line read-modify-write half
+TAG_ECCFILL = 7  #: ECC-line (or step-E old-data) memory read
+TAG_SCRUB = 8  #: patrol-scrub read
+
+_TAG_MASK = (1 << TAG_SHIFT) - 1
+
+#: Tags whose requests are latency-critical demand traffic in the channel
+#: scheduler (everything else is deferrable background work).
+_DEMAND_TAGS = frozenset({TAG_FILL, TAG_POSTFILL})
+
+#: Event kinds for the simulation heap (ints compare faster than strings).
+EV_CORE = 0
+EV_ACCESS = 1
+EV_BURST = 2
+EV_SCRUB = 3
+EV_CHAN = 4
 
 
 @dataclass(frozen=True)
@@ -145,7 +173,7 @@ class SimSystem:
         self.scrub_reads = 0
         self.cores = [CoreState(cid=i, trace=t) for i, t in enumerate(traces)]
         self.counters = AccessCounters()
-        self._heap: "list[tuple[int, int, str, int]]" = []
+        self._heap: "list[tuple[int, int, int, int]]" = []
         self._seq = 0
         self.now = 0
         #: Optional IPC timeline: (window_cycles, [instructions per window]).
@@ -165,24 +193,32 @@ class SimSystem:
 
     # -- event helpers -----------------------------------------------------------------
 
-    def _push(self, time: int, kind: str, payload: int) -> None:
+    def _push(self, time: int, kind: int, payload: int) -> None:
         heapq.heappush(self._heap, (time, self._seq, kind, payload))
         self._seq += 1
 
-    def _enqueue_mem(self, line_addr: int, is_write: bool, tag: object) -> None:
-        demand = isinstance(tag, tuple) and tag[0] in ("fill", "postfill")
-        ch = self.mem.enqueue(line_addr, is_write, self.now, tag, demand=demand)
+    @property
+    def events_scheduled(self) -> int:
+        """Total events pushed onto the simulation heap (throughput metric)."""
+        return self._seq
+
+    def _enqueue_mem(self, line_addr: int, is_write: bool, tag: int) -> None:
+        code = tag & _TAG_MASK
+        ch = self.mem.enqueue(
+            line_addr, is_write, self.now, tag, demand=code in _DEMAND_TAGS
+        )
+        counters = self.counters
         if is_write:
-            if isinstance(tag, tuple) and tag[0] in ("eccwb", "eccrmw"):
-                self.counters.ecc_writes += 1
+            if code == TAG_ECCWB or code == TAG_ECCRMW:
+                counters.ecc_writes += 1
             else:
-                self.counters.data_writes += 1
+                counters.data_writes += 1
         else:
-            if isinstance(tag, tuple) and tag[0] in ("eccfill", "eccrmw"):
-                self.counters.ecc_reads += 1
+            if code == TAG_ECCFILL or code == TAG_ECCRMW:
+                counters.ecc_reads += 1
             else:
-                self.counters.data_reads += 1
-        self._push(self.now, "chan", ch)
+                counters.data_reads += 1
+        self._push(self.now, EV_CHAN, ch)
 
     # -- write-back / ECC-state cascade ----------------------------------------------------
 
@@ -202,7 +238,7 @@ class SimSystem:
             if not victim.dirty:
                 continue
             if victim.kind == LineKind.DATA:
-                self._enqueue_mem(victim.addr, True, ("wb",))
+                self._enqueue_mem(victim.addr, True, TAG_WB)
                 if self._bank_faulty(victim.addr):
                     # Step D: update the materialized ECC line instead of
                     # the parity/ECC state.
@@ -212,10 +248,10 @@ class SimSystem:
             elif victim.kind == LineKind.ECC:
                 # LOT-ECC GEC line: recomputable from the written data, so
                 # eviction costs exactly one memory write (Section IV-C).
-                self._enqueue_mem(victim.addr, True, ("eccwb",))
+                self._enqueue_mem(victim.addr, True, TAG_ECCWB)
             else:  # XOR line: apply the compacted delta to the parity line
-                self._enqueue_mem(victim.addr, False, ("eccrmw",))
-                self._enqueue_mem(victim.addr, True, ("eccrmw",))
+                self._enqueue_mem(victim.addr, False, TAG_ECCRMW)
+                self._enqueue_mem(victim.addr, True, TAG_ECCRMW)
 
     def _update_ecc_state(self, data_addr: int) -> "list[Eviction]":
         """Touch the ECC/XOR cacheline covering a written-back data line.
@@ -231,9 +267,9 @@ class SimSystem:
             if self.ecc_model.kind == EccTraffic.XOR_LINE:
                 # Unoptimized step E: read old line value, then RMW the
                 # parity line (3 additional accesses, Section III-C).
-                self._enqueue_mem(data_addr, False, ("eccfill",))
-            self._enqueue_mem(addr, False, ("eccrmw",))
-            self._enqueue_mem(addr, True, ("eccrmw",))
+                self._enqueue_mem(data_addr, False, TAG_ECCFILL)
+            self._enqueue_mem(addr, False, TAG_ECCRMW)
+            self._enqueue_mem(addr, True, TAG_ECCRMW)
             return []
         kind = LineKind.ECC if self.ecc_model.kind == EccTraffic.ECC_LINE else LineKind.XOR
         _, ev = self.llc.access(addr, kind=kind, make_dirty=True)
@@ -258,7 +294,7 @@ class SimSystem:
         addr = self.degraded.ecc_addr(line_addr)
         hit, ev = self.llc.access(addr, kind=LineKind.ECC, make_dirty=dirty)
         if not hit:
-            self._enqueue_mem(addr, False, ("eccfill",))
+            self._enqueue_mem(addr, False, TAG_ECCFILL)
         return [ev] if ev is not None else []
 
     # -- core stepping --------------------------------------------------------------------
@@ -284,16 +320,17 @@ class SimSystem:
             self._window_instr[idx] += gap
         t_access = self.now + max(1, math.ceil(gap / self.IPC))
         core.pending = (addr, is_write)
-        self._push(t_access, "access", core.cid)
+        self._push(t_access, EV_ACCESS, core.cid)
 
     def _issue_access(self, core: CoreState) -> None:
         """Perform the scheduled LLC access at the current time."""
         addr, is_write = core.pending
         core.pending = None
         hit, ev = self.llc.access(addr, LineKind.DATA, make_dirty=is_write)
-        self._handle_eviction(ev)
+        if ev is not None:
+            self._handle_eviction(ev)
         if hit:
-            self._push(self.now + self.HIT_LATENCY, "core", core.cid)
+            self._push(self.now + self.HIT_LATENCY, EV_CORE, core.cid)
             return
         if self._bank_faulty(addr):
             # Step B: the ECC line is read alongside every memory read to a
@@ -302,16 +339,16 @@ class SimSystem:
         if is_write and core.outstanding_posted < self.POSTED_CAP:
             # Write-allocate fill posted through the write buffer.
             core.outstanding_posted += 1
-            self._enqueue_mem(addr, False, ("postfill", core.cid))
-            self._push(self.now + self.HIT_LATENCY, "core", core.cid)
+            self._enqueue_mem(addr, False, TAG_POSTFILL | core.cid << TAG_SHIFT)
+            self._push(self.now + self.HIT_LATENCY, EV_CORE, core.cid)
         elif not is_write and core.outstanding_loads + 1 < self.load_mlp:
             # Non-blocking load: overlap within the core's miss window.
             core.outstanding_loads += 1
-            self._enqueue_mem(addr, False, ("postload", core.cid))
-            self._push(self.now + self.HIT_LATENCY, "core", core.cid)
+            self._enqueue_mem(addr, False, TAG_POSTLOAD | core.cid << TAG_SHIFT)
+            self._push(self.now + self.HIT_LATENCY, EV_CORE, core.cid)
         else:
             core.waiting = True
-            self._enqueue_mem(addr, False, ("fill", core.cid))
+            self._enqueue_mem(addr, False, TAG_FILL | core.cid << TAG_SHIFT)
 
     # -- main loop ----------------------------------------------------------------------------
 
@@ -320,55 +357,64 @@ class SimSystem:
         self.total_instructions = 0
         target = warmup_instructions + measure_instructions
         for core in self.cores:
-            self._push(0, "core", core.cid)
+            self._push(0, EV_CORE, core.cid)
         if self.scrub is not None:
-            self._push(self.scrub.interval_cycles, "scrub", 0)
+            self._push(self.scrub.interval_cycles, EV_SCRUB, 0)
         for i, (cycle, _, _, _) in enumerate(self._bursts):
-            self._push(cycle, "burst", i)
+            self._push(cycle, EV_BURST, i)
 
         snap = None
         snap_state = None
         end_state = None
 
-        while self._heap:
-            time, _, kind, payload = heapq.heappop(self._heap)
-            self.now = max(self.now, time)
+        heap = self._heap
+        heappop = heapq.heappop
+        cores = self.cores
+        channels = self.mem.channels
+        while heap:
+            time, _, kind, payload = heappop(heap)
+            # Events are never scheduled in the past (every producer pushes at
+            # >= self.now), so heap pops are monotone and `now` needs no max().
+            assert time >= self.now, "non-monotonic event pop"
+            self.now = time
 
             if snap is None and self.total_instructions >= warmup_instructions:
-                snap = self.mem.snapshot_counters(self.now)
+                snap = self.mem.snapshot_counters(time)
                 snap_state = self._state_snapshot()
 
             if self.total_instructions >= target:
                 end_state = self._state_snapshot()
                 break
 
-            if kind == "core":
-                core = self.cores[payload]
+            # Dispatch most-frequent kind first: channel wakeups outnumber
+            # every other event class roughly two to one.
+            if kind == EV_CHAN:
+                done, nxt = channels[payload].advance(time)
+                for req in done:
+                    self._on_complete(req)
+                if nxt is not None:
+                    self._push(nxt, EV_CHAN, payload)
+            elif kind == EV_CORE:
+                core = cores[payload]
                 if not core.done:
                     self._step_core(core)
-            elif kind == "access":
-                self._issue_access(self.cores[payload])
-            elif kind == "burst":
+            elif kind == EV_ACCESS:
+                self._issue_access(cores[payload])
+            elif kind == EV_BURST:
                 _, reads, writes, base = self._bursts[payload]
                 for i in range(reads):
-                    self._enqueue_mem(base + i, False, ("scrub",))
+                    self._enqueue_mem(base + i, False, TAG_SCRUB)
                 for i in range(writes):
-                    self._enqueue_mem(base + i, True, ("wb",))
-            elif kind == "scrub":
+                    self._enqueue_mem(base + i, True, TAG_WB)
+            elif kind == EV_SCRUB:
                 # Stop patrolling once every core has retired its trace, or
                 # the self-rescheduling event would keep the heap alive.
                 if not all(c.done for c in self.cores):
                     addr = self._scrub_cursor % self.scrub.region_lines
                     self._scrub_cursor += 1
                     self.scrub_reads += 1
-                    self._enqueue_mem(addr, False, ("scrub",))
-                    self._push(self.now + self.scrub.interval_cycles, "scrub", 0)
-            elif kind == "chan":
-                done, nxt = self.mem.advance_channel(payload, self.now)
-                for req in done:
-                    self._on_complete(req)
-                if nxt is not None:
-                    self._push(nxt, "chan", payload)
+                    self._enqueue_mem(addr, False, TAG_SCRUB)
+                    self._push(self.now + self.scrub.interval_cycles, EV_SCRUB, 0)
 
         if snap is None:  # trace shorter than warm-up: measure everything
             snap = self.mem.snapshot_counters(0)
@@ -396,8 +442,6 @@ class SimSystem:
         )
 
     def _state_snapshot(self) -> dict:
-        import copy
-
         return dict(
             instructions=self.total_instructions,
             cycles=self.now,
@@ -409,13 +453,14 @@ class SimSystem:
 
     def _on_complete(self, req) -> None:
         tag = req.tag
-        if not isinstance(tag, tuple):
+        if type(tag) is not int:  # foreign requests (direct MemorySystem users)
             return
-        if tag[0] == "fill":
-            core = self.cores[tag[1]]
+        code = tag & _TAG_MASK
+        if code == TAG_FILL:
+            core = self.cores[tag >> TAG_SHIFT]
             core.waiting = False
-            self._push(req.complete + 1, "core", core.cid)
-        elif tag[0] == "postfill":
-            self.cores[tag[1]].outstanding_posted -= 1
-        elif tag[0] == "postload":
-            self.cores[tag[1]].outstanding_loads -= 1
+            self._push(req.complete + 1, EV_CORE, core.cid)
+        elif code == TAG_POSTFILL:
+            self.cores[tag >> TAG_SHIFT].outstanding_posted -= 1
+        elif code == TAG_POSTLOAD:
+            self.cores[tag >> TAG_SHIFT].outstanding_loads -= 1

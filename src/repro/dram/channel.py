@@ -23,7 +23,7 @@ from repro.dram.power import RankEnergyCounters
 from repro.dram.timing import DDR3Timing
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     """One line-sized memory request as seen by the channel."""
 
@@ -85,6 +85,16 @@ class Channel:
         self.last_was_write = False
         self.issued_requests = 0
         self._draining = False
+        # Incremental scheduler state, maintained on enqueue/pop so each
+        # issue decision avoids the O(queue) rebuild of the pending map and
+        # class census that dominated the profile.
+        self._pending_counts: "dict[tuple[int, int, int], int]" = {}
+        self._demand_count = 0
+        self._background_count = 0
+        # Earliest refresh deadline hint; 0 forces the first _service_refresh
+        # through the slow path, which syncs it (and absorbs any deadline a
+        # test mutated before the run started).
+        self._refresh_due = 0
 
     def _service_refresh(self, now: int) -> None:
         """Execute due auto-refreshes: all banks of the rank block for tRFC.
@@ -92,18 +102,26 @@ class Channel:
         Refreshes are processed when their deadline passes the current
         scheduling time; a request already issued with a future start may
         overlap the next deadline slightly (documented approximation).
+        The earliest deadline across ranks is tracked in ``_refresh_due``
+        so the no-refresh-due common case is a single compare.
         """
+        if now < self._refresh_due:
+            return
         t = self.timing
         for r in self.ranks:
             while r.next_refresh <= now:
                 start = max(r.next_refresh, 0)
                 end = start + t.trfc
-                for b in range(len(r.bank_ready)):
-                    r.bank_ready[b] = max(r.bank_ready[b], end)
+                ready = r.bank_ready
+                for b in range(len(ready)):
+                    if ready[b] < end:
+                        ready[b] = end
                 self._account_rank(r, start)
-                r.busy_until = max(r.busy_until, end)
+                if end > r.busy_until:
+                    r.busy_until = end
                 r.refreshes += 1
                 r.next_refresh += t.trefi
+        self._refresh_due = min(r.next_refresh for r in self.ranks)
 
     # -- queue interface ---------------------------------------------------------------
 
@@ -111,9 +129,33 @@ class Channel:
         return len(self.queue) < self.QUEUE_DEPTH
 
     def enqueue(self, req: MemRequest) -> None:
-        if not self.can_accept():
+        queue = self.queue
+        if len(queue) >= self.QUEUE_DEPTH:
             raise RuntimeError("channel queue overflow; caller must respect can_accept()")
-        self.queue.append(req)
+        queue.append(req)
+        key = (req.rank, req.bank, req.row)
+        counts = self._pending_counts
+        counts[key] = counts.get(key, 0) + 1
+        if req.demand:
+            self._demand_count += 1
+        else:
+            self._background_count += 1
+
+    def _pop_index(self, idx: int) -> MemRequest:
+        """Remove queue[idx], keeping the incremental scheduler state in sync."""
+        req = self.queue.pop(idx)
+        key = (req.rank, req.bank, req.row)
+        counts = self._pending_counts
+        n = counts[key] - 1
+        if n:
+            counts[key] = n
+        else:
+            del counts[key]
+        if req.demand:
+            self._demand_count -= 1
+        else:
+            self._background_count -= 1
+        return req
 
     @property
     def pending(self) -> int:
@@ -126,13 +168,16 @@ class Channel:
         t0 = r.accounted_to
         if upto <= t0:
             return
-        active_end = min(upto, r.busy_until)
+        busy = r.busy_until
+        active_end = busy if busy < upto else upto
         if active_end > t0:
             r.counters.cycles_active += active_end - t0
-        idle_start = max(t0, r.busy_until)
+        idle_start = t0 if t0 > busy else busy
         if upto > idle_start:
-            pd_point = r.busy_until + self.POWERDOWN_DELAY
-            standby_end = min(upto, max(idle_start, pd_point))
+            pd_point = busy + self.POWERDOWN_DELAY
+            standby_end = idle_start if idle_start > pd_point else pd_point
+            if standby_end > upto:
+                standby_end = upto
             if standby_end > idle_start:
                 r.counters.cycles_precharge_standby += standby_end - idle_start
             if upto > standby_end:
@@ -150,43 +195,60 @@ class Channel:
     # -- scheduling ---------------------------------------------------------------------
 
     def _earliest_start(self, req: MemRequest, now: int) -> int:
-        """Earliest cycle the ACT for *req* could issue."""
+        """Earliest cycle the ACT for *req* could issue.
+
+        Called once per issuable candidate per scheduling step - the
+        innermost loop of the whole timing plane - so comparisons are
+        written out instead of chaining ``max()`` calls.
+        """
         t = self.timing
         r = self.ranks[req.rank]
-        start = max(now, r.bank_ready[req.bank])
-        if r.act_times:
-            start = max(start, r.act_times[-1] + t.trrd)
-            if len(r.act_times) == 4:
-                start = max(start, r.act_times[0] + t.tfaw)
+        is_write = req.is_write
+        start = r.bank_ready[req.bank]
+        if now > start:
+            start = now
+        act_times = r.act_times
+        if act_times:
+            v = act_times[-1] + t.trrd
+            if v > start:
+                start = v
+            if len(act_times) == 4:
+                v = act_times[0] + t.tfaw
+                if v > start:
+                    start = v
         # Data-bus slot: data appears trcd + tcl/tcwl after ACT.  Turnaround
         # gaps apply only on direction changes (write->read pays tWTR,
         # read->write the small rank turnaround), so batched writes stream
         # back to back.
-        data_delay = t.trcd + (t.tcwl if req.is_write else t.tcl)
-        if self.last_was_write and not req.is_write:
-            gap = t.twtr
-        elif not self.last_was_write and req.is_write:
-            gap = t.trtrs
+        if is_write:
+            v = self.bus_free + (0 if self.last_was_write else t.trtrs) - t.trcd - t.tcwl
         else:
-            gap = 0
-        start = max(start, self.bus_free + gap - data_delay)
+            v = self.bus_free + (t.twtr if self.last_was_write else 0) - t.trcd - t.tcl
+        if v > start:
+            start = v
         # Power-down exit: if the rank has dropped CKE by `start`, add tXP.
         if start >= r.busy_until + self.POWERDOWN_DELAY:
             start += t.txp
         return start
 
     def _pick(self, now: int) -> "tuple[int, MemRequest] | None":
-        """Most-Pending choice: (start_cycle, request) or None if queue empty."""
-        if not self.queue:
+        """Most-Pending choice: (start_cycle, request) or None if queue empty.
+
+        Uses the incrementally-maintained pending map and demand/background
+        census (see :meth:`enqueue` / :meth:`_pop_index`); the slow
+        rebuild-from-scratch version survives as :meth:`_pick_reference` and
+        the two are property-tested to pick identical sequences.
+        """
+        queue = self.queue
+        if not queue:
             return None
-        if len(self.queue) == 1:
-            # Fast path for the common near-empty queue: no class or
-            # pending-count bookkeeping needed.
-            q = self.queue.pop()
+        if len(queue) == 1:
+            # Fast path for the common near-empty queue.
+            q = self._pop_index(0)
             self._draining = not q.demand
             return self._earliest_start(q, now), q
-        background = sum(1 for q in self.queue if not q.demand)
-        demand = len(self.queue) - background
+        background = self._background_count
+        demand = self._demand_count
         # Demand fills outrank background traffic (write-backs and ECC-state
         # RMWs).  Background drains in *batches* - entered on a full backlog
         # or an idle read queue, exited at the low watermark - so writes
@@ -198,17 +260,53 @@ class Channel:
             self._draining = True
         elif background <= self.WRITE_DRAIN_LOW and demand > 0:
             self._draining = False
-        drain_background = self._draining and background > 0
-        # Count queued requests per (rank, bank, row) for the pending metric.
-        pending: "dict[tuple[int, int, int], int]" = {}
-        for q in self.queue:
-            key = (q.rank, q.bank, q.row)
-            pending[key] = pending.get(key, 0) + 1
+        want_demand = not (self._draining and background > 0)
         # The serviced class is never empty: drain mode implies queued
         # background work, non-drain mode implies a queued demand request.
         # Readiness comes first - issuing a request whose bank frees far in
         # the future would reserve the data bus and head-of-line-block ready
         # work - then Most-Pending row grouping, then age.
+        pending = self._pending_counts
+        earliest = self._earliest_start
+        best = None
+        for idx, q in enumerate(queue):
+            if q.demand != want_demand:
+                continue
+            start = earliest(q, now)
+            key = (start, -pending[(q.rank, q.bank, q.row)], q.arrive, idx)
+            if best is None or key < best[0]:
+                best = (key, start, idx)
+        _, start, idx = best
+        return start, self._pop_index(idx)
+
+    def _pick_reference(self, now: int) -> "tuple[int, MemRequest] | None":
+        """Reference Most-Pending implementation, O(queue) rebuild per call.
+
+        This is the original scheduler kept verbatim as ground truth for the
+        incremental :meth:`_pick`: it recomputes the class census and the
+        per-(rank, bank, row) pending map from the queue on every decision.
+        Pops still route through :meth:`_pop_index` so the incremental
+        bookkeeping stays consistent when tests interleave the two.
+        """
+        if not self.queue:
+            return None
+        if len(self.queue) == 1:
+            q = self._pop_index(0)
+            self._draining = not q.demand
+            return self._earliest_start(q, now), q
+        background = sum(1 for q in self.queue if not q.demand)
+        demand = len(self.queue) - background
+        if background == 0:
+            self._draining = False
+        elif background >= self.WRITE_DRAIN or demand == 0:
+            self._draining = True
+        elif background <= self.WRITE_DRAIN_LOW and demand > 0:
+            self._draining = False
+        drain_background = self._draining and background > 0
+        pending: "dict[tuple[int, int, int], int]" = {}
+        for q in self.queue:
+            key = (q.rank, q.bank, q.row)
+            pending[key] = pending.get(key, 0) + 1
         best = None
         for idx, q in enumerate(self.queue):
             if q.demand != (not drain_background):
@@ -218,7 +316,7 @@ class Channel:
             if best is None or key < best[0]:
                 best = (key, start, idx)
         _, start, idx = best
-        return start, self.queue.pop(idx)
+        return start, self._pop_index(idx)
 
     def advance(self, now: int) -> "tuple[list[MemRequest], int | None]":
         """Issue at most one request at/after *now*.
@@ -227,28 +325,32 @@ class Channel:
         caller re-invokes at the returned cycle to keep the pipeline fed.
         """
         self._service_refresh(now)
+        if not self.queue:  # idle wakeup: half of all advance calls
+            return [], None
         picked = self._pick(now)
         if picked is None:
             return [], None
         start, req = picked
         t = self.timing
         r = self.ranks[req.rank]
+        is_write = req.is_write
 
         self._account_rank(r, start)
-        data_start = start + t.trcd + (t.tcwl if req.is_write else t.tcl)
+        data_start = start + t.trcd + (t.tcwl if is_write else t.tcl)
         data_end = data_start + t.tburst
-        occupancy = t.bank_busy_write if req.is_write else t.bank_busy_read
-        r.bank_ready[req.bank] = start + occupancy
+        busy_end = start + (t.bank_busy_write if is_write else t.bank_busy_read)
+        r.bank_ready[req.bank] = busy_end
         r.act_times.append(start)
-        r.busy_until = max(r.busy_until, start + occupancy)
+        if busy_end > r.busy_until:
+            r.busy_until = busy_end
         self.bus_free = data_end
 
         r.counters.activates += 1
-        if req.is_write:
+        if is_write:
             r.counters.write_bursts += 1
         else:
             r.counters.read_bursts += 1
-        self.last_was_write = req.is_write
+        self.last_was_write = is_write
 
         req.issue = start
         req.complete = data_end

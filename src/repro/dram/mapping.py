@@ -9,7 +9,7 @@ banks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import NamedTuple
 
 
@@ -44,6 +44,12 @@ class AddressMapping:
     #: everything else uses the remaining ranks.  None disables arenas.
     hot_arena_base_line: "int | None" = None
     hot_ranks: int = 1
+    #: Decode memo: the mapping is a pure function of the address and the
+    #: timing plane re-maps the same LLC-footprint lines millions of times,
+    #: so each instance caches its decoded coordinates.
+    _coord_cache: "dict[int, DramCoord]" = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self):
         if self.policy not in ("interleave", "sequential"):
@@ -58,7 +64,13 @@ class AddressMapping:
         return self.page_size // self.line_size
 
     def map_line(self, line_addr: int) -> DramCoord:
-        """Map a line-granularity address to its DRAM coordinates."""
+        """Map a line-granularity address to its DRAM coordinates (memoized)."""
+        coord = self._coord_cache.get(line_addr)
+        if coord is None:
+            coord = self._coord_cache[line_addr] = self._decode(line_addr)
+        return coord
+
+    def _decode(self, line_addr: int) -> DramCoord:
         page, offset = divmod(line_addr, self.lines_per_page)
         channel = page % self.channels
         page_in_chan = page // self.channels

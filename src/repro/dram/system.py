@@ -68,6 +68,7 @@ class MemorySystem:
         #: 64B-granularity access counter (Fig. 16's metric: a 128B line
         #: transfer counts as two accesses).
         self.accesses_64b = 0
+        self._units_64b = max(1, config.line_size // 64)
 
     # -- request interface ------------------------------------------------------------------
 
@@ -90,10 +91,25 @@ class MemorySystem:
     def enqueue(
         self, line_addr: int, is_write: bool, now: int, tag: object, demand: bool = False
     ) -> int:
-        """Queue a line request; returns the channel index it landed on."""
-        ch, req = self.build_request(line_addr, is_write, now, tag, demand)
-        self.channels[ch].enqueue(req)
-        self.accesses_64b += max(1, self.config.line_size // 64)
+        """Queue a line request; returns the channel index it landed on.
+
+        Open-codes :meth:`build_request` - this is the timing plane's
+        request hot path (millions of calls per sweep).
+        """
+        coord = self.mapping.map_line(line_addr)
+        ch = coord[0]
+        self.channels[ch].enqueue(
+            MemRequest(
+                rank=coord[1],
+                bank=coord[2],
+                row=coord[3],
+                is_write=is_write,
+                arrive=now,
+                tag=tag,
+                demand=demand,
+            )
+        )
+        self.accesses_64b += self._units_64b
         return ch
 
     def advance_channel(self, index: int, now: int) -> "tuple[list[MemRequest], int | None]":

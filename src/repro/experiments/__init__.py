@@ -12,8 +12,10 @@ from repro.experiments.evaluation import (
     bins,
     current_fidelity,
     evaluation_matrix,
+    instruction_budget,
     workload_order,
 )
+from repro.experiments.parallel import default_jobs, run_cells
 from repro.experiments.performance import PerfReport, perf_report
 from repro.experiments.reliability import figure2, figure8, figure18
 from repro.experiments.report import format_barchart, format_percent, format_table, geomean
@@ -50,7 +52,10 @@ __all__ = [
     "bins",
     "current_fidelity",
     "evaluation_matrix",
+    "instruction_budget",
     "workload_order",
+    "default_jobs",
+    "run_cells",
     "PerfReport",
     "perf_report",
     "figure2",

@@ -17,12 +17,11 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.ecc.catalog import SYSTEM_CLASSES
-from repro.experiments.runner import RunSpec, run
-from repro.workloads.profiles import ALL_WORKLOADS, PROFILES_VERSION, WORKLOADS_BY_NAME
+from repro.workloads.profiles import ALL_WORKLOADS, PROFILES_VERSION
 
 #: All configuration keys evaluated in Figures 9-17.
 CONFIG_KEYS = [
@@ -106,6 +105,39 @@ def _cache_path(system_class: str, fidelity: Fidelity, seed: int) -> Path:
     )
 
 
+def instruction_budget(access_target: int, wl) -> int:
+    """Instructions per phase sized to hit roughly *access_target* LLC refs.
+
+    Shared by the serial and parallel paths so a cell's RunSpec is identical
+    no matter which of them built it.
+    """
+    return int(access_target * 1000 / wl.apki)
+
+
+def _load_cache(path: Path) -> "dict[str, dict]":
+    """Read a matrix cache, treating missing/corrupt files as empty.
+
+    A sweep interrupted mid-write (pre-atomic caches) or a truncated file
+    must not take the whole matrix down - the affected cells are simply
+    recomputed and the file rewritten.
+    """
+    try:
+        cache = json.loads(path.read_text())
+    except FileNotFoundError:
+        return {}
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    return cache if isinstance(cache, dict) else {}
+
+
+def _write_cache_atomic(path: Path, cache: "dict[str, dict]") -> None:
+    """Replace the cache file atomically (temp file + rename, same dir)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(cache))
+    os.replace(tmp, path)
+
+
 def evaluation_matrix(
     system_class: str = "quad",
     fidelity: "Fidelity | None" = None,
@@ -113,46 +145,43 @@ def evaluation_matrix(
     workloads: "list[str] | None" = None,
     config_keys: "list[str] | None" = None,
     use_cache: bool = True,
+    jobs: "int | None" = None,
 ) -> "dict[tuple[str, str], CellResult]":
-    """The workload x configuration sweep for one system class, cached."""
+    """The workload x configuration sweep for one system class, cached.
+
+    Cells missing from the cache are simulated - in parallel across
+    processes when *jobs* (default: ``REPRO_JOBS``, else CPU count) allows -
+    and merged back under their ``workload|config`` key, so the returned
+    matrix is independent of completion order and bit-identical to a serial
+    sweep.  The cache is flushed atomically after every finished cell, so an
+    interrupted sweep resumes where it stopped.
+    """
     fidelity = fidelity or current_fidelity()
     wl_names = workloads or [w.name for w in ALL_WORKLOADS]
     keys = config_keys or CONFIG_KEYS
+    if system_class not in SYSTEM_CLASSES:
+        raise KeyError(system_class)
 
-    cache: "dict[str, dict]" = {}
     path = _cache_path(system_class, fidelity, seed)
-    if use_cache and path.exists():
-        cache = json.loads(path.read_text())
+    cache = _load_cache(path) if use_cache else {}
 
-    configs = SYSTEM_CLASSES[system_class]
-    out: "dict[tuple[str, str], CellResult]" = {}
-    dirty = False
-    for wl_name in wl_names:
-        wl = WORKLOADS_BY_NAME[wl_name]
-        for key in keys:
-            ck = f"{wl_name}|{key}"
-            if ck in cache:
-                out[(wl_name, key)] = CellResult(**cache[ck])
-                continue
-            instructions = int(fidelity.access_target * 1000 / wl.apki)
-            spec = RunSpec(
-                wl,
-                configs[key],
-                warmup_instructions=instructions,
-                measure_instructions=instructions,
-                seed=seed,
-                scale=fidelity.scale,
-            )
-            cell = _cell_from_result(run(spec))
-            out[(wl_name, key)] = cell
-            cache[ck] = asdict(cell)
-            dirty = True
-        if use_cache and dirty:
-            # Flush after every workload so an interrupted sweep resumes.
-            CACHE_DIR.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(cache))
-            dirty = False
-    return out
+    missing = [(w, k) for w in wl_names for k in keys if f"{w}|{k}" not in cache]
+    if missing:
+        # Deferred import: repro.experiments.parallel imports this module.
+        from repro.experiments import parallel
+
+        for wl_name, key, cell in parallel.run_cells(
+            system_class, missing, fidelity, seed, jobs=jobs
+        ):
+            cache[f"{wl_name}|{key}"] = cell
+            if use_cache:
+                _write_cache_atomic(path, cache)
+
+    return {
+        (wl_name, key): CellResult(**cache[f"{wl_name}|{key}"])
+        for wl_name in wl_names
+        for key in keys
+    }
 
 
 def workload_order(matrix: "dict[tuple[str, str], CellResult]", reference_key: str = "chipkill36") -> "list[str]":

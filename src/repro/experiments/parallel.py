@@ -1,0 +1,117 @@
+"""Process-parallel fan-out of evaluation-matrix cells.
+
+Every (workload, configuration) cell of the evaluation matrix is an
+independent, deterministic simulation: the core traces are seeded per
+:class:`~repro.experiments.runner.RunSpec` and nothing is shared between
+cells at run time.  That makes the sweep embarrassingly parallel - this
+module fans the missing cells of a matrix over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and streams results back
+in completion order.
+
+Workers receive only primitives (names, ints) and rebuild the ``RunSpec``
+themselves, so nothing unpicklable ever crosses the process boundary and a
+cell computed in a worker is bit-identical to the same cell computed
+serially.  The worker count comes from the ``REPRO_JOBS`` environment
+variable (default: ``os.cpu_count()``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict
+from typing import Iterable, Iterator
+
+from repro.ecc.catalog import SYSTEM_CLASSES
+from repro.experiments import evaluation
+from repro.experiments.runner import RunSpec, run
+from repro.workloads.profiles import WORKLOADS_BY_NAME
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else the machine's CPU count."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+        if jobs < 1:
+            raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
+    return os.cpu_count() or 1
+
+
+def _run_cell(
+    system_class: str,
+    wl_name: str,
+    config_key: str,
+    scale: int,
+    access_target: int,
+    seed: int,
+) -> "tuple[str, str, dict]":
+    """Worker entry point: simulate one cell rebuilt from primitives.
+
+    Module-level (picklable) and pure: the RunSpec is reconstructed from the
+    same formula the serial path uses, and the simulation seeds itself from
+    *seed*, so results do not depend on which process ran the cell.
+    """
+    wl = WORKLOADS_BY_NAME[wl_name]
+    instructions = evaluation.instruction_budget(access_target, wl)
+    spec = RunSpec(
+        wl,
+        SYSTEM_CLASSES[system_class][config_key],
+        warmup_instructions=instructions,
+        measure_instructions=instructions,
+        seed=seed,
+        scale=scale,
+    )
+    return wl_name, config_key, asdict(evaluation._cell_from_result(run(spec)))
+
+
+def run_cells(
+    system_class: str,
+    cells: "Iterable[tuple[str, str]]",
+    fidelity: "evaluation.Fidelity",
+    seed: int,
+    jobs: "int | None" = None,
+) -> "Iterator[tuple[str, str, dict]]":
+    """Simulate *cells* and yield ``(workload, config_key, cell_dict)``.
+
+    Results stream back in completion order (callers key by name, so order
+    does not matter for correctness).  With ``jobs == 1`` or a single cell
+    everything runs in-process - no executor, no pickling - which keeps the
+    serial path byte-for-byte the reference behaviour.
+    """
+    cells = list(cells)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs == 1 or len(cells) <= 1:
+        for wl_name, key in cells:
+            yield _run_cell(
+                system_class, wl_name, key, fidelity.scale, fidelity.access_target, seed
+            )
+        return
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(cells)))
+    try:
+        futures = [
+            pool.submit(
+                _run_cell,
+                system_class,
+                wl_name,
+                key,
+                fidelity.scale,
+                fidelity.access_target,
+                seed,
+            )
+            for wl_name, key in cells
+        ]
+        for fut in as_completed(futures):
+            yield fut.result()
+    except BaseException:
+        # Ctrl-C or an abandoned generator: drop pending work and return
+        # without blocking on the pool - cells already yielded are merged
+        # (and cached) by the caller, so the sweep resumes where it stopped.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown()
