@@ -8,7 +8,8 @@ from repro.faults import added_uncorrectable_interval_years
 
 
 def bench_collision_pessimism(benchmark, emit):
-    res = once(benchmark, lambda: two_fault_collision_mc(trials=60, seed=0))
+    # trials: REPRO_MC_TRIALS if set, else the 60 default.
+    res = once(benchmark, lambda: two_fault_collision_mc(seed=0))
     bound_years = added_uncorrectable_interval_years(8.0, 100.0)
     tighter = bound_years / max(res.collision_fraction, 1e-9)
     table = format_table(

@@ -10,7 +10,9 @@ from repro.experiments.coverage import coverage_study
 
 def bench_coverage_study(benchmark, emit):
     schemes = [Chipkill36(), Chipkill18(), DoubleChipkill40(), LotEcc5(), LotEcc9()]
-    rows = once(benchmark, lambda: coverage_study(schemes, trials=150, seed=0))
+    # trials: REPRO_MC_TRIALS if set, else the 200 default.
+    rows = once(benchmark, lambda: coverage_study(schemes, seed=0))
+    trials = rows[0].trials
     table = format_table(
         ["scheme", "pattern", "corrected", "flagged", "silent/wrong"],
         [
@@ -18,7 +20,7 @@ def bench_coverage_study(benchmark, emit):
              f"{r.detected_uncorrectable / r.trials:.1%}", f"{r.silent_rate:.1%}"]
             for r in rows
         ],
-        title="Measured coverage (150 trials/cell): every scheme corrects its\n"
+        title=f"Measured coverage ({trials} trials/cell): every scheme corrects its\n"
         "specified fault; beyond-spec faults must flag, not corrupt silently",
     )
     emit("coverage_study", table)
@@ -34,7 +36,7 @@ def bench_coverage_study(benchmark, emit):
         else:
             assert row.corrected == row.trials, s.name
     # Only double chipkill corrects double kills.
-    assert by[("40-device double chipkill", "double-chip kill")].corrected == 150
+    assert by[("40-device double chipkill", "double-chip kill")].corrected == trials
     # The paper's caveat: ck18's consumed detection margin shows up as a
     # nonzero silent/miscorrection rate on double kills, where ck36 stays safe.
     ck36 = by[("36-device commercial chipkill", "double-chip kill")]

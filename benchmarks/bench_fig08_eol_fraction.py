@@ -7,7 +7,8 @@ from repro.experiments.reliability import figure8
 
 
 def bench_fig08_eol_fraction(benchmark, emit):
-    rows = once(benchmark, lambda: figure8(trials=20000, seed=0))
+    # trials: REPRO_MC_TRIALS if set, else the 20k default.
+    rows = once(benchmark, lambda: figure8(seed=0))
     table = format_table(
         ["channels", "avg fraction", "99.9th pct"],
         [[r.channels, f"{r.mean_fraction:.3%}", f"{r.p999_fraction:.2%}"] for r in rows],

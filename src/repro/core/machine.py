@@ -71,6 +71,17 @@ class ReadResult:
 
 
 @dataclass
+class BatchReadResult:
+    """Per-line outcome arrays of a batched read (see :meth:`read_lines`)."""
+
+    data: np.ndarray  #: (T, line_size) corrected data; zeros where not ``ok``
+    ok: np.ndarray  #: (T,) bool - data row is valid
+    detected: np.ndarray  #: (T,) bool - an error was detected
+    corrected: np.ndarray  #: (T,) bool - the error was corrected
+    uncorrectable: np.ndarray  #: (T,) bool - correction failed
+
+
+@dataclass
 class PermanentFault:
     """A device fault that keeps corrupting its region until it is excluded.
 
@@ -128,20 +139,47 @@ class ECCParityMachine:
         return slice(rel, self.geom.rows_per_bank, n - 1)
 
     def _rebuild_parity_bank(self, bank: int) -> None:
-        """Recompute every parity group of *bank* (all parity channels)."""
+        """Recompute every parity group of *bank* (all parity channels).
+
+        One batched correction pass over the bank's data in every channel,
+        then pure XOR folds: after reshaping the rows axis to ``(blocks,
+        n-1)``, slot ``(c - p - 1) % n`` of the ``n-1`` axis holds exactly
+        the member rows of channel *c* whose parity lives in channel *p*
+        (the stride :meth:`_member_rows` walks), so no per-(parity, channel)
+        re-encoding is needed.
+        """
         n = self.geom.channels
+        corr = self.scheme.compute_correction(self.data[:, bank])
+        corr = corr.reshape(n, self.layout.blocks_per_bank, n - 1, *corr.shape[2:])
         for p in range(n):
             acc = np.zeros_like(self.parity[p, bank])
             for c in range(n):
                 if c == p or (c, bank) in self.excluded:
                     continue
-                rows = self.data[c, bank, self._member_rows(p, c)]
-                acc ^= self.scheme.compute_correction(rows)
+                acc ^= corr[c, :, (c - p - 1) % n]
             self.parity[p, bank] = acc
 
     def _rebuild_all_parity(self) -> None:
-        for bank in range(self.geom.banks):
-            self._rebuild_parity_bank(bank)
+        """Recompute every parity group of the machine.
+
+        With no excluded banks (the common case - initialization and any
+        point before the first materialization) this is a single correction
+        pass over the *entire* data array plus XOR folds; otherwise fall
+        back to the per-bank rebuild, which honours per-bank exclusions.
+        """
+        if self.excluded:
+            for bank in range(self.geom.banks):
+                self._rebuild_parity_bank(bank)
+            return
+        n, banks = self.geom.channels, self.geom.banks
+        corr = self.scheme.compute_correction(self.data)
+        corr = corr.reshape(n, banks, self.layout.blocks_per_bank, n - 1, *corr.shape[3:])
+        for p in range(n):
+            acc = np.zeros_like(self.parity[p])
+            for c in range(n):
+                if c != p:
+                    acc ^= corr[c, :, :, (c - p - 1) % n]
+            self.parity[p] = acc
 
     # -- fault application ---------------------------------------------------------------
 
@@ -429,6 +467,73 @@ class ECCParityMachine:
             return rebuilt
         return self.scheme.compute_correction(line)
 
+    # -- batched reads -----------------------------------------------------------------------
+
+    def _faulty_bank_grid(self) -> np.ndarray:
+        """(channels, banks) bool grid of the health table's faulty pairs."""
+        grid = np.zeros((self.geom.channels, self.geom.banks), dtype=bool)
+        for channel, pair in self.health.faulty_pairs:
+            grid[channel, 2 * pair] = grid[channel, 2 * pair + 1] = True
+        return grid
+
+    def read_lines(self, addrs, count_errors: bool = True) -> BatchReadResult:
+        """Batched application read: equivalent to :meth:`read` per address.
+
+        Detection runs as one array program over all requested lines; runs
+        of clean lines are accounted in bulk (their reads have no side
+        effects beyond counters), while each dirty line takes the normal
+        :meth:`_read_internal` path *in address order*, so page retirement
+        and materialization fire exactly as they would under sequential
+        reads - including changing the step-B accounting of clean lines
+        later in the batch.
+        """
+        size = self.scheme.line_size
+        addrs = list(addrs)
+        if not addrs:
+            empty = np.zeros(0, dtype=bool)
+            return BatchReadResult(
+                np.zeros((0, size), np.uint8), empty, empty.copy(), empty.copy(), empty.copy()
+            )
+        idx = np.asarray([tuple(a) for a in addrs], dtype=np.intp)
+        total = idx.shape[0]
+        cs, bs, rs, ls = idx.T
+        self.stats.app_reads += total
+        lines = self.data[cs, bs, rs, ls]
+        stored = self.detection[cs, bs, rs, ls]
+        dirty = np.any(self.scheme.compute_detection(lines) != stored, axis=-1)
+
+        data = np.zeros((total, size), dtype=np.uint8)
+        data[~dirty] = lines[~dirty]  # reads don't mutate data, gather is safe
+        ok = ~dirty
+        detected = dirty.copy()
+        corrected = np.zeros(total, dtype=bool)
+        uncorrectable = np.zeros(total, dtype=bool)
+
+        def account_clean(start: int, stop: int) -> None:
+            # Health is constant across a clean run (only dirty-line error
+            # accounting mutates it), so step A1/B counters vectorize.
+            if stop <= start:
+                return
+            n_faulty = int(self._faulty_bank_grid()[cs[start:stop], bs[start:stop]].sum())
+            self.stats.mem_reads += (stop - start) + n_faulty
+            self.stats.ecc_line_reads += n_faulty
+
+        seg_start = 0
+        for p in np.flatnonzero(dirty):
+            p = int(p)
+            account_clean(seg_start, p)
+            res = self._read_internal(
+                Address(int(cs[p]), int(bs[p]), int(rs[p]), int(ls[p])), count_errors
+            )
+            if res.data is not None:
+                data[p] = res.data
+                ok[p] = True
+            corrected[p] = res.corrected
+            uncorrectable[p] = res.uncorrectable
+            seg_start = p + 1
+        account_clean(seg_start, total)
+        return BatchReadResult(data, ok, detected, corrected, uncorrectable)
+
     # -- scrubbing --------------------------------------------------------------------------
 
     def scrub(self, repair: bool = False) -> int:
@@ -440,10 +545,103 @@ class ECCParityMachine:
         retirement and bank-pair materialization exactly as field faults
         would (Section III-C).
 
+        The per-line work reuses the scrub's own detection pass as a *live
+        mismatch map* instead of re-deriving detection state line by line:
+        a line (or a parity-group member) is dirty iff its map entry is
+        set, because reads never mutate data and the only mid-pass writes
+        are repairs, which clear their entry.  This halves the per-dirty-
+        line codec work versus :meth:`_scrub_reference` while producing
+        identical stats, data, and health transitions (property-tested).
+
         With ``repair=True``, correctable lines are written back corrected -
         which permanently heals transient upsets; permanent faults re-assert
         themselves via :meth:`reapply_permanent_faults` at the end of the
         pass, as a failed device would.
+        """
+        self.stats.scrubs += 1
+        computed = self.scheme.compute_detection(self.data)
+        mismatch = np.any(computed != self.detection, axis=-1)
+        self.stats.scrub_lines_checked += int(mismatch.size)
+        dirty = 0
+        coords = np.argwhere(mismatch)
+        i = 0
+        while i < len(coords):
+            c, b, r, l = (int(v) for v in coords[i])
+            if self.health.is_retired(c, b, r):
+                i += 1
+                continue
+            if self.health.is_faulty(c, b):
+                # Maximal run of dirty lines in this already-materialized
+                # bank (argwhere is lexicographic, so they are consecutive).
+                # Error accounting is a no-op for a faulty pair and repairs
+                # inside an excluded bank cannot affect any other line, so
+                # the whole run corrects as one batched codec call.
+                j = i
+                run = []
+                while j < len(coords) and coords[j][0] == c and coords[j][1] == b:
+                    if not self.health.is_retired(c, b, int(coords[j][2])):
+                        run.append(j)
+                    j += 1
+                dirty += len(run)
+                self._scrub_faulty_bank_run(c, b, coords[run], repair, mismatch)
+                i = j
+                continue
+            i += 1
+            dirty += 1
+            addr = Address(c, b, r, l)
+            res = self._correct_known_dirty(addr, mismatch)
+            if repair and res.data is not None and res.corrected:
+                # Restoring the pre-fault bytes keeps the parity groups
+                # consistent (they were computed from exactly this data).
+                self.stats.mem_writes += 1
+                self.data[addr] = res.data
+                self.detection[addr] = self.scheme.compute_detection(res.data)
+                mismatch[addr] = False  # repaired: clean for later members
+        if repair:
+            self.reapply_permanent_faults()
+        return dirty
+
+    def _scrub_faulty_bank_run(
+        self, channel: int, bank: int, coords: np.ndarray, repair: bool, mismatch: np.ndarray
+    ) -> None:
+        """Correct a run of dirty lines of one materialized bank in batch.
+
+        Behaviourally identical to taking each line through
+        :meth:`_correct_known_dirty`: the bank is faulty, so every line
+        reads its materialized ECC line (steps A1/B), ``record_error``
+        returns ``"faulty"`` without mutating anything, and correction uses
+        the stored bits - all independent per line, hence batchable.
+        """
+        k = len(coords)
+        rows, lns = coords[:, 2], coords[:, 3]
+        self.stats.mem_reads += 2 * k
+        self.stats.ecc_line_reads += k
+        self.stats.detected_errors += k
+        known = self._known_bad_chips(channel, bank)
+        lines = self.data[channel, bank, rows, lns]
+        chips = self.scheme.split_to_chips(lines)
+        det = self.detection[channel, bank, rows, lns]
+        corr = self.materialized[(channel, bank)][rows, lns]
+        res = self.scheme.correct_lines(chips, det, corr, erasures=known or None)
+        n_ok = int(res.ok.sum())
+        self.stats.corrected += n_ok
+        self.stats.uncorrectable += k - n_ok
+        if repair and n_ok:
+            good = res.ok
+            self.stats.mem_writes += n_ok
+            self.data[channel, bank, rows[good], lns[good]] = res.data[good]
+            self.detection[channel, bank, rows[good], lns[good]] = self.scheme.compute_detection(
+                res.data[good]
+            )
+            mismatch[channel, bank, rows[good], lns[good]] = False
+
+    def _scrub_reference(self, repair: bool = False) -> int:
+        """The original per-line scrub, retained as the property-test oracle.
+
+        Must stay behaviourally identical to :meth:`scrub` (same return
+        value, same stats, same data/health mutations); every dirty line
+        re-derives its own and its parity members' detection state through
+        :meth:`_read_internal`.
         """
         self.stats.scrubs += 1
         computed = self.scheme.compute_detection(self.data)
@@ -465,6 +663,79 @@ class ECCParityMachine:
         if repair:
             self.reapply_permanent_faults()
         return dirty
+
+    def _correct_known_dirty(self, addr: Address, mismatch: np.ndarray) -> ReadResult:
+        """:meth:`_read_internal` for a line the scrub already knows is dirty.
+
+        *mismatch* is the scrub pass's live detection map; it stands in for
+        every ``detect_line`` recomputation (the line's own and each parity
+        member's), which is exact because ``detect_line(...).error`` is
+        defined as stored-vs-recomputed detection inequality for every
+        scheme.  Stats are counted in the same order as the reference path.
+        """
+        c, b, r, l = addr
+        self.stats.mem_reads += 1
+        faulty = self.health.is_faulty(c, b)  # step A1
+        if faulty:
+            self.stats.mem_reads += 1  # step B
+            self.stats.ecc_line_reads += 1
+        line = self.data[c, b, r, l]
+        det = self.detection[c, b, r, l]
+        chips = self.scheme.split_to_chips(line)
+
+        self.stats.detected_errors += 1
+        known = self._known_bad_chips(c, b)
+        if faulty:
+            corr = self.materialized[(c, b)][r, l]
+            used_parity = False
+        else:
+            corr = self._reconstruct_correction_cached(addr, mismatch)  # step C
+            used_parity = True
+            if corr is None:
+                self.stats.uncorrectable += 1
+                return ReadResult(data=None, detected=True, uncorrectable=True)
+
+        res = self.scheme.correct_line(chips, det, corr, erasures=known or None)
+        self._account_error(c, b, r)
+        if res.data is None:
+            self.stats.uncorrectable += 1
+            return ReadResult(
+                data=None,
+                detected=True,
+                uncorrectable=True,
+                used_parity_reconstruction=used_parity,
+                used_ecc_line=faulty,
+            )
+        self.stats.corrected += 1
+        return ReadResult(
+            data=res.data,
+            detected=True,
+            corrected=True,
+            used_parity_reconstruction=used_parity,
+            used_ecc_line=faulty,
+        )
+
+    def _reconstruct_correction_cached(
+        self, addr: Address, mismatch: np.ndarray
+    ) -> "np.ndarray | None":
+        """Step C with member dirtiness read from the live mismatch map."""
+        c, b, r, l = addr
+        if (c, b) in self.excluded:
+            return None
+        loc = self.layout.location_of(c, b, r)
+        self.stats.parity_reconstructions += 1
+        self.stats.mem_reads += 1  # the parity line
+        acc = self.parity[loc.parity_channel, b, loc.group_slot, l].copy()
+        for mc, mrow in loc.members:
+            if mc == c and mrow == r:
+                continue
+            if (mc, b) in self.excluded:
+                continue  # removed from parity construction at materialization
+            self.stats.mem_reads += 1
+            if mismatch[mc, b, mrow, l]:
+                return None  # a second channel is faulty at the same location
+            acc ^= self.scheme.compute_correction(self.data[mc, b, mrow, l])
+        return acc
 
     # -- verification helpers (tests only) -----------------------------------------------------
 

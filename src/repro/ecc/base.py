@@ -67,6 +67,17 @@ class CorrectResult:
     detected: bool  #: True when errors were present at all
 
 
+@dataclass
+class BatchCorrectResult:
+    """Outcome of error correction on a batch of lines (see
+    :meth:`ECCScheme.correct_lines`)."""
+
+    data: np.ndarray  #: (T, line_size) recovered payloads; zeros where not ``ok``
+    ok: np.ndarray  #: (T,) bool - row recovered (clean or corrected)
+    corrected: np.ndarray  #: (T,) bool - errors were present and fully repaired
+    detected: np.ndarray  #: (T,) bool - errors were present at all
+
+
 class ECCScheme(abc.ABC):
     """Abstract memory ECC scheme (geometry + bit-true codec)."""
 
@@ -184,6 +195,38 @@ class ECCScheme(abc.ABC):
         (e.g. from the bank health table); schemes use them as symbol
         erasures, which doubles correction power versus unlocated errors.
         """
+
+    def correct_lines(
+        self,
+        chips: np.ndarray,
+        detection: np.ndarray,
+        correction: np.ndarray,
+        erasures: "set[int] | None" = None,
+    ) -> BatchCorrectResult:
+        """Batched :meth:`correct_line` over ``T`` independent lines.
+
+        ``chips`` is ``(T, data_chips, chip_bytes)``, ``detection``
+        ``(T, detection_bytes)``, ``correction`` ``(T, correction_bytes)``;
+        *erasures* (one set, applied to every line) matches the common
+        callers - a bank-sized batch shares its health-table erasures.  The
+        base implementation loops :meth:`correct_line`; schemes override it
+        with array programs, and ``tests/test_correct_lines.py`` holds the
+        two paths equal.
+        """
+        chips = np.asarray(chips, dtype=np.uint8)
+        total = chips.shape[0]
+        data = np.zeros((total, self.line_size), dtype=np.uint8)
+        ok = np.zeros(total, dtype=bool)
+        corrected = np.zeros(total, dtype=bool)
+        detected = np.zeros(total, dtype=bool)
+        for i in range(total):
+            res = self.correct_line(chips[i], detection[i], correction[i], erasures=erasures)
+            if res.data is not None:
+                data[i] = res.data
+                ok[i] = True
+            corrected[i] = res.corrected
+            detected[i] = res.detected
+        return BatchCorrectResult(data=data, ok=ok, corrected=corrected, detected=detected)
 
     # -- convenience --------------------------------------------------------------
 

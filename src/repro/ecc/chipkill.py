@@ -16,7 +16,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ecc.base import CorrectResult, DetectResult, ECCScheme, EccTraffic
+from repro.ecc.base import (
+    BatchCorrectResult,
+    CorrectResult,
+    DetectResult,
+    ECCScheme,
+    EccTraffic,
+)
 from repro.gf import GF256, ReedSolomon
 
 
@@ -116,6 +122,58 @@ class _RsChipkill(ECCScheme):
         data = self.merge_from_chips(fixed_chips)
         corrected = bool(res.n_corrected.sum() > 0)
         return CorrectResult(data=data, corrected=corrected, detected=detected)
+
+    def correct_lines(
+        self,
+        chips: np.ndarray,
+        detection: np.ndarray,
+        correction: np.ndarray,
+        erasures: "set[int] | None" = None,
+    ) -> BatchCorrectResult:
+        """Batched correction: all ``T * words`` codewords in one decode.
+
+        Words are independent RS codewords, so flattening the line axis into
+        the word axis preserves :meth:`correct_line`'s semantics exactly;
+        with erasures, only the words the vectorized erasure solver rejects
+        take the scalar errors-and-erasures path.
+        """
+        chips = np.asarray(chips, dtype=np.uint8)
+        total = chips.shape[0]
+        det = np.asarray(detection, dtype=np.uint8).reshape(total, self._words, self.detect_symbols)
+        parts = [np.swapaxes(chips, -1, -2), det]  # (T, words, data_chips)
+        if self.correct_symbols:
+            parts.append(
+                np.asarray(correction, dtype=np.uint8).reshape(
+                    total, self._words, self.correct_symbols
+                )
+            )
+        codewords = np.concatenate(parts, axis=2).reshape(total * self._words, self._rs.n)
+        erasure_pos = sorted(erasures) if erasures else None
+        if erasure_pos:
+            res = self._rs.decode_erasures_batch(codewords, erasure_pos)
+            ok_w, fixed_w, ncorr_w = res.ok, res.corrected, res.n_corrected
+            if not ok_w.all():
+                retry = np.flatnonzero(~ok_w)
+                slow = self._rs.decode(codewords[retry], erasures=erasure_pos)
+                fixed_w[retry] = slow.corrected
+                ok_w = ok_w.copy()
+                ok_w[retry] = slow.ok
+                ncorr_w = ncorr_w.copy()
+                ncorr_w[retry] = np.where(slow.ok, slow.n_corrected, ncorr_w[retry])
+            had_w = np.ones_like(ok_w)  # declared erasures: every word suspected
+        else:
+            res = self._rs.decode(codewords)
+            ok_w, fixed_w, ncorr_w, had_w = res.ok, res.corrected, res.n_corrected, res.had_errors
+
+        ok = ok_w.reshape(total, self._words).all(axis=1)
+        detected = had_w.reshape(total, self._words).any(axis=1) | ~ok
+        corrected = ok & (ncorr_w.reshape(total, self._words).sum(axis=1) > 0)
+        data = np.zeros((total, self.line_size), dtype=np.uint8)
+        fixed_chips = np.swapaxes(
+            fixed_w.reshape(total, self._words, self._rs.n)[ok, :, : self.data_chips], -1, -2
+        )
+        data[ok] = self.merge_from_chips(fixed_chips.astype(np.uint8))
+        return BatchCorrectResult(data=data, ok=ok, corrected=corrected, detected=detected)
 
 
 class Chipkill36(_RsChipkill):

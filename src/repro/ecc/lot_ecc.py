@@ -25,7 +25,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ecc.base import CorrectResult, DetectResult, ECCScheme, EccTraffic
+from repro.ecc.base import (
+    BatchCorrectResult,
+    CorrectResult,
+    DetectResult,
+    ECCScheme,
+    EccTraffic,
+)
 from repro.ecc.checksum import ones_complement_checksum16, xor_checksum8
 
 
@@ -128,6 +134,74 @@ class _LotEcc(ECCScheme):
         if self._mismatched_chips(fixed, detection).size:
             return CorrectResult(data=None, corrected=False, detected=True)
         return CorrectResult(data=self.merge_from_chips(fixed), corrected=True, detected=True)
+
+    def correct_lines(
+        self,
+        chips: np.ndarray,
+        detection: np.ndarray,
+        correction: np.ndarray,
+        erasures: "set[int] | None" = None,
+    ) -> BatchCorrectResult:
+        """Batched correction as three vectorized cases by suspect count.
+
+        Clean rows pass through; single-suspect rows XOR-rebuild the victim
+        segment from the GEC parity and verify its checksum; multi-suspect
+        rows test the checksum-chip-died hypothesis against the parity.
+        Checksum-chip erasures (``e >= data_chips``) fall back to the scalar
+        path - no caller batches those.
+        """
+        if erasures and any(e >= self.data_chips for e in erasures):
+            return super().correct_lines(chips, detection, correction, erasures=erasures)
+        chips = np.asarray(chips, dtype=np.uint8)
+        total = chips.shape[0]
+        detection = np.asarray(detection, dtype=np.uint8)
+        correction = np.asarray(correction, dtype=np.uint8)
+        stored = detection.reshape(total, self.data_chips, self.checksum_bytes)
+        computed = self._checksum(chips).reshape(total, self.data_chips, self.checksum_bytes)
+        bad = np.any(stored != computed, axis=2)  # (T, data_chips)
+        if erasures:
+            bad[:, sorted(erasures)] = True
+        nbad = bad.sum(axis=1)
+
+        data = np.zeros((total, self.line_size), dtype=np.uint8)
+        ok = np.zeros(total, dtype=bool)
+        corrected = np.zeros(total, dtype=bool)
+        detected = nbad > 0
+
+        clean = nbad == 0
+        if clean.any():
+            data[clean] = self.merge_from_chips(chips[clean])
+            ok[clean] = True
+
+        gec = np.bitwise_xor.reduce(chips, axis=1)  # (T, chip_bytes)
+
+        single = np.flatnonzero(nbad == 1)
+        if single.size:
+            victim = np.argmax(bad[single], axis=1)
+            victim_rows = chips[single, victim]
+            # XOR of the other chips = XOR of all chips ^ the victim's row.
+            rebuilt = correction[single] ^ gec[single] ^ victim_rows
+            # Only the victim changed, so re-verification reduces to its own
+            # stored checksum (the other chips' status is unchanged).
+            cs = self._checksum(rebuilt[:, None, :]).reshape(single.size, self.checksum_bytes)
+            good = np.all(cs == stored[single, victim], axis=1)
+            fixed = chips[single].copy()
+            fixed[np.arange(single.size), victim] = rebuilt
+            idx = single[good]
+            data[idx] = self.merge_from_chips(fixed[good])
+            ok[idx] = True
+            corrected[idx] = True
+
+        multi = np.flatnonzero(nbad > 1)
+        if multi.size and not erasures:
+            # Checksum-chip-died hypothesis: data chips still XOR to the
+            # stored GEC parity, so only the stored checksums are garbage.
+            good = np.all(gec[multi] == correction[multi], axis=1)
+            idx = multi[good]
+            data[idx] = self.merge_from_chips(chips[idx])
+            ok[idx] = True
+            corrected[idx] = True
+        return BatchCorrectResult(data=data, ok=ok, corrected=corrected, detected=detected)
 
 
 class LotEcc5(_LotEcc):

@@ -10,6 +10,13 @@ check whether every line still reads back correctly.
 
 The measured collision fraction multiplies the Figure 18 window probability
 to give a tighter uncorrectable-error estimate than the paper's bound.
+
+Every trial seeds its own generator from ``SeedSequence((seed, trial))``,
+so trials are independent of execution order and the campaign partitions
+into process-parallel blocks (via
+:func:`repro.experiments.parallel.run_tasks`) with bit-identical totals.
+The per-trial recoverability sweep runs through the machine's batched
+:meth:`~repro.core.machine.ECCParityMachine.read_lines` path.
 """
 
 from __future__ import annotations
@@ -23,7 +30,11 @@ from repro.core.machine import Address, ECCParityMachine
 from repro.ecc.lot_ecc import LotEcc5
 from repro.faults.fit_rates import FIT_BY_MODE, FaultMode
 from repro.faults.injector import FaultInjector
+from repro.util.envcfg import mc_trials
 from repro.util.rng import make_rng
+
+#: Trials per process-parallel block.
+BLOCK_TRIALS = 16
 
 
 @dataclass
@@ -41,42 +52,87 @@ class CollisionResult:
 
 def _machine_fully_recoverable(machine: ECCParityMachine) -> bool:
     """Can every line still be read back as its pre-fault content?"""
-    g = machine.geom
     computed = machine.scheme.compute_detection(machine.data)
     mismatch = np.any(computed != machine.detection, axis=-1)
-    for c, b, r, l in np.argwhere(mismatch):
-        if not machine.readable_and_correct(Address(int(c), int(b), int(r), int(l))):
-            return False
-    return True
+    coords = np.argwhere(mismatch)
+    if coords.size == 0:
+        return True
+    addrs = [Address(int(c), int(b), int(r), int(l)) for c, b, r, l in coords]
+    res = machine.read_lines(addrs, count_errors=False)
+    if not res.ok.all():
+        return False
+    cs, bs, rs, ls = coords.T
+    return bool(np.all(res.data == machine.golden[cs, bs, rs, ls]))
+
+
+def _collision_trial(trial: int, seed: int, geometry: Geometry) -> bool:
+    """Run one independently-seeded trial; True when a collision occurred."""
+    rng = make_rng(np.random.SeedSequence((seed, trial)))
+    m = ECCParityMachine(LotEcc5(), geometry, seed=1000 + trial)
+    inj = FaultInjector(m, seed=2000 + trial)
+    modes = list(FIT_BY_MODE)
+    weights = np.array([FIT_BY_MODE[m] for m in modes])
+    weights = weights / weights.sum()
+    c1, c2 = rng.choice(geometry.channels, size=2, replace=False)
+    for chan in (int(c1), int(c2)):
+        mode = modes[int(rng.choice(len(modes), p=weights))]
+        bank = int(rng.integers(geometry.banks))
+        chip = int(rng.integers(m.scheme.data_chips))
+        inj.inject(mode, location=(chan, bank, chip))
+    return not _machine_fully_recoverable(m)
+
+
+def _collision_block(
+    start: int,
+    stop: int,
+    seed: int,
+    channels: int,
+    banks: int,
+    rows_per_bank: int,
+    lines_per_row: int,
+) -> int:
+    """Worker entry point: collisions among trials ``[start, stop)``.
+
+    Rebuilds the geometry from primitives; per-trial seeding makes the
+    block total independent of how trials are partitioned.
+    """
+    geometry = Geometry(
+        channels=channels,
+        banks=banks,
+        rows_per_bank=rows_per_bank,
+        lines_per_row=lines_per_row,
+    )
+    return sum(_collision_trial(t, seed, geometry) for t in range(start, stop))
 
 
 def two_fault_collision_mc(
-    trials: int = 60,
+    trials: "int | None" = None,
     geometry: "Geometry | None" = None,
     seed: int = 0,
+    jobs: "int | None" = None,
 ) -> CollisionResult:
     """Inject two field faults in distinct channels per trial, no scrub.
 
     Uses the Sridharan mode mix for both faults.  A "collision" is any line
     the machine can no longer recover - exactly the event the paper's
-    pessimistic bound counts at probability 1.
+    pessimistic bound counts at probability 1.  *trials* defaults to
+    ``REPRO_MC_TRIALS`` (else 60).
     """
-    geometry = geometry or Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8)
-    rng = make_rng(seed)
-    modes = list(FIT_BY_MODE)
-    weights = np.array([FIT_BY_MODE[m] for m in modes])
-    weights = weights / weights.sum()
+    from repro.experiments import parallel
 
-    collisions = 0
-    for t in range(trials):
-        m = ECCParityMachine(LotEcc5(), geometry, seed=1000 + t)
-        inj = FaultInjector(m, seed=2000 + t)
-        c1, c2 = rng.choice(geometry.channels, size=2, replace=False)
-        for chan in (int(c1), int(c2)):
-            mode = modes[int(rng.choice(len(modes), p=weights))]
-            bank = int(rng.integers(geometry.banks))
-            chip = int(rng.integers(m.scheme.data_chips))
-            inj.inject(mode, location=(chan, bank, chip))
-        if not _machine_fully_recoverable(m):
-            collisions += 1
+    trials = mc_trials(trials, 60)
+    geometry = geometry or Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8)
+    payloads = [
+        (
+            start,
+            min(start + BLOCK_TRIALS, trials),
+            seed,
+            geometry.channels,
+            geometry.banks,
+            geometry.rows_per_bank,
+            geometry.lines_per_row,
+        )
+        for start in range(0, trials, BLOCK_TRIALS)
+    ]
+    collisions = sum(parallel.run_tasks(_collision_block, payloads, jobs=jobs))
     return CollisionResult(trials, collisions, geometry)

@@ -13,6 +13,13 @@ detection/correction symbols "potentially slightly impact error detection
 coverage": with both check symbols consumed by correction, a double-chip
 corruption can alias to a valid single-symbol correction and silently
 miscorrect, where the 36-device code's spare symbols flag it.
+
+Trials are drawn and decoded in chunked batches (one
+:meth:`~repro.ecc.base.ECCScheme.correct_lines` call per chunk); the
+per-trial loop survives as :func:`_tally_reference`, which consumes the
+same draws and is held equal to the batched path by
+``tests/test_mc_batched.py``.  Cells fan out over processes via
+:func:`repro.experiments.parallel.run_tasks`.
 """
 
 from __future__ import annotations
@@ -22,7 +29,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ecc.base import ECCScheme
+from repro.util.envcfg import mc_trials
 from repro.util.rng import make_rng
+
+#: Fault patterns: name -> (kind, parameter).
+PATTERNS = {
+    "single-chip kill": ("chips", 1),
+    "double-chip kill": ("chips", 2),
+    "8 scattered bit flips": ("bits", 8),
+}
+
+#: Trials per draw/decode batch (bounds peak memory at large trial counts).
+DEFAULT_CHUNK = 1 << 14
 
 
 @dataclass
@@ -45,58 +63,154 @@ class CoverageRow:
         return self.silent_or_wrong / self.trials
 
 
-def _classify(scheme: ECCScheme, data, chips, det, cor) -> str:
-    res = scheme.correct_line(chips, det, cor)
-    if res.data is None:
-        return "detected_uncorrectable"
-    if np.array_equal(res.data, data):
-        return "corrected" if res.detected else "clean"
-    return "silent_or_wrong"
+def _draw_chunk(scheme: ECCScheme, pattern: str, n: int, rng):
+    """Draw one chunk of *n* trials: payloads plus the corruption spec.
+
+    The shared draw-order contract of the batched and reference tallies:
+    line payloads first, then per-pattern placement arrays (victim-chip
+    orderings and replacement segments for chip kills; flat byte positions
+    and bit indices for scatter).
+    """
+    kind, param = PATTERNS[pattern]
+    data = rng.integers(0, 256, (n, scheme.line_size), dtype=np.uint8)
+    if kind == "chips":
+        order = np.argsort(rng.random((n, scheme.data_chips)), axis=1)
+        victims = order[:, :param]
+        repl = rng.integers(0, 256, (n, param, scheme.chip_bytes), dtype=np.uint8)
+        return data, (kind, victims, repl)
+    pos = rng.integers(scheme.data_chips * scheme.chip_bytes, size=(n, param))
+    bit = rng.integers(8, size=(n, param))
+    return data, (kind, pos, bit)
 
 
-def _corrupt_chips(scheme, rng, chips, n_chips):
+def _corrupt(scheme: ECCScheme, chips: np.ndarray, spec) -> np.ndarray:
+    """Apply a chunk's corruption spec to its ``(n, chips, chip_bytes)`` batch."""
+    kind, a, b = spec
     bad = chips.copy()
-    victims = rng.choice(scheme.data_chips, size=n_chips, replace=False)
-    for v in victims:
-        bad[int(v)] = rng.integers(0, 256, scheme.chip_bytes)
+    n = bad.shape[0]
+    if kind == "chips":
+        bad[np.arange(n)[:, None], a] = b
+        return bad
+    flat = bad.reshape(n, -1)
+    for i in range(a.shape[1]):  # a few vector ops; duplicates self-cancel
+        flat[np.arange(n), a[:, i]] ^= (1 << b[:, i]).astype(np.uint8)
     return bad
 
 
-def _scatter_bits(scheme, rng, chips, n_bits):
-    bad = chips.copy()
-    flat = bad.reshape(-1)
-    for _ in range(n_bits):
-        pos = int(rng.integers(flat.size))
-        flat[pos] ^= 1 << int(rng.integers(8))
-    return bad
+def _tally_batched(scheme: ECCScheme, data: np.ndarray, spec) -> np.ndarray:
+    """Chunk outcome counts ``[corrected, detected_uncorrectable, silent]``."""
+    chips = scheme.split_to_chips(data)
+    det = scheme.compute_detection(data)
+    cor = scheme.compute_correction(data)
+    bad = _corrupt(scheme, chips, spec)
+    res = scheme.correct_lines(bad, det, cor)
+    right = res.ok & np.all(res.data == data, axis=1)
+    return np.array(
+        [int(right.sum()), int((~res.ok).sum()), int((res.ok & ~right).sum())], dtype=np.int64
+    )
+
+
+def _tally_reference(scheme: ECCScheme, data: np.ndarray, spec) -> np.ndarray:
+    """Per-trial oracle over the same draws (property-test reference)."""
+    chips = scheme.split_to_chips(data)
+    det = scheme.compute_detection(data)
+    cor = scheme.compute_correction(data)
+    bad = _corrupt(scheme, chips, spec)
+    counts = np.zeros(3, dtype=np.int64)
+    for i in range(data.shape[0]):
+        res = scheme.correct_line(bad[i], det[i], cor[i])
+        if res.data is None:
+            counts[1] += 1
+        elif np.array_equal(res.data, data[i]):
+            counts[0] += 1
+        else:
+            counts[2] += 1
+    return counts
+
+
+def _cell_counts(
+    scheme: ECCScheme, pattern: str, trials: int, seed: int, chunk_size: int
+) -> "list[int]":
+    """One (scheme, pattern) cell: chunked draw + batched tally."""
+    rng = make_rng(seed)
+    counts = np.zeros(3, dtype=np.int64)
+    done = 0
+    while done < trials:
+        n = min(chunk_size, trials - done)
+        data, spec = _draw_chunk(scheme, pattern, n, rng)
+        counts += _tally_batched(scheme, data, spec)
+        done += n
+    return [int(v) for v in counts]
+
+
+def _coverage_cell(
+    scheme_cls: str,
+    pattern: str,
+    trials: int,
+    seed: int,
+    chunk_size: int,
+) -> "tuple[str, str, list[int]]":
+    """Worker entry point: one cell from primitives.
+
+    The scheme is rebuilt from its class name (every catalog scheme is
+    default-constructible), so the cell pickles cleanly and is
+    bit-identical wherever it runs.
+    """
+    import repro.ecc as ecc_pkg
+
+    scheme = getattr(ecc_pkg, scheme_cls)()
+    return scheme_cls, pattern, _cell_counts(scheme, pattern, trials, seed, chunk_size)
+
+
+def _worker_compatible(scheme: ECCScheme) -> bool:
+    import repro.ecc as ecc_pkg
+
+    return getattr(ecc_pkg, type(scheme).__name__, None) is type(scheme)
 
 
 def coverage_study(
     schemes: "list[ECCScheme]",
-    trials: int = 200,
+    trials: "int | None" = None,
     seed: int = 0,
+    jobs: "int | None" = None,
+    chunk_size: int = DEFAULT_CHUNK,
 ) -> "list[CoverageRow]":
-    """Run the fault-pattern grid over *schemes*."""
-    patterns = {
-        "single-chip kill": lambda s, rng, ch: _corrupt_chips(s, rng, ch, 1),
-        "double-chip kill": lambda s, rng, ch: _corrupt_chips(s, rng, ch, 2),
-        "8 scattered bit flips": lambda s, rng, ch: _scatter_bits(s, rng, ch, 8),
-    }
-    out = []
-    for scheme in schemes:
-        for pname, corrupt in patterns.items():
-            rng = make_rng(seed)
-            row = CoverageRow(scheme.name, pname, trials)
-            for _ in range(trials):
-                data = rng.integers(0, 256, scheme.line_size, dtype=np.uint8)
-                chips, det, cor = scheme.encode_line(data)
-                bad = corrupt(scheme, rng, chips)
-                outcome = _classify(scheme, data, bad, det, cor)
-                if outcome in ("corrected", "clean"):
-                    row.corrected += 1
-                elif outcome == "detected_uncorrectable":
-                    row.detected_uncorrectable += 1
-                else:
-                    row.silent_or_wrong += 1
-            out.append(row)
-    return out
+    """Run the fault-pattern grid over *schemes*.
+
+    *trials* defaults to ``REPRO_MC_TRIALS`` (else 200).  Cells are
+    independent (each reseeds from *seed*) and fan out over processes;
+    schemes that are not rebuildable from their class name force the
+    in-process path.
+    """
+    from repro.experiments import parallel
+
+    trials = mc_trials(trials, 200)
+    by_name = {type(s).__name__: s for s in schemes}
+    results = {}
+    if all(_worker_compatible(s) for s in schemes):
+        payloads = [
+            (type(s).__name__, pname, trials, seed, chunk_size)
+            for s in schemes
+            for pname in PATTERNS
+        ]
+        for cls_name, pname, counts in parallel.run_tasks(_coverage_cell, payloads, jobs=jobs):
+            results[(cls_name, pname)] = counts
+    else:
+        # Schemes we can't rebuild from a class name don't cross processes.
+        for s in schemes:
+            for pname in PATTERNS:
+                results[(type(s).__name__, pname)] = _cell_counts(
+                    s, pname, trials, seed, chunk_size
+                )
+    return [
+        CoverageRow(
+            by_name[cls_name].name,
+            pname,
+            trials,
+            corrected=results[(cls_name, pname)][0],
+            detected_uncorrectable=results[(cls_name, pname)][1],
+            silent_or_wrong=results[(cls_name, pname)][2],
+        )
+        for cls_name in (type(s).__name__ for s in schemes)
+        for pname in PATTERNS
+    ]

@@ -15,12 +15,12 @@ Two fidelity presets:
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.ecc.catalog import SYSTEM_CLASSES
+from repro.util.cachefile import load_json_cache, write_json_cache_atomic
 from repro.workloads.profiles import ALL_WORKLOADS, PROFILES_VERSION
 
 #: All configuration keys evaluated in Figures 9-17.
@@ -114,28 +114,10 @@ def instruction_budget(access_target: int, wl) -> int:
     return int(access_target * 1000 / wl.apki)
 
 
-def _load_cache(path: Path) -> "dict[str, dict]":
-    """Read a matrix cache, treating missing/corrupt files as empty.
-
-    A sweep interrupted mid-write (pre-atomic caches) or a truncated file
-    must not take the whole matrix down - the affected cells are simply
-    recomputed and the file rewritten.
-    """
-    try:
-        cache = json.loads(path.read_text())
-    except FileNotFoundError:
-        return {}
-    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-        return {}
-    return cache if isinstance(cache, dict) else {}
-
-
-def _write_cache_atomic(path: Path, cache: "dict[str, dict]") -> None:
-    """Replace the cache file atomically (temp file + rename, same dir)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-    tmp.write_text(json.dumps(cache))
-    os.replace(tmp, path)
+# Shared with the Monte Carlo fig8 cache; kept under the old names for
+# callers/tests that patch them here.
+_load_cache = load_json_cache
+_write_cache_atomic = write_json_cache_atomic
 
 
 def evaluation_matrix(

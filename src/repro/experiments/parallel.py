@@ -42,6 +42,42 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+def run_tasks(
+    worker,
+    payloads: "Iterable[tuple]",
+    jobs: "int | None" = None,
+) -> "Iterator":
+    """Fan *worker(*payload)* over processes, yielding results as they finish.
+
+    The generic engine under every campaign driver (evaluation cells, Monte
+    Carlo fig8 / coverage / collision cells): *worker* must be a module-level
+    function taking only primitives, so payloads pickle cleanly and a task's
+    result never depends on which process ran it.  With ``jobs == 1`` or a
+    single payload everything runs in-process, in order - no executor, no
+    pickling - keeping the serial path the reference behaviour.
+    """
+    payloads = list(payloads)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs == 1 or len(payloads) <= 1:
+        for payload in payloads:
+            yield worker(*payload)
+        return
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(payloads)))
+    try:
+        futures = [pool.submit(worker, *payload) for payload in payloads]
+        for fut in as_completed(futures):
+            yield fut.result()
+    except BaseException:
+        # Ctrl-C or an abandoned generator: drop pending work and return
+        # without blocking on the pool - results already yielded were merged
+        # (and cached) by the caller, so the campaign resumes where it
+        # stopped.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown()
+
+
 def _run_cell(
     system_class: str,
     wl_name: str,

@@ -20,9 +20,11 @@ from repro.faults.fit_rates import (
 )
 from repro.faults.injector import FaultInjector, InjectedFault
 from repro.faults.montecarlo import (
+    ChannelGapStats,
     EolCapacitySim,
     EolResult,
     HpcStallResult,
+    channel_fault_gap_stats,
     eol_fraction_by_channels,
     hpc_stall_mc,
     mean_time_between_channel_faults_mc,
@@ -43,9 +45,11 @@ __all__ = [
     "MemoryOrg",
     "FaultInjector",
     "InjectedFault",
+    "ChannelGapStats",
     "EolCapacitySim",
     "EolResult",
     "HpcStallResult",
+    "channel_fault_gap_stats",
     "eol_fraction_by_channels",
     "hpc_stall_mc",
     "mean_time_between_channel_faults_mc",

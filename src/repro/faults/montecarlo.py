@@ -9,9 +9,19 @@ by materialized correction bits rather than ECC parities - the quantity
 Figure 8 reports as an average and a 99.9th percentile, and the driver of
 Table III's end-of-life capacity overheads.
 
-The inner loop is vectorized across trials: event *counts* per (trial,
-mode) are Poisson draws, and bank placement is sampled only for trials with
-events (the overwhelming majority have none).
+The simulation is a whole-array program: trials are processed in fixed
+chunks (so memory stays bounded at millions of trials), and within a chunk
+every random draw is an array draw.  Both implementations - the vectorized
+one behind :meth:`EolCapacitySim.run` and the retained per-event loop
+behind :meth:`EolCapacitySim._run_reference` - consume the *same* draw
+stream produced by :func:`_draw_chunk`, so at a matched seed and chunk
+size they see identical event placements and must produce identical
+per-trial fractions.  The property tests in ``tests/test_mc_batched.py``
+assert exactly that.
+
+The vectorized path dedupes faulty bank pairs without any per-trial set:
+each (trial, channel, pair) is packed into one integer key and the whole
+chunk is deduped with a single ``np.unique`` + ``np.bincount``.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from repro.faults.fit_rates import (
     FaultMode,
     MemoryOrg,
 )
+from repro.util.envcfg import mc_trials
 from repro.util.rng import make_rng
 from repro.util.units import YEARS
 
@@ -36,6 +47,13 @@ _BANKS_MATERIALIZED = {
     FaultMode.MULTI_BANK: 4,  # two banks, typically adjacent -> two pairs
     FaultMode.MULTI_RANK: None,  # all banks of two ranks
 }
+
+#: Saturating modes in enum order - the draw order of every chunk.
+_SAT_MODES = tuple(m for m in FaultMode if m in SATURATING_MODES)
+
+#: Default trials per chunk: bounds peak memory (a few MB of event arrays)
+#: while keeping array draws long enough to amortize NumPy dispatch.
+DEFAULT_CHUNK = 1 << 16
 
 
 @dataclass
@@ -56,6 +74,120 @@ class EolResult:
         """Fraction of simulated systems with at least one materialization."""
         return float((self.fractions > 0).mean())
 
+    def histogram(self) -> "tuple[list[float], list[int]]":
+        """Compact exact encoding: distinct fractions and their counts.
+
+        The distribution has very few distinct values (multiples of
+        ``2/total_banks``), so this is the JSON-cacheable form; every
+        statistic above is order-insensitive, so a result rebuilt with
+        :meth:`from_histogram` reports identical numbers.
+        """
+        values, counts = np.unique(self.fractions, return_counts=True)
+        return [float(v) for v in values], [int(c) for c in counts]
+
+    @classmethod
+    def from_histogram(cls, values: "list[float]", counts: "list[int]") -> "EolResult":
+        return cls(fractions=np.repeat(np.asarray(values, dtype=float), counts))
+
+
+def _draw_chunk(
+    rng: np.random.Generator,
+    org: MemoryOrg,
+    lam: "dict[FaultMode, float]",
+    n: int,
+) -> "dict[FaultMode, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
+    """Draw one chunk of *n* trials' worth of saturating events.
+
+    This is the draw-order contract shared by the vectorized and reference
+    simulations: per mode (enum order) a Poisson count vector over trials,
+    then - for that mode's pooled events, in trial order - a channel array,
+    a rank array, and a third array (second rank for MULTI_RANK, bank
+    otherwise).  Returns ``{mode: (counts, channels, ranks, third)}``.
+    """
+    draws = {}
+    for m in _SAT_MODES:
+        counts = rng.poisson(lam[m], size=n)
+        events = int(counts.sum())
+        channels = rng.integers(org.channels, size=events)
+        ranks = rng.integers(org.ranks_per_channel, size=events)
+        if m is FaultMode.MULTI_RANK:
+            third = rng.integers(org.ranks_per_channel, size=events)
+        else:
+            third = rng.integers(org.banks_per_rank, size=events)
+        draws[m] = (counts, channels, ranks, third)
+    return draws
+
+
+def _chunk_batched(org: MemoryOrg, draws, n: int) -> np.ndarray:
+    """Vectorized chunk: pack (trial, channel, pair) keys, dedupe, count."""
+    ppr = org.banks_per_rank // 2  # bank pairs per rank
+    ppc = org.ranks_per_channel * ppr  # bank pairs per channel
+    pairs_per_trial = org.channels * ppc
+    keys = []
+    for m in _SAT_MODES:
+        counts, channels, ranks, third = draws[m]
+        if channels.size == 0:
+            continue
+        trial = np.repeat(np.arange(n, dtype=np.int64), counts)
+        base = trial * pairs_per_trial + channels * ppc
+        if m is FaultMode.MULTI_RANK:
+            offsets = np.arange(ppr, dtype=np.int64)
+            keys.append(((base + ranks * ppr)[:, None] + offsets).ravel())
+            keys.append(((base + third * ppr)[:, None] + offsets).ravel())
+            continue
+        pair0 = ranks * ppr + third // 2
+        keys.append(base + pair0)
+        if m is FaultMode.MULTI_BANK:
+            # Adjacent pair, wrapping at the rank edge (see _chunk_reference).
+            nxt = ranks * ppr + (third // 2 + 1) % ppr if ppr > 1 else pair0
+            keys.append(base + nxt)
+    fractions = np.zeros(n)
+    if keys:
+        unique_keys = np.unique(np.concatenate(keys))
+        per_trial = np.bincount(unique_keys // pairs_per_trial, minlength=n)
+        fractions = 2.0 * per_trial / org.total_banks
+    return fractions
+
+
+def _chunk_reference(org: MemoryOrg, draws, n: int) -> np.ndarray:
+    """Reference chunk: the original per-event set accumulation.
+
+    Consumes the same arrays as :func:`_chunk_batched`, walking each mode's
+    pooled events with a cursor so event *i* of trial *t* sees exactly the
+    draw the vectorized path uses.
+    """
+    ppr = org.banks_per_rank // 2
+    total_banks = org.total_banks
+    fractions = np.zeros(n)
+    cursor = {m: 0 for m in _SAT_MODES}
+    for t in range(n):
+        faulty_pairs: "set[tuple[int, int]]" = set()  # (channel, global pair id)
+        for m in _SAT_MODES:
+            counts, channels, ranks, third = draws[m]
+            start = cursor[m]
+            stop = start + int(counts[t])
+            cursor[m] = stop
+            for i in range(start, stop):
+                channel = int(channels[i])
+                rank = int(ranks[i])
+                if m is FaultMode.MULTI_RANK:
+                    for rk in {rank, int(third[i])}:
+                        for pair in range(ppr):
+                            faulty_pairs.add((channel, rk * ppr + pair))
+                    continue
+                bank = int(third[i])
+                faulty_pairs.add((channel, rank * ppr + bank // 2))
+                if m is FaultMode.MULTI_BANK:
+                    # The second bank of a multi-bank fault lands in the
+                    # *adjacent* pair; at the top of the rank it wraps to
+                    # pair 0 rather than clamping onto the same pair (the
+                    # old min() clamp silently dropped the second bank).
+                    nxt_pair = (bank // 2 + 1) % ppr if ppr > 1 else bank // 2
+                    faulty_pairs.add((channel, rank * ppr + nxt_pair))
+        if faulty_pairs:
+            fractions[t] = 2 * len(faulty_pairs) / total_banks
+    return fractions
+
 
 class EolCapacitySim:
     """Monte Carlo for the end-of-life materialized-memory fraction."""
@@ -70,57 +202,104 @@ class EolCapacitySim:
         self.lifetime_hours = lifetime_hours
         self.rng = make_rng(seed)
 
-    def run(self, trials: int = 20000) -> EolResult:
-        org = self.org
-        rng = self.rng
-        fractions = np.zeros(trials)
-        sat_modes = [m for m in FaultMode if m in SATURATING_MODES]
+    def _lambdas(self) -> "dict[FaultMode, float]":
         # Expected saturating events per system lifetime, per mode.
-        lam = {
-            m: FIT_BY_MODE[m] * 1e-9 * org.total_chips * self.lifetime_hours for m in sat_modes
+        org = self.org
+        return {
+            m: FIT_BY_MODE[m] * 1e-9 * org.total_chips * self.lifetime_hours
+            for m in _SAT_MODES
         }
-        counts = {m: rng.poisson(lam[m], size=trials) for m in sat_modes}
-        busy = np.zeros(trials, dtype=bool)
-        for m in sat_modes:
-            busy |= counts[m] > 0
 
-        banks_per_rank = org.banks_per_rank
-        total_banks = org.total_banks
-        for t in np.nonzero(busy)[0]:
-            faulty_pairs: "set[tuple[int, int]]" = set()  # (channel, global pair id)
-            for m in sat_modes:
-                for _ in range(int(counts[m][t])):
-                    channel = int(rng.integers(org.channels))
-                    rank = int(rng.integers(org.ranks_per_channel))
-                    if m is FaultMode.MULTI_RANK:
-                        ranks = {rank, int(rng.integers(org.ranks_per_channel))}
-                        for rk in ranks:
-                            for pair in range(banks_per_rank // 2):
-                                faulty_pairs.add((channel, rk * banks_per_rank // 2 + pair))
-                        continue
-                    bank = int(rng.integers(banks_per_rank))
-                    pair0 = rank * (banks_per_rank // 2) + bank // 2
-                    faulty_pairs.add((channel, pair0))
-                    if m is FaultMode.MULTI_BANK:
-                        nxt = rank * (banks_per_rank // 2) + min(banks_per_rank // 2 - 1, bank // 2 + 1)
-                        faulty_pairs.add((channel, nxt))
-            fractions[t] = 2 * len(faulty_pairs) / total_banks
+    def _run(self, trials: int, chunk_size: int, chunk_fn) -> EolResult:
+        lam = self._lambdas()
+        fractions = np.empty(trials)
+        done = 0
+        while done < trials:
+            n = min(chunk_size, trials - done)
+            draws = _draw_chunk(self.rng, self.org, lam, n)
+            fractions[done : done + n] = chunk_fn(self.org, draws, n)
+            done += n
         return EolResult(fractions=fractions)
+
+    def run(self, trials: int = 20000, chunk_size: int = DEFAULT_CHUNK) -> EolResult:
+        """Vectorized simulation (chunked so memory stays bounded)."""
+        return self._run(trials, chunk_size, _chunk_batched)
+
+    def _run_reference(
+        self, trials: int = 20000, chunk_size: int = DEFAULT_CHUNK
+    ) -> EolResult:
+        """Per-event reference loop; identical results to :meth:`run` at a
+        matched seed and chunk size (property-tested)."""
+        return self._run(trials, chunk_size, _chunk_reference)
+
+
+def _eol_cell(
+    channels: int,
+    trials: int,
+    seed: int,
+    lifetime_hours: float,
+    chunk_size: int,
+) -> "tuple[int, list[float], list[int]]":
+    """Worker entry point: one Figure 8 cell from primitives.
+
+    Module-level (picklable) and pure - the sim seeds itself from the
+    arguments - so a cell computed in a worker process is bit-identical to
+    the same cell computed serially.  Returns the cell's exact histogram.
+    """
+    sim = EolCapacitySim(
+        MemoryOrg(channels=channels), lifetime_hours=lifetime_hours, seed=seed + channels
+    )
+    values, counts = sim.run(trials, chunk_size=chunk_size).histogram()
+    return channels, values, counts
 
 
 def eol_fraction_by_channels(
     channel_counts: "list[int]",
-    trials: int = 20000,
+    trials: "int | None" = None,
     seed: int = 0,
     lifetime_hours: float = 7 * YEARS,
+    chunk_size: int = DEFAULT_CHUNK,
+    jobs: "int | None" = None,
+    use_cache: bool = False,
 ) -> "dict[int, EolResult]":
-    """Figure 8 driver: EOL materialized fraction for several system widths."""
-    out = {}
+    """Figure 8 driver: EOL materialized fraction for several system widths.
+
+    *trials* defaults to ``REPRO_MC_TRIALS`` (else 20000).  Cells fan out
+    over processes (``jobs``; ``REPRO_JOBS``/cpu count by default, 1 =
+    in-process) and, with ``use_cache=True``, finished cells are stored as
+    exact histograms in the experiment cache directory so interrupted
+    million-trial campaigns resume instead of restarting.
+    """
+    from repro.experiments import parallel
+
+    trials = mc_trials(trials, 20000)
+    cache: "dict[str, object]" = {}
+    cache_path = None
+    if use_cache:
+        from repro.experiments import evaluation
+        from repro.util.cachefile import load_json_cache, write_json_cache_atomic
+
+        cache_path = evaluation.CACHE_DIR / "mc_fig8.json"
+        cache = load_json_cache(cache_path)
+
+    def key(n: int) -> str:
+        return f"ch={n}:trials={trials}:seed={seed}:life={lifetime_hours}:chunk={chunk_size}"
+
+    out: "dict[int, EolResult]" = {}
+    missing = []
     for n in channel_counts:
-        sim = EolCapacitySim(
-            MemoryOrg(channels=n), lifetime_hours=lifetime_hours, seed=seed + n
-        )
-        out[n] = sim.run(trials)
+        entry = cache.get(key(n))
+        if isinstance(entry, dict) and "values" in entry and "counts" in entry:
+            out[n] = EolResult.from_histogram(entry["values"], entry["counts"])
+        else:
+            missing.append(n)
+
+    payloads = [(n, trials, seed, lifetime_hours, chunk_size) for n in missing]
+    for n, values, counts in parallel.run_tasks(_eol_cell, payloads, jobs=jobs):
+        out[n] = EolResult.from_histogram(values, counts)
+        if cache_path is not None:
+            cache[key(n)] = {"values": values, "counts": counts}
+            write_json_cache_atomic(cache_path, cache)
     return out
 
 
@@ -173,6 +352,55 @@ def hpc_stall_mc(
     )
 
 
+@dataclass
+class ChannelGapStats:
+    """Monte Carlo estimate of the gap between faults in *different* channels.
+
+    The sample ends mid-run almost surely, so the trailing same-channel run
+    is *censored*: its partial gap is excluded from the mean (including it
+    would bias the estimate low, since the run is cut short by the end of
+    the sample rather than by a channel change).  ``censored_tail_events``
+    reports how many drawn events were discarded this way.
+    """
+
+    mean_days: float
+    runs_counted: int
+    censored_tail_events: int
+
+
+def channel_fault_gap_stats(
+    fit_per_chip: float,
+    org: "MemoryOrg | None" = None,
+    trials: int = 20000,
+    seed: int = 0,
+) -> ChannelGapStats:
+    """Vectorized Monte Carlo behind Figure 2's analytic cross-check.
+
+    Samples *trials* consecutive fault (inter-arrival gap, channel) pairs
+    and averages the elapsed time between each fault and the next fault
+    striking a *different* channel.  Run boundaries are the positions where
+    the channel changes; the interval for each boundary pair is a cumulative
+    -sum difference, so the whole walk is three array operations.
+    """
+    org = org or MemoryOrg()
+    rng = make_rng(seed)
+    lam_sys = org.system_fault_rate_per_hour(fit_per_chip)
+    gaps = rng.exponential(1.0 / lam_sys, size=trials)
+    chans = rng.integers(org.channels, size=trials)
+    elapsed = np.cumsum(gaps)
+    # Anchors: the first event, then every event whose channel differs from
+    # its predecessor - exactly the points where the scalar walk restarted.
+    anchors = np.concatenate(([0], np.flatnonzero(np.diff(chans) != 0) + 1))
+    intervals = elapsed[anchors[1:]] - elapsed[anchors[:-1]]
+    censored = trials - 1 - int(anchors[-1])
+    mean_days = float(intervals.sum() / max(1, intervals.size)) / 24.0
+    return ChannelGapStats(
+        mean_days=mean_days,
+        runs_counted=int(intervals.size),
+        censored_tail_events=censored,
+    )
+
+
 def mean_time_between_channel_faults_mc(
     fit_per_chip: float,
     org: "MemoryOrg | None" = None,
@@ -181,27 +409,7 @@ def mean_time_between_channel_faults_mc(
 ) -> float:
     """Monte Carlo cross-check of Figure 2's analytic curve (days).
 
-    Samples consecutive fault (time, channel) pairs and averages the gap
-    between each fault and the next one striking a different channel.
+    Thin wrapper over :func:`channel_fault_gap_stats`; see its docstring
+    for the censoring of the trailing same-channel run.
     """
-    org = org or MemoryOrg()
-    rng = make_rng(seed)
-    lam_sys = org.system_fault_rate_per_hour(fit_per_chip)
-    gaps = rng.exponential(1.0 / lam_sys, size=trials)
-    chans = rng.integers(org.channels, size=trials)
-    total = 0.0
-    count = 0
-    i = 0
-    while i < trials - 1:
-        j = i + 1
-        acc = 0.0
-        while j < trials and chans[j] == chans[i]:
-            acc += gaps[j]
-            j += 1
-        if j >= trials:
-            break
-        acc += gaps[j]
-        total += acc
-        count += 1
-        i = j
-    return (total / max(1, count)) / 24.0
+    return channel_fault_gap_stats(fit_per_chip, org, trials, seed).mean_days

@@ -1,0 +1,33 @@
+"""Atomic, corruption-tolerant JSON result caches.
+
+Shared by the evaluation-matrix sweep and the Monte Carlo campaign drivers:
+a cache is a flat ``{key: value}`` JSON object rewritten atomically (temp
+file + same-directory ``os.replace``) after every finished cell, so
+interrupted sweeps resume where they stopped, concurrent sweeps never tear
+the file, and a corrupt/truncated cache is recomputed rather than crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def load_json_cache(path: Path) -> "dict[str, object]":
+    """Read a cache file, treating missing/corrupt content as empty."""
+    try:
+        cache = json.loads(path.read_text())
+    except FileNotFoundError:
+        return {}
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    return cache if isinstance(cache, dict) else {}
+
+
+def write_json_cache_atomic(path: Path, cache: "dict[str, object]") -> None:
+    """Replace the cache file atomically (temp file + rename, same dir)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(cache))
+    os.replace(tmp, path)

@@ -1,0 +1,33 @@
+"""Environment-variable knobs shared by the reliability-plane drivers.
+
+``REPRO_MC_TRIALS`` overrides the default trial count of every Monte Carlo
+driver (Figure 8 end-of-life, the coverage study, the collision study) so
+one switch flips the whole reliability plane between a quick CI pass and a
+full-scale run (e.g. ``REPRO_MC_TRIALS=1000000`` for converged tail
+statistics).  An explicit ``trials=`` argument always wins over the
+environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def mc_trials(explicit: "int | None", default: int) -> int:
+    """Resolve a Monte Carlo trial count.
+
+    Priority: an explicit caller argument, then ``REPRO_MC_TRIALS``, then
+    the driver's own *default*.
+    """
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get("REPRO_MC_TRIALS", "").strip()
+    if raw:
+        try:
+            trials = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_MC_TRIALS must be an integer, got {raw!r}") from None
+        if trials < 1:
+            raise ValueError(f"REPRO_MC_TRIALS must be >= 1, got {trials}")
+        return trials
+    return default
