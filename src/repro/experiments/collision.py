@@ -90,11 +90,14 @@ def _collision_block(
     banks: int,
     rows_per_bank: int,
     lines_per_row: int,
-) -> int:
-    """Worker entry point: collisions among trials ``[start, stop)``.
+) -> "tuple[int, int, int]":
+    """Worker entry point: ``(start, stop, collisions)`` for trials
+    ``[start, stop)``.
 
     Rebuilds the geometry from primitives; per-trial seeding makes the
-    block total independent of how trials are partitioned.
+    block total independent of how trials are partitioned.  The block
+    bounds ride along so the caller can checkpoint each block under its
+    own cache key.
     """
     geometry = Geometry(
         channels=channels,
@@ -102,7 +105,7 @@ def _collision_block(
         rows_per_bank=rows_per_bank,
         lines_per_row=lines_per_row,
     )
-    return sum(_collision_trial(t, seed, geometry) for t in range(start, stop))
+    return start, stop, sum(_collision_trial(t, seed, geometry) for t in range(start, stop))
 
 
 def two_fault_collision_mc(
@@ -110,29 +113,61 @@ def two_fault_collision_mc(
     geometry: "Geometry | None" = None,
     seed: int = 0,
     jobs: "int | None" = None,
+    use_cache: bool = False,
 ) -> CollisionResult:
     """Inject two field faults in distinct channels per trial, no scrub.
 
     Uses the Sridharan mode mix for both faults.  A "collision" is any line
     the machine can no longer recover - exactly the event the paper's
     pessimistic bound counts at probability 1.  *trials* defaults to
-    ``REPRO_MC_TRIALS`` (else 60).
+    ``REPRO_MC_TRIALS`` (else 60).  With ``use_cache=True``, each finished
+    trial block checkpoints to ``mc_collision.json`` in the experiment
+    cache directory, so an interrupted campaign resumes with only the
+    unfinished blocks recomputed (per-trial seeding keeps the resumed
+    total bit-identical to an uninterrupted run).
     """
     from repro.experiments import parallel
 
     trials = mc_trials(trials, 60)
     geometry = geometry or Geometry(channels=4, banks=4, rows_per_bank=12, lines_per_row=8)
-    payloads = [
-        (
-            start,
-            min(start + BLOCK_TRIALS, trials),
-            seed,
-            geometry.channels,
-            geometry.banks,
-            geometry.rows_per_bank,
-            geometry.lines_per_row,
+    cache: "dict[str, object]" = {}
+    cache_path = None
+    if use_cache:
+        from repro.experiments import evaluation
+        from repro.util.cachefile import load_json_cache, write_json_cache_atomic
+
+        cache_path = evaluation.CACHE_DIR / "mc_collision.json"
+        cache = load_json_cache(cache_path)
+
+    def key(start: int, stop: int) -> str:
+        g = geometry
+        return (
+            f"block={start}-{stop}:seed={seed}"
+            f":geom={g.channels}x{g.banks}x{g.rows_per_bank}x{g.lines_per_row}"
         )
-        for start in range(0, trials, BLOCK_TRIALS)
-    ]
-    collisions = sum(parallel.run_tasks(_collision_block, payloads, jobs=jobs))
+
+    collisions = 0
+    payloads = []
+    for start in range(0, trials, BLOCK_TRIALS):
+        stop = min(start + BLOCK_TRIALS, trials)
+        entry = cache.get(key(start, stop))
+        if isinstance(entry, int):
+            collisions += entry
+        else:
+            payloads.append(
+                (
+                    start,
+                    stop,
+                    seed,
+                    geometry.channels,
+                    geometry.banks,
+                    geometry.rows_per_bank,
+                    geometry.lines_per_row,
+                )
+            )
+    for start, stop, count in parallel.run_tasks(_collision_block, payloads, jobs=jobs):
+        collisions += count
+        if cache_path is not None:
+            cache[key(start, stop)] = count
+            write_json_cache_atomic(cache_path, cache)
     return CollisionResult(trials, collisions, geometry)

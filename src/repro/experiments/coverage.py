@@ -174,27 +174,52 @@ def coverage_study(
     seed: int = 0,
     jobs: "int | None" = None,
     chunk_size: int = DEFAULT_CHUNK,
+    use_cache: bool = False,
 ) -> "list[CoverageRow]":
     """Run the fault-pattern grid over *schemes*.
 
     *trials* defaults to ``REPRO_MC_TRIALS`` (else 200).  Cells are
     independent (each reseeds from *seed*) and fan out over processes;
     schemes that are not rebuildable from their class name force the
-    in-process path.
+    in-process path.  With ``use_cache=True``, finished cells checkpoint
+    to ``mc_coverage.json`` in the experiment cache directory after each
+    completion, so an interrupted or partially-failed campaign resumes
+    with only the missing cells recomputed (cells are keyed by scheme
+    class, pattern, and every sizing knob; schemes not rebuildable from a
+    class name are never cached, since the key can't capture their state).
     """
     from repro.experiments import parallel
 
     trials = mc_trials(trials, 200)
     by_name = {type(s).__name__: s for s in schemes}
     results = {}
-    if all(_worker_compatible(s) for s in schemes):
-        payloads = [
-            (type(s).__name__, pname, trials, seed, chunk_size)
-            for s in schemes
-            for pname in PATTERNS
-        ]
+    compatible = all(_worker_compatible(s) for s in schemes)
+    cache: "dict[str, object]" = {}
+    cache_path = None
+    if use_cache and compatible:
+        from repro.experiments import evaluation
+        from repro.util.cachefile import load_json_cache, write_json_cache_atomic
+
+        cache_path = evaluation.CACHE_DIR / "mc_coverage.json"
+        cache = load_json_cache(cache_path)
+
+    def key(cls_name: str, pname: str) -> str:
+        return f"{cls_name}|{pname}|trials={trials}:seed={seed}:chunk={chunk_size}"
+
+    if compatible:
+        payloads = []
+        for s in schemes:
+            for pname in PATTERNS:
+                entry = cache.get(key(type(s).__name__, pname))
+                if isinstance(entry, list) and len(entry) == 3:
+                    results[(type(s).__name__, pname)] = [int(v) for v in entry]
+                else:
+                    payloads.append((type(s).__name__, pname, trials, seed, chunk_size))
         for cls_name, pname, counts in parallel.run_tasks(_coverage_cell, payloads, jobs=jobs):
             results[(cls_name, pname)] = counts
+            if cache_path is not None:
+                cache[key(cls_name, pname)] = counts
+                write_json_cache_atomic(cache_path, cache)
     else:
         # Schemes we can't rebuild from a class name don't cross processes.
         for s in schemes:

@@ -135,8 +135,15 @@ def evaluation_matrix(
     processes when *jobs* (default: ``REPRO_JOBS``, else CPU count) allows -
     and merged back under their ``workload|config`` key, so the returned
     matrix is independent of completion order and bit-identical to a serial
-    sweep.  The cache is flushed atomically after every finished cell, so an
-    interrupted sweep resumes where it stopped.
+    sweep.  The cache is flushed atomically (merge-on-write, so concurrent
+    sweeps sharing the file keep each other's cells) after every finished
+    cell, so an interrupted or crashed sweep resumes where it stopped.
+    Worker crashes, hangs, and exceptions are retried by the resilient
+    engine (``REPRO_TASK_RETRIES`` / ``REPRO_TASK_TIMEOUT``); cells that
+    exhaust their budget surface in a
+    :class:`~repro.experiments.parallel.CampaignError` naming each failed
+    ``(workload, config)`` payload, raised only after every other cell has
+    completed and checkpointed.
     """
     fidelity = fidelity or current_fidelity()
     wl_names = workloads or [w.name for w in ALL_WORKLOADS]

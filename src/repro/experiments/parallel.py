@@ -1,81 +1,434 @@
-"""Process-parallel fan-out of evaluation-matrix cells.
+"""Resilient process-parallel fan-out of campaign tasks.
 
-Every (workload, configuration) cell of the evaluation matrix is an
-independent, deterministic simulation: the core traces are seeded per
-:class:`~repro.experiments.runner.RunSpec` and nothing is shared between
-cells at run time.  That makes the sweep embarrassingly parallel - this
-module fans the missing cells of a matrix over a
-:class:`~concurrent.futures.ProcessPoolExecutor` and streams results back
-in completion order.
+Every campaign cell (evaluation-matrix cells, Monte Carlo fig8 / coverage /
+collision cells) is an independent, deterministic simulation: workers
+receive only primitives, rebuild their inputs, and seed themselves, so a
+task's result never depends on which process ran it and a parallel
+campaign is bit-identical to a serial one.  :func:`run_tasks` is the
+generic engine under every driver; :func:`run_cells` adapts it to the
+evaluation matrix.
 
-Workers receive only primitives (names, ints) and rebuild the ``RunSpec``
-themselves, so nothing unpicklable ever crosses the process boundary and a
-cell computed in a worker is bit-identical to the same cell computed
-serially.  The worker count comes from the ``REPRO_JOBS`` environment
-variable (default: ``os.cpu_count()``).
+At production scale (1M-trial campaigns, full 16-workload sweeps) partial
+failure is the common case, so the engine wraps the fan-out in a
+resilience layer:
+
+* **Bounded retry with exponential backoff** — a worker exception consumes
+  one attempt; the task is resubmitted up to ``retries``
+  (``REPRO_TASK_RETRIES``, default 2) times before being recorded as a
+  structured :class:`TaskFailure`.
+* **Per-task timeout** — with ``timeout`` (``REPRO_TASK_TIMEOUT``) set, a
+  task that produces no result within the window is presumed hung; the
+  only way to reclaim a hung worker is to kill its pool, so the pool is
+  torn down, the timed-out task is charged an attempt, and everything
+  in flight is requeued.
+* **Pool rebuild on ``BrokenProcessPool``** — an OOM-killed or crashed
+  worker takes the whole executor down; the engine kills the broken pool,
+  requeues all in-flight tasks (the culprit is unknowable, so nobody's
+  retry budget is charged), and rebuilds.
+* **Graceful degradation to serial** — when the pool breaks
+  :data:`REBUILD_LIMIT` times consecutively (no task resolved in between)
+  or :data:`REBUILD_TOTAL_LIMIT` times overall, the engine stops fighting
+  and finishes the remaining tasks in-process.
+* **Failure records at campaign end** — failed tasks no longer abort the
+  campaign: every other task still completes (and is checkpointed by the
+  caller as it streams back), then a :class:`CampaignError` carrying every
+  :class:`TaskFailure` (payload identity, attempts, error) is raised, so a
+  rerun recomputes only the failed cells.
+
+Because workers are pure and retried/requeued tasks are simply re-executed
+from the same primitives, every recovery path yields the same bytes as a
+fault-free run — the serial == parallel determinism contract survives
+retries, rebuilds, and degradation.  The deterministic fault injector in
+:mod:`repro.util.chaos` (armed via ``REPRO_CHAOS`` or the ``chaos``
+argument) exists to prove exactly that in tests: faults are injected only
+into pool workers, never into the serial/degraded in-process path.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict
-from typing import Iterable, Iterator
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Iterable, Iterator
 
 from repro.ecc.catalog import SYSTEM_CLASSES
 from repro.experiments import evaluation
 from repro.experiments.runner import RunSpec, run
+from repro.util import chaos as chaos_mod
+from repro.util import envcfg
 from repro.workloads.profiles import WORKLOADS_BY_NAME
+
+#: Base delay (seconds) of the exponential retry backoff; attempt *k*
+#: sleeps ``backoff * 2**(k-1)`` capped at :data:`BACKOFF_CAP`.
+BACKOFF_BASE = 0.05
+BACKOFF_CAP = 2.0
+
+#: Consecutive pool rebuilds (no task resolved in between) before the
+#: engine degrades to serial in-process execution.
+REBUILD_LIMIT = 2
+
+#: Total pool rebuilds in one campaign before degrading, whatever the
+#: progress in between — bounds a persistent crasher that lets other
+#: tasks finish between rebuilds.
+REBUILD_TOTAL_LIMIT = 5
 
 
 def default_jobs() -> int:
     """Worker count: ``REPRO_JOBS`` if set, else the machine's CPU count."""
-    raw = os.environ.get("REPRO_JOBS", "").strip()
-    if raw:
+    return envcfg.jobs(os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured record of one task that exhausted its attempt budget."""
+
+    index: int  #: position in the campaign's payload list
+    payload: tuple  #: the originating payload (cell identity)
+    attempts: int  #: attempts consumed when the task was given up
+    kind: str  #: "exception" | "timeout" | "corrupt"
+    error: str  #: rendered final error
+    cause: "BaseException | None" = field(default=None, repr=False, compare=False)
+
+
+class TaskError(RuntimeError):
+    """A worker failure wrapped with the identity of the task that raised it.
+
+    Raised immediately (``fail_fast=True``) instead of being collected, so
+    the failing cell is identifiable without rerunning the sweep.
+    """
+
+    def __init__(self, failure: TaskFailure):
+        self.failure = failure
+        super().__init__(
+            f"task #{failure.index} {failure.payload!r} failed after "
+            f"{failure.attempts} attempt(s) [{failure.kind}]: {failure.error}"
+        )
+
+
+class CampaignError(RuntimeError):
+    """Raised at campaign end when tasks failed; carries every failure record.
+
+    By the time this is raised every other task has completed and been
+    yielded (and checkpointed by callers that cache), so a rerun recomputes
+    only the cells listed here.
+    """
+
+    def __init__(self, failures: "list[TaskFailure]", total: int):
+        self.failures = list(failures)
+        self.total = total
+        lines = "\n".join(
+            f"  - task #{f.index} {f.payload!r}: {f.kind} after "
+            f"{f.attempts} attempt(s): {f.error}"
+            for f in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)}/{total} campaign task(s) failed after retries:\n{lines}"
+        )
+
+
+def _record(failures, index, payload, attempts, kind, exc, fail_fast):
+    failure = TaskFailure(
+        index=index,
+        payload=payload,
+        attempts=attempts,
+        kind=kind,
+        error=f"{type(exc).__name__}: {exc}",
+        cause=exc,
+    )
+    if fail_fast:
+        raise TaskError(failure) from exc
+    failures.append(failure)
+
+
+def _result_ok(result, validate) -> bool:
+    if isinstance(result, chaos_mod.Corrupted):
+        return False
+    return validate is None or bool(validate(result))
+
+
+def _backoff_sleep(backoff: float, attempt: int) -> None:
+    if backoff > 0:
+        time.sleep(min(BACKOFF_CAP, backoff * (2 ** (attempt - 1))))
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting: cancel queued work, kill workers.
+
+    A hung or crashed worker never drains the call queue, so a waiting
+    shutdown could block forever; the worker processes are terminated
+    directly (the private ``_processes`` map is the only handle the
+    executor exposes).
+    """
+    procs = getattr(pool, "_processes", None)
+    procs = list(procs.values()) if procs else []
+    pool.shutdown(wait=False, cancel_futures=True)
+    for p in procs:
         try:
-            jobs = int(raw)
-        except ValueError:
-            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
-        if jobs < 1:
-            raise ValueError(f"REPRO_JOBS must be >= 1, got {jobs}")
-        return jobs
-    return os.cpu_count() or 1
+            p.terminate()
+        except Exception:
+            pass
+    for p in procs:
+        try:
+            p.join(timeout=5.0)
+        except Exception:
+            pass
+
+
+def _submit(pool, worker, payload, index, attempt, chaos):
+    if chaos:
+        return pool.submit(chaos_mod.chaos_call, chaos, worker, index, attempt, payload)
+    return pool.submit(worker, *payload)
+
+
+def _collect(fut) -> "tuple[str, object]":
+    """Classify a future: ("ok", result) | ("error", exc) | ("broken", exc).
+
+    "broken" means the pool died under the task (or cancelled it) — the
+    task itself is not at fault and is requeued without charging its retry
+    budget.
+    """
+    if not fut.done():
+        return "broken", RuntimeError("worker still running when its pool died")
+    if fut.cancelled():
+        return "broken", RuntimeError("task cancelled by pool teardown")
+    exc = fut.exception()
+    if exc is None:
+        return "ok", fut.result()
+    if isinstance(exc, BrokenProcessPool):
+        return "broken", exc
+    return "error", exc
+
+
+def _run_serial(worker, payloads, tasks, retries, backoff, validate, failures, fail_fast):
+    """In-process execution with the same retry/validation contract.
+
+    *tasks* is a list of ``(index, first_attempt)`` pairs — the degraded
+    path hands over tasks mid-campaign with their attempt count intact.
+    Every task is executed at least once regardless of the attempt it
+    arrives with.  No chaos, no timeout: this is the reference path.
+    """
+    max_attempts = retries + 1
+    for index, attempt in tasks:
+        payload = payloads[index]
+        while True:
+            try:
+                result = worker(*payload)
+            except Exception as exc:
+                if attempt >= max_attempts:
+                    _record(failures, index, payload, attempt, "exception", exc, fail_fast)
+                    break
+                _backoff_sleep(backoff, attempt)
+                attempt += 1
+                continue
+            if not _result_ok(result, validate):
+                if attempt >= max_attempts:
+                    exc = ValueError(f"invalid result: {result!r}")
+                    _record(failures, index, payload, attempt, "corrupt", exc, fail_fast)
+                    break
+                _backoff_sleep(backoff, attempt)
+                attempt += 1
+                continue
+            yield result
+            break
+
+
+def _run_pooled(
+    worker, payloads, jobs, timeout, retries, backoff, validate, chaos, failures, fail_fast
+):
+    """The pooled engine: windowed submission, deadlines, rebuilds."""
+    max_attempts = retries + 1
+    pending = deque((i, 1) for i in range(len(payloads)))
+    inflight: "dict[object, tuple[int, int, float | None]]" = {}
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(payloads)))
+    consecutive_rebuilds = 0
+    total_rebuilds = 0
+    try:
+        while pending or inflight:
+            broken = False
+            # 1. Refill the submission window (at most *jobs* in flight, so
+            #    deadlines measure run time, not queue time).
+            while pool is not None and pending and len(inflight) < jobs:
+                index, attempt = pending[0]
+                try:
+                    fut = _submit(pool, worker, payloads[index], index, attempt, chaos)
+                except (BrokenProcessPool, RuntimeError):
+                    broken = True
+                    break
+                pending.popleft()
+                deadline = (time.monotonic() + timeout) if timeout else None
+                inflight[fut] = (index, attempt, deadline)
+
+            # 2. Wait for completions, bounded by the nearest deadline.
+            done = ()
+            if not broken and inflight:
+                wait_s = None
+                if timeout:
+                    nearest = min(d for (_, _, d) in inflight.values())
+                    wait_s = max(0.0, nearest - time.monotonic())
+                done, _ = wait(list(inflight), timeout=wait_s, return_when=FIRST_COMPLETED)
+
+            # 3. Settle finished futures.
+            for fut in done:
+                index, attempt, _ = inflight.pop(fut)
+                status, value = _collect(fut)
+                if status == "broken":
+                    broken = True
+                    pending.append((index, attempt + 1))
+                elif status == "error":
+                    if attempt >= max_attempts:
+                        _record(
+                            failures, index, payloads[index], attempt, "exception", value, fail_fast
+                        )
+                        consecutive_rebuilds = 0
+                    else:
+                        _backoff_sleep(backoff, attempt)
+                        pending.append((index, attempt + 1))
+                elif _result_ok(value, validate):
+                    consecutive_rebuilds = 0
+                    yield value
+                else:
+                    if attempt >= max_attempts:
+                        exc = ValueError(f"invalid result: {value!r}")
+                        _record(
+                            failures, index, payloads[index], attempt, "corrupt", exc, fail_fast
+                        )
+                        consecutive_rebuilds = 0
+                    else:
+                        _backoff_sleep(backoff, attempt)
+                        pending.append((index, attempt + 1))
+
+            # 4. Expire deadlines: a hung worker never completes on its own,
+            #    and the only way to reclaim it is to rebuild the pool.
+            if not broken and timeout and inflight:
+                now = time.monotonic()
+                expired = [
+                    f
+                    for f, (_, _, d) in inflight.items()
+                    if d is not None and d <= now and not f.done()
+                ]
+                if expired:
+                    broken = True
+                    for fut in expired:
+                        index, attempt, _ = inflight.pop(fut)
+                        if attempt >= max_attempts:
+                            exc = TimeoutError(f"no result within {timeout:g}s")
+                            _record(
+                                failures, index, payloads[index], attempt, "timeout", exc, fail_fast
+                            )
+                            consecutive_rebuilds = 0
+                        else:
+                            pending.append((index, attempt + 1))
+
+            # 5. Rebuild the pool, or degrade to serial when it keeps dying.
+            if broken:
+                for fut, (index, attempt, _) in inflight.items():
+                    status, value = _collect(fut)
+                    if status == "ok" and _result_ok(value, validate):
+                        # Completed in the teardown race window: don't redo it.
+                        consecutive_rebuilds = 0
+                        yield value
+                    else:
+                        pending.append((index, attempt + 1))
+                inflight.clear()
+                _kill_pool(pool)
+                pool = None
+                consecutive_rebuilds += 1
+                total_rebuilds += 1
+                if (
+                    consecutive_rebuilds >= REBUILD_LIMIT
+                    or total_rebuilds >= REBUILD_TOTAL_LIMIT
+                ):
+                    tasks = list(pending)
+                    pending.clear()
+                    yield from _run_serial(
+                        worker, payloads, tasks, retries, backoff, validate, failures, fail_fast
+                    )
+                    return
+                if pending:
+                    pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+    except BaseException:
+        # Ctrl-C or an abandoned generator: drop pending work and return
+        # without blocking on the pool - results already yielded were merged
+        # (and cached) by the caller, so the campaign resumes where it
+        # stopped.
+        if pool is not None:
+            _kill_pool(pool)
+        raise
+    if pool is not None:
+        pool.shutdown()
 
 
 def run_tasks(
     worker,
     payloads: "Iterable[tuple]",
     jobs: "int | None" = None,
+    *,
+    timeout: "float | None" = None,
+    retries: "int | None" = None,
+    backoff: "float | None" = None,
+    validate: "Callable[[object], bool] | None" = None,
+    chaos: "str | None" = None,
+    fail_fast: bool = False,
 ) -> "Iterator":
     """Fan *worker(*payload)* over processes, yielding results as they finish.
 
-    The generic engine under every campaign driver (evaluation cells, Monte
-    Carlo fig8 / coverage / collision cells): *worker* must be a module-level
-    function taking only primitives, so payloads pickle cleanly and a task's
-    result never depends on which process ran it.  With ``jobs == 1`` or a
-    single payload everything runs in-process, in order - no executor, no
-    pickling - keeping the serial path the reference behaviour.
+    The generic resilient engine under every campaign driver: *worker* must
+    be a module-level function taking only primitives, so payloads pickle
+    cleanly and a task's result never depends on which process ran it.
+    With ``jobs == 1`` or a single payload everything runs in-process, in
+    order — no executor, no pickling — keeping the serial path the
+    reference behaviour.
+
+    Resilience knobs (see the module docstring for semantics):
+
+    * *timeout* — per-task seconds (default ``REPRO_TASK_TIMEOUT``; unset
+      disables; ``0`` disables explicitly).  Pool path only.
+    * *retries* — attempts beyond the first per task (default
+      ``REPRO_TASK_RETRIES``, else 2).
+    * *backoff* — base seconds of the exponential retry backoff (default
+      :data:`BACKOFF_BASE`; pass ``0`` to disable sleeping in tests).
+    * *validate* — optional predicate over results; a falsy verdict counts
+      as a failed attempt (kind ``corrupt``).
+    * *chaos* — a :mod:`repro.util.chaos` spec string (default
+      ``REPRO_CHAOS``); injected into pool workers only.
+    * *fail_fast* — raise :class:`TaskError` on the first exhausted task
+      instead of collecting failures into a :class:`CampaignError`.
+
+    Tasks that exhaust their budget are reported in one
+    :class:`CampaignError` raised *after* every other task has been
+    yielded; callers that checkpoint per result therefore resume with only
+    the failed cells missing.
     """
-    payloads = list(payloads)
+    payloads = [tuple(p) for p in payloads]
     if jobs is None:
         jobs = default_jobs()
+    timeout = envcfg.task_timeout(timeout)
+    retries = envcfg.task_retries(retries)
+    if backoff is None:
+        backoff = BACKOFF_BASE
+    if chaos is None:
+        chaos = chaos_mod.from_env()
+    failures: "list[TaskFailure]" = []
     if jobs == 1 or len(payloads) <= 1:
-        for payload in payloads:
-            yield worker(*payload)
-        return
-    pool = ProcessPoolExecutor(max_workers=min(jobs, len(payloads)))
-    try:
-        futures = [pool.submit(worker, *payload) for payload in payloads]
-        for fut in as_completed(futures):
-            yield fut.result()
-    except BaseException:
-        # Ctrl-C or an abandoned generator: drop pending work and return
-        # without blocking on the pool - results already yielded were merged
-        # (and cached) by the caller, so the campaign resumes where it
-        # stopped.
-        pool.shutdown(wait=False, cancel_futures=True)
-        raise
-    pool.shutdown()
+        yield from _run_serial(
+            worker,
+            payloads,
+            [(i, 1) for i in range(len(payloads))],
+            retries,
+            backoff,
+            validate,
+            failures,
+            fail_fast,
+        )
+    else:
+        yield from _run_pooled(
+            worker, payloads, jobs, timeout, retries, backoff, validate, chaos, failures, fail_fast
+        )
+    if failures:
+        raise CampaignError(failures, len(payloads)) from failures[0].cause
 
 
 def _run_cell(
@@ -111,43 +464,22 @@ def run_cells(
     fidelity: "evaluation.Fidelity",
     seed: int,
     jobs: "int | None" = None,
+    **options,
 ) -> "Iterator[tuple[str, str, dict]]":
     """Simulate *cells* and yield ``(workload, config_key, cell_dict)``.
 
-    Results stream back in completion order (callers key by name, so order
-    does not matter for correctness).  With ``jobs == 1`` or a single cell
-    everything runs in-process - no executor, no pickling - which keeps the
-    serial path byte-for-byte the reference behaviour.
+    A thin adapter over :func:`run_tasks` (which owns pooling, retries,
+    timeouts, and failure records — *options* passes those knobs through).
+    Results stream back in completion order; callers key by name, so order
+    does not matter for correctness, and with ``jobs == 1`` or a single
+    cell everything runs in-process, byte-for-byte the reference behaviour.
+    A failing cell surfaces in :class:`CampaignError` /
+    :class:`TaskError` with its ``(system_class, workload, config_key,
+    ...)`` payload attached, so it is identifiable without rerunning the
+    sweep.
     """
-    cells = list(cells)
-    if jobs is None:
-        jobs = default_jobs()
-    if jobs == 1 or len(cells) <= 1:
-        for wl_name, key in cells:
-            yield _run_cell(
-                system_class, wl_name, key, fidelity.scale, fidelity.access_target, seed
-            )
-        return
-    pool = ProcessPoolExecutor(max_workers=min(jobs, len(cells)))
-    try:
-        futures = [
-            pool.submit(
-                _run_cell,
-                system_class,
-                wl_name,
-                key,
-                fidelity.scale,
-                fidelity.access_target,
-                seed,
-            )
-            for wl_name, key in cells
-        ]
-        for fut in as_completed(futures):
-            yield fut.result()
-    except BaseException:
-        # Ctrl-C or an abandoned generator: drop pending work and return
-        # without blocking on the pool - cells already yielded are merged
-        # (and cached) by the caller, so the sweep resumes where it stopped.
-        pool.shutdown(wait=False, cancel_futures=True)
-        raise
-    pool.shutdown()
+    payloads = [
+        (system_class, wl_name, key, fidelity.scale, fidelity.access_target, seed)
+        for wl_name, key in cells
+    ]
+    return run_tasks(_run_cell, payloads, jobs=jobs, **options)

@@ -268,7 +268,12 @@ def eol_fraction_by_channels(
     over processes (``jobs``; ``REPRO_JOBS``/cpu count by default, 1 =
     in-process) and, with ``use_cache=True``, finished cells are stored as
     exact histograms in the experiment cache directory so interrupted
-    million-trial campaigns resume instead of restarting.
+    million-trial campaigns resume instead of restarting.  The resilient
+    engine retries crashed/hung/failed cells (``REPRO_TASK_RETRIES`` /
+    ``REPRO_TASK_TIMEOUT``); cells that exhaust their budget surface in a
+    :class:`~repro.experiments.parallel.CampaignError` *after* every other
+    cell has completed and checkpointed, so a rerun recomputes only the
+    failed cells.
     """
     from repro.experiments import parallel
 

@@ -1,10 +1,21 @@
-"""Atomic, corruption-tolerant JSON result caches.
+"""Atomic, corruption-tolerant, merge-on-write JSON result caches.
 
 Shared by the evaluation-matrix sweep and the Monte Carlo campaign drivers:
 a cache is a flat ``{key: value}`` JSON object rewritten atomically (temp
 file + same-directory ``os.replace``) after every finished cell, so
-interrupted sweeps resume where they stopped, concurrent sweeps never tear
-the file, and a corrupt/truncated cache is recomputed rather than crashing.
+interrupted or crashed sweeps resume where they stopped and a
+corrupt/truncated cache is recomputed rather than crashing.
+
+Two hardening layers protect concurrent and crashing campaigns:
+
+* **fsync before rename** — the temp file is flushed and fsynced (and the
+  directory entry synced, best-effort) before ``os.replace``, so a machine
+  crash immediately after a checkpoint cannot leave a zero-length or
+  truncated file where the rename landed.
+* **merge-on-write** — by default the on-disk cache is reloaded and
+  unioned under the new entries before every rewrite, so two concurrent
+  campaigns sharing a cache file don't silently drop each other's finished
+  cells (for identical keys the writer's value wins).
 """
 
 from __future__ import annotations
@@ -25,9 +36,42 @@ def load_json_cache(path: Path) -> "dict[str, object]":
     return cache if isinstance(cache, dict) else {}
 
 
-def write_json_cache_atomic(path: Path, cache: "dict[str, object]") -> None:
-    """Replace the cache file atomically (temp file + rename, same dir)."""
+def write_json_cache_atomic(
+    path: Path, cache: "dict[str, object]", merge: bool = True
+) -> None:
+    """Replace the cache file atomically; by default merge with the disk copy.
+
+    With ``merge=True`` the current file is reloaded and the union (disk
+    entries under *cache* entries) is written, preserving cells finished by
+    a concurrent campaign between our loads; ``merge=False`` restores plain
+    replacement.  The caller's *cache* dict is never mutated.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
+    if merge:
+        on_disk = load_json_cache(path)
+        if on_disk:
+            cache = {**on_disk, **cache}
     tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-    tmp.write_text(json.dumps(cache))
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(cache))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # Ctrl-C (or a crash mid-write) must not litter the cache dir with
+        # temp files; the previous cache file is still intact.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:
+        # Best-effort directory sync so the rename itself survives a crash.
+        dfd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dfd)
+        finally:
+            os.close(dfd)
+    except OSError:
+        pass

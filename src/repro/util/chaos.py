@@ -1,0 +1,151 @@
+"""Deterministic chaos harness for the campaign engine.
+
+The resilience layer in :mod:`repro.experiments.parallel` (retries,
+per-task timeouts, pool rebuilds, serial degradation) is only trustworthy
+if its recovery paths are *exercised*, not just written.  This module
+injects worker faults at precisely chosen task indices so tests can drive
+every path deterministically and then assert that the recovered campaign
+is bit-identical to a fault-free serial run.
+
+A chaos spec is a comma-separated list of fault entries::
+
+    mode[=param]@index[#attempt]
+
+* ``mode`` — ``crash`` (the worker process dies via ``os._exit``; the
+  executor surfaces this as ``BrokenProcessPool``), ``hang`` (the worker
+  sleeps *param* seconds — default :data:`DEFAULT_HANG_S` — before doing
+  its work, tripping the engine's per-task timeout), or ``corrupt`` (the
+  result is wrapped in a :class:`Corrupted` marker, which the engine
+  rejects and retries).
+* ``param`` — exit code for ``crash`` (default :data:`DEFAULT_EXIT_CODE`),
+  sleep seconds for ``hang``.
+* ``index`` — the task's position in the campaign's payload list.
+* ``attempt`` — which attempt the fault hits: an integer, or ``*`` for
+  every attempt.  Default ``1``, so a retried task succeeds — the shape
+  chaos tests use to prove recovery converges on the fault-free result.
+
+Example: ``"crash@2,hang=30@5#1,corrupt@0#*"``.
+
+Specs travel to workers as plain strings (via the engine) and are parsed
+on both sides, so nothing unpicklable crosses the process boundary.  The
+``REPRO_CHAOS`` environment variable arms the engine globally; faults are
+injected **only into pool workers** — the serial in-process path (and the
+engine's degraded-to-serial recovery path) stays the fault-free reference.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+#: Environment variable holding a chaos spec for the campaign engine.
+ENV_VAR = "REPRO_CHAOS"
+
+#: Default sleep for ``hang`` faults — long enough that any sane per-task
+#: timeout fires first.
+DEFAULT_HANG_S = 300.0
+
+#: Default exit code for ``crash`` faults (arbitrary, recognizably chaotic).
+DEFAULT_EXIT_CODE = 76
+
+_MODES = ("crash", "hang", "corrupt")
+
+
+class Corrupted:
+    """Picklable marker a ``corrupt`` fault wraps a worker's result in.
+
+    The campaign engine treats any :class:`Corrupted` result as a failed
+    attempt (kind ``corrupt``) and retries the task, so the corruption
+    never reaches the caller's merge step.
+    """
+
+    def __init__(self, original):
+        self.original = original
+
+    def __repr__(self):
+        return f"Corrupted({self.original!r})"
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One parsed fault entry."""
+
+    mode: str  #: "crash" | "hang" | "corrupt"
+    index: int  #: task index within the campaign's payload list
+    attempt: "int | None"  #: attempt to hit; None = every attempt
+    param: float  #: exit code (crash) or sleep seconds (hang)
+
+    def matches(self, index: int, attempt: int) -> bool:
+        return self.index == index and self.attempt in (None, attempt)
+
+
+def parse(spec: str) -> "tuple[ChaosFault, ...]":
+    """Parse a chaos spec string; malformed entries raise ``ValueError``."""
+    faults = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        head, sep, tail = entry.partition("@")
+        if not sep:
+            raise ValueError(f"chaos entry {entry!r} must look like mode@index")
+        mode, _, param = head.partition("=")
+        mode = mode.strip()
+        if mode not in _MODES:
+            raise ValueError(f"chaos mode must be one of {_MODES}, got {mode!r}")
+        if param and mode == "corrupt":
+            raise ValueError(f"chaos mode 'corrupt' takes no parameter: {entry!r}")
+        idx_s, _, att_s = tail.partition("#")
+        try:
+            index = int(idx_s)
+        except ValueError:
+            raise ValueError(f"chaos task index must be an integer: {entry!r}") from None
+        if index < 0:
+            raise ValueError(f"chaos task index must be >= 0: {entry!r}")
+        att_s = att_s.strip()
+        if att_s == "*":
+            attempt = None
+        else:
+            try:
+                attempt = int(att_s) if att_s else 1
+            except ValueError:
+                raise ValueError(f"chaos attempt must be an integer or '*': {entry!r}") from None
+        if mode == "crash":
+            value = float(param) if param else float(DEFAULT_EXIT_CODE)
+        elif mode == "hang":
+            value = float(param) if param else DEFAULT_HANG_S
+        else:
+            value = 0.0
+        faults.append(ChaosFault(mode, index, attempt, value))
+    return tuple(faults)
+
+
+def from_env() -> "str | None":
+    """The ``REPRO_CHAOS`` spec, validated eagerly so typos fail in the
+    parent process rather than inside a worker; ``None`` when unset."""
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if raw:
+        parse(raw)
+    return raw or None
+
+
+def chaos_call(spec: str, worker, index: int, attempt: int, payload: tuple):
+    """Worker-side wrapper: apply the first matching fault, then run the task.
+
+    ``crash`` never returns; ``hang`` sleeps before doing the (correct)
+    work, so a generous timeout just sees a slow task; ``corrupt`` does the
+    work and wraps the result.  With no matching fault this is exactly
+    ``worker(*payload)`` — the engine's determinism contract depends on
+    that.
+    """
+    for fault in parse(spec):
+        if fault.matches(index, attempt):
+            if fault.mode == "crash":
+                os._exit(int(fault.param))
+            if fault.mode == "hang":
+                time.sleep(fault.param)
+            elif fault.mode == "corrupt":
+                return Corrupted(worker(*payload))
+            break
+    return worker(*payload)

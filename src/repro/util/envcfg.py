@@ -1,16 +1,64 @@
-"""Environment-variable knobs shared by the reliability-plane drivers.
+"""Environment-variable knobs shared by the campaign drivers.
 
-``REPRO_MC_TRIALS`` overrides the default trial count of every Monte Carlo
-driver (Figure 8 end-of-life, the coverage study, the collision study) so
-one switch flips the whole reliability plane between a quick CI pass and a
-full-scale run (e.g. ``REPRO_MC_TRIALS=1000000`` for converged tail
-statistics).  An explicit ``trials=`` argument always wins over the
-environment.
+One switch flips a whole plane of the reproduction between a quick CI pass
+and a full-scale run:
+
+* ``REPRO_MC_TRIALS`` — default trial count of every Monte Carlo driver
+  (Figure 8 end-of-life, the coverage study, the collision study), e.g.
+  ``REPRO_MC_TRIALS=1000000`` for converged tail statistics.
+* ``REPRO_JOBS`` — worker-process count of every campaign fan-out
+  (``repro.experiments.parallel``); ``1`` forces the serial reference path.
+* ``REPRO_TASK_TIMEOUT`` — per-task timeout in seconds for pooled campaign
+  tasks; a worker that produces no result within the window is presumed
+  hung, its pool is rebuilt, and the task is retried.  Unset (the default)
+  disables the timeout; ``0`` disables it explicitly.
+* ``REPRO_TASK_RETRIES`` — how many times a failing campaign task is
+  retried (with exponential backoff) before it is recorded as a structured
+  failure.  Default 2.
+
+All knobs share one parser (:func:`positive_int` / :func:`positive_float`):
+blank or unset falls back to the default, malformed or out-of-range values
+raise ``ValueError`` eagerly in the parent process.  An explicit argument
+at a call site always wins over the environment.
 """
 
 from __future__ import annotations
 
 import os
+
+#: Default retry budget per campaign task (attempts = retries + 1).
+DEFAULT_TASK_RETRIES = 2
+
+
+def _env_number(name: str, cast, kind: str):
+    """Parse ``os.environ[name]`` via *cast*; blank/unset returns ``None``."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return cast(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be {kind}, got {raw!r}") from None
+
+
+def positive_int(name: str, default: int, minimum: int = 1) -> int:
+    """Shared positive-int knob: env var *name* if set, else *default*."""
+    value = _env_number(name, int, "an integer")
+    if value is None:
+        return default
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def positive_float(name: str, default: "float | None") -> "float | None":
+    """Shared positive-float knob: env var *name* if set, else *default*."""
+    value = _env_number(name, float, "a number")
+    if value is None:
+        return default
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    return value
 
 
 def mc_trials(explicit: "int | None", default: int) -> int:
@@ -21,13 +69,41 @@ def mc_trials(explicit: "int | None", default: int) -> int:
     """
     if explicit is not None:
         return explicit
-    raw = os.environ.get("REPRO_MC_TRIALS", "").strip()
-    if raw:
-        try:
-            trials = int(raw)
-        except ValueError:
-            raise ValueError(f"REPRO_MC_TRIALS must be an integer, got {raw!r}") from None
-        if trials < 1:
-            raise ValueError(f"REPRO_MC_TRIALS must be >= 1, got {trials}")
-        return trials
-    return default
+    return positive_int("REPRO_MC_TRIALS", default)
+
+
+def jobs(default: int) -> int:
+    """Resolve the campaign worker count: ``REPRO_JOBS`` if set, else
+    *default* (callers pass the machine's CPU count)."""
+    return positive_int("REPRO_JOBS", default)
+
+
+def task_timeout(explicit: "float | None" = None) -> "float | None":
+    """Resolve the per-task timeout in seconds; ``None`` means disabled.
+
+    An explicit argument wins (``0`` explicitly disables); otherwise
+    ``REPRO_TASK_TIMEOUT`` applies (``0`` disables there too); the default
+    is no timeout, preserving pre-resilience behaviour.
+    """
+    if explicit is not None:
+        explicit = float(explicit)
+        if explicit < 0:
+            raise ValueError(f"task timeout must be >= 0, got {explicit}")
+        return explicit or None
+    value = _env_number("REPRO_TASK_TIMEOUT", float, "a number")
+    if value is None:
+        return None
+    if value < 0:
+        raise ValueError(f"REPRO_TASK_TIMEOUT must be >= 0, got {value}")
+    return value or None
+
+
+def task_retries(explicit: "int | None" = None) -> int:
+    """Resolve the per-task retry budget (``REPRO_TASK_RETRIES``, default
+    :data:`DEFAULT_TASK_RETRIES`).  ``0`` means a single attempt."""
+    if explicit is not None:
+        explicit = int(explicit)
+        if explicit < 0:
+            raise ValueError(f"task retries must be >= 0, got {explicit}")
+        return explicit
+    return positive_int("REPRO_TASK_RETRIES", DEFAULT_TASK_RETRIES, minimum=0)

@@ -103,10 +103,18 @@ class TestCacheRobustness:
         names = [p.name for p in tmp_path.iterdir()]
         assert len(names) == 1 and names[0].endswith(".json")
 
-    def test_write_cache_atomic_replaces(self, tmp_path):
+    def test_write_cache_atomic_merges(self, tmp_path):
+        """Merge-on-write: a second campaign's cells union with the first's."""
         path = tmp_path / "m.json"
         ev._write_cache_atomic(path, {"a": {"x": 1}})
         ev._write_cache_atomic(path, {"b": {"y": 2}})
+        assert json.loads(path.read_text()) == {"a": {"x": 1}, "b": {"y": 2}}
+        assert [p.name for p in tmp_path.iterdir()] == ["m.json"]
+
+    def test_write_cache_atomic_replace_mode(self, tmp_path):
+        path = tmp_path / "m.json"
+        ev._write_cache_atomic(path, {"a": {"x": 1}})
+        ev._write_cache_atomic(path, {"b": {"y": 2}}, merge=False)
         assert json.loads(path.read_text()) == {"b": {"y": 2}}
         assert [p.name for p in tmp_path.iterdir()] == ["m.json"]
 

@@ -84,17 +84,90 @@ class TestFig8Cache:
 
 
 class TestCacheFile:
-    def test_atomic_write_replaces(self, tmp_path):
+    def test_atomic_write_merges(self, tmp_path):
         path = tmp_path / "c.json"
         write_json_cache_atomic(path, {"a": 1})
         write_json_cache_atomic(path, {"b": 2})
-        assert load_json_cache(path) == {"b": 2}
+        assert load_json_cache(path) == {"a": 1, "b": 2}
         assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+    def test_atomic_write_replace_mode(self, tmp_path):
+        path = tmp_path / "c.json"
+        write_json_cache_atomic(path, {"a": 1})
+        write_json_cache_atomic(path, {"b": 2}, merge=False)
+        assert load_json_cache(path) == {"b": 2}
 
     def test_non_dict_payload_treated_empty(self, tmp_path):
         path = tmp_path / "c.json"
         path.write_text("[1, 2, 3]")
         assert load_json_cache(path) == {}
+
+
+class TestCoverageCache:
+    def test_round_trip_and_warm_cache(self, tmp_path, monkeypatch):
+        import repro.experiments.coverage as coverage
+
+        monkeypatch.setattr(evaluation, "CACHE_DIR", tmp_path)
+        schemes = [Chipkill36()]
+        first = coverage_study(schemes, trials=40, seed=2, jobs=1, use_cache=True)
+        assert (tmp_path / "mc_coverage.json").exists()
+
+        def boom(*a):
+            raise AssertionError("simulated a cell despite a warm cache")
+
+        monkeypatch.setattr(coverage, "_coverage_cell", boom)
+        second = coverage_study(schemes, trials=40, seed=2, jobs=1, use_cache=True)
+        key = lambda r: (r.scheme, r.pattern, r.corrected, r.detected_uncorrectable, r.silent_or_wrong)
+        assert [key(r) for r in first] == [key(r) for r in second]
+
+    def test_distinct_settings_distinct_keys(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(evaluation, "CACHE_DIR", tmp_path)
+        coverage_study([Chipkill36()], trials=30, seed=0, jobs=1, use_cache=True)
+        coverage_study([Chipkill36()], trials=30, seed=1, jobs=1, use_cache=True)
+        cache = load_json_cache(tmp_path / "mc_coverage.json")
+        assert len(cache) == 6  # 3 patterns x 2 seeds
+
+
+class TestCollisionCache:
+    def test_round_trip_and_warm_cache(self, tmp_path, monkeypatch):
+        import repro.experiments.collision as collision
+
+        monkeypatch.setattr(evaluation, "CACHE_DIR", tmp_path)
+        first = two_fault_collision_mc(trials=32, seed=0, jobs=1, use_cache=True)
+        assert (tmp_path / "mc_collision.json").exists()
+
+        def boom(*a):
+            raise AssertionError("simulated a block despite a warm cache")
+
+        monkeypatch.setattr(collision, "_collision_block", boom)
+        second = two_fault_collision_mc(trials=32, seed=0, jobs=1, use_cache=True)
+        assert second.collisions == first.collisions
+        assert second.trials == 32
+
+    def test_partial_cache_recomputes_only_missing_blocks(self, tmp_path, monkeypatch):
+        import repro.experiments.collision as collision
+
+        monkeypatch.setattr(evaluation, "CACHE_DIR", tmp_path)
+        full = two_fault_collision_mc(trials=32, seed=0, jobs=1, use_cache=True)
+        cache_path = tmp_path / "mc_collision.json"
+        cache = load_json_cache(cache_path)
+        assert len(cache) == 2  # two 16-trial blocks
+        # Drop one block and resume: only that block is recomputed.
+        dropped_key, dropped_val = sorted(cache.items())[0]
+        remaining = {k: v for k, v in cache.items() if k != dropped_key}
+        write_json_cache_atomic(cache_path, remaining, merge=False)
+        computed = []
+        real_block = collision._collision_block
+
+        def counting(*a):
+            computed.append(a[:2])
+            return real_block(*a)
+
+        monkeypatch.setattr(collision, "_collision_block", counting)
+        resumed = two_fault_collision_mc(trials=32, seed=0, jobs=1, use_cache=True)
+        assert resumed.collisions == full.collisions
+        assert len(computed) == 1
+        assert load_json_cache(cache_path)[dropped_key] == dropped_val
 
 
 class TestCoverageParallel:
