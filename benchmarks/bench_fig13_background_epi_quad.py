@@ -6,7 +6,7 @@ from figrender import epi_summary_rows, render_comparison_report
 from repro.experiments import epi_report
 
 
-def bench_fig13_background_epi(benchmark, emit):
+def bench_fig13_background_epi_quad(benchmark, emit):
     rep = once(benchmark, lambda: epi_report("quad", metric="background"))
     table = render_comparison_report(
         rep,

@@ -13,11 +13,10 @@ finishes in seconds; the acceptance numbers come from an unloaded run
 without the flag.
 """
 
-import json
 import os
 import time
 
-from conftest import once
+from conftest import merge_results, once
 
 from repro.core.layout import Geometry
 from repro.core.machine import ECCParityMachine
@@ -43,10 +42,7 @@ CONVERGED_TRIALS = 1_000_000
 
 
 def _merge_results(results_dir, **fields):
-    path = results_dir / "BENCH_mc_throughput.json"
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data.update(fields)
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    merge_results(results_dir, "BENCH_mc_throughput.json", **fields)
 
 
 def bench_fig8_mc_throughput(benchmark, results_dir, emit):

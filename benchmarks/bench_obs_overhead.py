@@ -1,0 +1,213 @@
+"""Telemetry-plane overhead benchmarks.
+
+Not a paper figure - this guards the zero-cost claim of ``repro.obs``:
+with ``REPRO_OBS`` unset (the shipping default) the instrumentation in
+the simulation loop and the Monte Carlo kernel must cost < 2% of either
+kernel's wall-clock.  The disabled path is a handful of gate checks per
+run (one ``obs.enabled`` call per simulation, one per MC run plus a
+local-bool branch per 65k-trial chunk), so the bound is proven directly:
+measure the per-call cost of a disarmed gate, multiply by the number of
+gate sites a kernel run touches, and divide by the kernel's wall-clock.
+That product is deterministic - it cannot flake on a loaded runner the
+way a sub-2% wall-clock A/B comparison would.
+
+The armed path is measured too (interleaved disarmed-vs-armed reps,
+best-of-reps rates) and recorded alongside, with a loose sanity bound:
+event volume on these kernels is one record per sim run and one per MC
+chunk, so even the enabled path should stay within a few percent.
+
+Numbers land in ``results/BENCH_obs_overhead.json`` (plus a rendered
+table).  ``REPRO_BENCH_QUICK=1`` shrinks the budgets for CI.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from conftest import merge_results, once
+
+from repro import obs
+from repro.ecc.catalog import SYSTEM_CLASSES
+from repro.experiments.report import format_table
+from repro.experiments.runner import RunSpec, build_system
+from repro.faults.montecarlo import DEFAULT_CHUNK, EolCapacitySim
+from repro.workloads.profiles import WORKLOADS_BY_NAME
+
+QUICK_MODE = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: The acceptance bar: disabled-path telemetry overhead on either kernel.
+DISABLED_OVERHEAD_BUDGET_PCT = 2.0
+
+#: Sanity bound for the *armed* path (not the acceptance bar): one event
+#: per sim run / MC chunk plus an O(chunk) running-sum update.  Loose so a
+#: loaded CI runner cannot flake it.
+ENABLED_OVERHEAD_SANITY_PCT = 25.0
+
+SIM_INSTRUCTIONS = 60_000 if QUICK_MODE else 250_000
+MC_TRIALS = 200_000 if QUICK_MODE else 1_000_000
+REPS = 3 if QUICK_MODE else 5
+
+#: Iterations for timing a single disarmed gate call.
+GATE_CALLS = 200_000
+
+
+def _merge(results_dir, **fields):
+    merge_results(results_dir, "BENCH_obs_overhead.json", **fields)
+
+
+def _sim_kernel() -> float:
+    """One timing simulation (mcf, quad lot_ecc5_ep); returns wall seconds."""
+    spec = RunSpec(
+        WORKLOADS_BY_NAME["mcf"],
+        SYSTEM_CLASSES["quad"]["lot_ecc5_ep"],
+        warmup_instructions=SIM_INSTRUCTIONS,
+        measure_instructions=SIM_INSTRUCTIONS,
+        seed=0,
+        scale=32,
+    )
+    system = build_system(spec)
+    t0 = time.perf_counter()
+    system.run(spec.resolved_warmup, spec.resolved_measure)
+    return time.perf_counter() - t0
+
+
+def _mc_kernel() -> float:
+    """One vectorized Figure 8 MC run; returns wall seconds."""
+    t0 = time.perf_counter()
+    EolCapacitySim(seed=0).run(trials=MC_TRIALS)
+    return time.perf_counter() - t0
+
+
+def _disarmed_gate_cost_s() -> float:
+    """Per-call wall cost of a disarmed gate site (enabled check + no-op emit).
+
+    This is the *entire* per-site price the instrumentation adds when
+    ``REPRO_OBS`` is unset; charging every site this much is a strict
+    upper bound (most sites are a branch on an already-computed bool).
+    """
+    assert not obs.enabled()
+    t0 = time.perf_counter()
+    for _ in range(GATE_CALLS):
+        obs.enabled("sim")
+        obs.emit("bench.noop")
+    return (time.perf_counter() - t0) / (2 * GATE_CALLS)
+
+
+def _interleaved(kernel, modes: str, tmp: Path) -> "tuple[float, float]":
+    """Best-of-REPS wall for *kernel* disarmed vs armed, interleaved."""
+    best_off = best_on = float("inf")
+    for rep in range(REPS):
+        obs.disarm()
+        best_off = min(best_off, kernel())
+        obs.configure(tmp / f"rep{rep}", modes)
+        try:
+            best_on = min(best_on, kernel())
+        finally:
+            obs.disarm()
+            obs.REGISTRY.reset()
+    return best_off, best_on
+
+
+def bench_obs_disabled_path(benchmark, results_dir, emit):
+    """Disabled-path overhead: gate sites x gate cost vs kernel wall."""
+    obs.disarm()
+    obs.REGISTRY.reset()
+
+    def measure():
+        gate_s = _disarmed_gate_cost_s()
+        sim_wall = min(_sim_kernel() for _ in range(REPS))
+        mc_wall = min(_mc_kernel() for _ in range(REPS))
+        return gate_s, sim_wall, mc_wall
+
+    gate_s, sim_wall, mc_wall = once(benchmark, measure)
+    # Gate sites per kernel run (see module docstring): the sim loop checks
+    # once per run and would emit once; the MC loop checks once per run and
+    # branches once per chunk (charged as full gate calls - upper bound).
+    sim_sites = 2
+    mc_sites = 1 + -(-MC_TRIALS // DEFAULT_CHUNK)
+    sim_pct = 100.0 * sim_sites * gate_s / sim_wall
+    mc_pct = 100.0 * mc_sites * gate_s / mc_wall
+    _merge(
+        results_dir,
+        disabled_path={
+            "gate_cost_ns": round(gate_s * 1e9, 1),
+            "sim": {
+                "wall_s": round(sim_wall, 4),
+                "gate_sites": sim_sites,
+                "overhead_pct": round(sim_pct, 6),
+            },
+            "mc": {
+                "wall_s": round(mc_wall, 4),
+                "gate_sites": mc_sites,
+                "overhead_pct": round(mc_pct, 6),
+            },
+            "budget_pct": DISABLED_OVERHEAD_BUDGET_PCT,
+            "quick_mode": QUICK_MODE,
+        },
+    )
+    emit(
+        "bench_obs_disabled",
+        format_table(
+            ["kernel", "wall s", "gate sites", "overhead %"],
+            [
+                ["simloop", f"{sim_wall:.3f}", f"{sim_sites}", f"{sim_pct:.6f}"],
+                ["monte carlo", f"{mc_wall:.3f}", f"{mc_sites}", f"{mc_pct:.6f}"],
+            ],
+            title=f"Telemetry disabled-path overhead (gate call {gate_s * 1e9:.0f} ns)",
+        ),
+    )
+    assert sim_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"sim disabled path {sim_pct:.4f}%"
+    assert mc_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"mc disabled path {mc_pct:.4f}%"
+
+
+def bench_obs_enabled_overhead(benchmark, results_dir, emit, tmp_path):
+    """Armed-vs-disarmed wall on both kernels, plus the no-emit guarantee."""
+    obs.disarm()
+    obs.REGISTRY.reset()
+
+    def measure():
+        sim = _interleaved(_sim_kernel, "sim", tmp_path / "sim")
+        mc = _interleaved(_mc_kernel, "mc", tmp_path / "mc")
+        return sim, mc
+
+    (sim_off, sim_on), (mc_off, mc_on) = once(benchmark, measure)
+    sim_pct = 100.0 * (sim_on - sim_off) / sim_off
+    mc_pct = 100.0 * (mc_on - mc_off) / mc_off
+    armed_events = sum(
+        1
+        for rep in list((tmp_path / "sim").glob("rep*")) + list((tmp_path / "mc").glob("rep*"))
+        for _ in (rep / obs.EVENTS_FILE).read_text().splitlines()
+    )
+    _merge(
+        results_dir,
+        enabled_path={
+            "sim": {
+                "disarmed_wall_s": round(sim_off, 4),
+                "armed_wall_s": round(sim_on, 4),
+                "overhead_pct": round(sim_pct, 2),
+            },
+            "mc": {
+                "disarmed_wall_s": round(mc_off, 4),
+                "armed_wall_s": round(mc_on, 4),
+                "overhead_pct": round(mc_pct, 2),
+            },
+            "armed_events": armed_events,
+            "quick_mode": QUICK_MODE,
+        },
+    )
+    emit(
+        "bench_obs_enabled",
+        format_table(
+            ["kernel", "disarmed s", "armed s", "overhead %"],
+            [
+                ["simloop", f"{sim_off:.3f}", f"{sim_on:.3f}", f"{sim_pct:+.2f}"],
+                ["monte carlo", f"{mc_off:.3f}", f"{mc_on:.3f}", f"{mc_pct:+.2f}"],
+            ],
+            title="Telemetry armed-path overhead (best-of-reps, interleaved)",
+        ),
+    )
+    # Armed runs must actually emit; disarmed reps left no stream anywhere.
+    assert armed_events > 0
+    assert len(list(tmp_path.rglob(obs.EVENTS_FILE))) == 2 * REPS
+    assert sim_pct < ENABLED_OVERHEAD_SANITY_PCT, f"sim armed path {sim_pct:.1f}%"
+    assert mc_pct < ENABLED_OVERHEAD_SANITY_PCT, f"mc armed path {mc_pct:.1f}%"

@@ -13,11 +13,10 @@ file finishes in seconds; the acceptance numbers come from an unloaded run
 without the flag.
 """
 
-import json
 import os
 import time
 
-from conftest import once
+from conftest import merge_results, once
 
 from repro.experiments import parallel
 from repro.experiments.report import format_table
@@ -42,10 +41,7 @@ PAYLOADS = [(2, TRIALS, seed, 61320.0, 1 << 16) for seed in range(TASKS)]
 
 
 def _merge_results(results_dir, **fields):
-    path = results_dir / "BENCH_resilience.json"
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data.update(fields)
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    merge_results(results_dir, "BENCH_resilience.json", **fields)
 
 
 def bench_resilience_overhead(benchmark, results_dir, emit):

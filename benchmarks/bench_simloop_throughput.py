@@ -13,13 +13,12 @@ runner are then indicative only - the acceptance numbers come from an
 unloaded multi-core run without the flag.
 """
 
-import json
 import os
 import tempfile
 import time
 from pathlib import Path
 
-from conftest import once
+from conftest import merge_results, once
 
 import repro.experiments.evaluation as ev
 from repro.ecc.catalog import SYSTEM_CLASSES
@@ -45,10 +44,7 @@ MATRIX_CONFIGS = ["chipkill18", "lot_ecc5_ep"]
 
 
 def _merge_results(results_dir, **fields):
-    path = results_dir / "BENCH_simloop_throughput.json"
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data.update(fields)
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    merge_results(results_dir, "BENCH_simloop_throughput.json", **fields)
 
 
 def _one_sim() -> "tuple[int, float]":

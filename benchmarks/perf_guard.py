@@ -1,0 +1,107 @@
+"""Performance-regression guard over the committed benchmark baselines.
+
+Run *after* the throughput benches have rewritten ``results/BENCH_*.json``
+in the working tree:
+
+    python benchmarks/perf_guard.py [--baseline REF] [--tolerance PCT]
+
+For each guarded metric the fresh number is compared against the same
+field in the committed baseline (``git show REF:results/...``, default
+``HEAD``).  A drop of more than ``--tolerance`` percent (default 15) is a
+regression and the guard exits non-zero.  A metric is skipped - loudly,
+not silently - when either side is missing or when ``quick_mode``
+differs between the fresh run and the baseline, since quick and full
+budgets are not comparable.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+RESULTS = REPO / "results"
+
+#: (file, section, rate field) triples guarded against the baseline.
+#: Rates are throughputs: bigger is better.
+GUARDED = [
+    ("BENCH_simloop_throughput.json", "single_sim", "events_per_sec"),
+    ("BENCH_mc_throughput.json", "fig8_mc", "batched_trials_per_sec"),
+]
+
+DEFAULT_TOLERANCE_PCT = 15.0
+
+
+def _baseline(ref: str, filename: str) -> "dict | None":
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:results/{filename}"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def check(ref: str = "HEAD", tolerance_pct: float = DEFAULT_TOLERANCE_PCT) -> "list[str]":
+    """Return a list of regression messages (empty = pass)."""
+    failures = []
+    for filename, section, field in GUARDED:
+        label = f"{filename}:{section}.{field}"
+        fresh_path = RESULTS / filename
+        if not fresh_path.exists():
+            print(f"SKIP {label}: no fresh results file")
+            continue
+        fresh_doc = json.loads(fresh_path.read_text())
+        base_doc = _baseline(ref, filename)
+        if base_doc is None:
+            print(f"SKIP {label}: no committed baseline at {ref}")
+            continue
+        fresh = fresh_doc.get(section, {})
+        base = base_doc.get(section, {})
+        if field not in fresh or field not in base:
+            print(f"SKIP {label}: field missing ({'fresh' if field not in fresh else 'baseline'})")
+            continue
+        if fresh.get("quick_mode") != base.get("quick_mode"):
+            print(
+                f"SKIP {label}: quick_mode mismatch "
+                f"(fresh={fresh.get('quick_mode')}, baseline={base.get('quick_mode')})"
+            )
+            continue
+        floor = base[field] * (1 - tolerance_pct / 100.0)
+        verdict = "FAIL" if fresh[field] < floor else "ok"
+        print(
+            f"{verdict:>4} {label}: fresh={fresh[field]:,} baseline={base[field]:,} "
+            f"floor={floor:,.0f} (-{tolerance_pct:g}%)"
+        )
+        if fresh[field] < floor:
+            failures.append(
+                f"{label} regressed: {fresh[field]:,} < {floor:,.0f} "
+                f"(baseline {base[field]:,} at {ref}, tolerance {tolerance_pct:g}%)"
+            )
+    return failures
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/perf_guard.py",
+        description="Fail if guarded benchmark rates regressed vs the committed baseline.",
+    )
+    parser.add_argument("--baseline", default="HEAD", help="git ref holding the baseline JSONs")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE_PCT,
+        help="allowed drop in percent before failing (default 15)",
+    )
+    args = parser.parse_args(argv)
+    failures = check(args.baseline, args.tolerance)
+    for f in failures:
+        print(f"REGRESSION: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,9 @@ Subpackages
     fault injection.
 ``repro.experiments``
     One driver per paper table/figure (see DESIGN.md's index).
+``repro.obs``
+    Zero-dependency telemetry plane: JSONL event bus, metrics registry,
+    run manifests, and the ``repro.obs.summarize`` campaign reporter.
 """
 
 __version__ = "1.0.0"
@@ -34,6 +37,7 @@ __all__ = [
     "experiments",
     "faults",
     "gf",
+    "obs",
     "util",
     "workloads",
 ]

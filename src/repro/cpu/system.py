@@ -18,8 +18,10 @@ import copy
 import heapq
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterator
 
+from repro import obs
 from repro.cpu.degraded import DegradedMode
 from repro.cpu.ecc_traffic import EccTrafficModel
 from repro.cpu.llc import LLC, Eviction, LineKind
@@ -353,7 +355,16 @@ class SimSystem:
     # -- main loop ----------------------------------------------------------------------------
 
     def run(self, warmup_instructions: int, measure_instructions: int) -> SimResult:
-        """Simulate until the instruction budget is spent; return measured stats."""
+        """Simulate until the instruction budget is spent; return measured stats.
+
+        With ``REPRO_OBS=sim`` armed, one ``sim.run`` event (events/sec,
+        LLC hit/miss, channel fast-pick rate) is emitted per run — the
+        gate is checked once here, so the event loop itself carries no
+        telemetry cost.
+        """
+        obs_armed = obs.enabled("sim")
+        wall0 = perf_counter() if obs_armed else 0.0
+        seq0 = self._seq
         self.total_instructions = 0
         target = warmup_instructions + measure_instructions
         for core in self.cores:
@@ -425,6 +436,8 @@ class SimSystem:
 
         self.mem.finalize(self.now)
         energy = self.mem.energy_since(snap)
+        if obs_armed:
+            self._emit_run_telemetry(perf_counter() - wall0, self._seq - seq0)
         c0, c1 = snap_state["counters"], end_state["counters"]
         return SimResult(
             instructions=end_state["instructions"] - snap_state["instructions"],
@@ -439,6 +452,30 @@ class SimSystem:
             ),
             llc_hits=end_state["hits"] - snap_state["hits"],
             llc_misses=end_state["misses"] - snap_state["misses"],
+        )
+
+    def _emit_run_telemetry(self, wall_s: float, events: int) -> None:
+        """One ``sim.run`` event + registry update per completed run."""
+        issued = sum(ch.issued_requests for ch in self.mem.channels)
+        fast = sum(ch.fast_picks for ch in self.mem.channels)
+        events_per_sec = round(events / wall_s, 1) if wall_s > 0 else None
+        reg = obs.REGISTRY
+        reg.counter("sim.runs").inc()
+        reg.counter("sim.events").inc(events)
+        reg.gauge("sim.events_per_sec").set(events_per_sec)
+        stats = self.llc.stats
+        obs.emit(
+            "sim.run",
+            instructions=self.total_instructions,
+            cycles=self.now,
+            events_scheduled=events,
+            events_per_sec=events_per_sec,
+            llc_hits=stats.hits,
+            llc_misses=stats.misses,
+            issued_requests=issued,
+            fast_picks=fast,
+            fast_pick_rate=round(fast / issued, 4) if issued else None,
+            wall_s=round(wall_s, 6),
         )
 
     def _state_snapshot(self) -> dict:

@@ -84,6 +84,10 @@ class Channel:
         self.bus_free = 0
         self.last_was_write = False
         self.issued_requests = 0
+        #: Issues taken through the single-entry-queue fast path in
+        #: :meth:`_pick`; with :data:`issued_requests` this gives the
+        #: telemetry plane's channel-pick fast-path rate.
+        self.fast_picks = 0
         self._draining = False
         # Incremental scheduler state, maintained on enqueue/pop so each
         # issue decision avoids the O(queue) rebuild of the pending map and
@@ -246,6 +250,7 @@ class Channel:
             # Fast path for the common near-empty queue.
             q = self._pop_index(0)
             self._draining = not q.demand
+            self.fast_picks += 1
             return self._earliest_start(q, now), q
         background = self._background_count
         demand = self._demand_count
@@ -293,6 +298,7 @@ class Channel:
         if len(self.queue) == 1:
             q = self._pop_index(0)
             self._draining = not q.demand
+            self.fast_picks += 1
             return self._earliest_start(q, now), q
         background = sum(1 for q in self.queue if not q.demand)
         demand = len(self.queue) - background

@@ -157,8 +157,24 @@ def evaluation_matrix(
     missing = [(w, k) for w in wl_names for k in keys if f"{w}|{k}" not in cache]
     if missing:
         # Deferred import: repro.experiments.parallel imports this module.
+        from repro import obs
         from repro.experiments import parallel
 
+        if obs.enabled("engine"):
+            # Campaign-level manifest facts: the config matrix and seeds
+            # that produced this run directory's telemetry.
+            obs.ensure_manifest(
+                matrix={
+                    "system_class": system_class,
+                    "fidelity": fidelity.name,
+                    "scale": fidelity.scale,
+                    "access_target": fidelity.access_target,
+                    "seed": seed,
+                    "workloads": wl_names,
+                    "config_keys": keys,
+                    "missing_cells": len(missing),
+                }
+            )
         for wl_name, key, cell in parallel.run_cells(
             system_class, missing, fidelity, seed, jobs=jobs
         ):

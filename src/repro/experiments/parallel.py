@@ -54,6 +54,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Iterable, Iterator
 
+from repro import obs
 from repro.ecc.catalog import SYSTEM_CLASSES
 from repro.experiments import evaluation
 from repro.experiments.runner import RunSpec, run
@@ -129,6 +130,51 @@ class CampaignError(RuntimeError):
         )
 
 
+def _emit(kind: str, **fields) -> None:
+    """Engine telemetry: event + matching counter, no-op unless armed.
+
+    All engine events are per-task (not per-simulated-event), so the
+    armed-path cost is irrelevant; the disarmed path is one mode check.
+    """
+    if not obs.enabled("engine"):
+        return
+    obs.REGISTRY.counter(kind).inc()
+    obs.emit(kind, **fields)
+
+
+@dataclass(frozen=True)
+class _WorkerReport:
+    """Worker-side attribution shipped back alongside every pooled result."""
+
+    pid: int
+    wall_s: float
+
+
+def _obs_task(cfg, chaos, worker, index, attempt, payload):
+    """Worker entry point for every pooled task.
+
+    Arms the worker's telemetry to the parent's config (*cfg*, picklable;
+    fork workers inherit the sink and this is a no-op), applies chaos when
+    armed, and wraps the result in a ``(_WorkerReport, result)`` envelope
+    so per-worker attribution flows back through the pool.  Exceptions
+    (and ``crash`` faults) propagate unwrapped, exactly as before.
+    """
+    obs.ensure_worker(cfg)
+    t0 = time.perf_counter()
+    if chaos:
+        result = chaos_mod.chaos_call(chaos, worker, index, attempt, payload)
+    else:
+        result = worker(*payload)
+    return _WorkerReport(os.getpid(), round(time.perf_counter() - t0, 6)), result
+
+
+def _unwrap(value) -> "tuple[_WorkerReport | None, object]":
+    """Split a pooled result envelope; tolerate a bare value defensively."""
+    if type(value) is tuple and len(value) == 2 and isinstance(value[0], _WorkerReport):
+        return value
+    return None, value
+
+
 def _record(failures, index, payload, attempts, kind, exc, fail_fast):
     failure = TaskFailure(
         index=index,
@@ -178,9 +224,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 
 def _submit(pool, worker, payload, index, attempt, chaos):
-    if chaos:
-        return pool.submit(chaos_mod.chaos_call, chaos, worker, index, attempt, payload)
-    return pool.submit(worker, *payload)
+    return pool.submit(_obs_task, obs.worker_config(), chaos, worker, index, attempt, payload)
 
 
 def _collect(fut) -> "tuple[str, object]":
@@ -214,23 +258,42 @@ def _run_serial(worker, payloads, tasks, retries, backoff, validate, failures, f
     for index, attempt in tasks:
         payload = payloads[index]
         while True:
+            _emit("engine.submit", index=index, attempt=attempt, path="serial")
+            t0 = time.perf_counter()
             try:
                 result = worker(*payload)
             except Exception as exc:
+                _emit(
+                    "engine.error",
+                    index=index,
+                    attempt=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 if attempt >= max_attempts:
+                    _emit("engine.fail", index=index, attempts=attempt, reason="exception")
                     _record(failures, index, payload, attempt, "exception", exc, fail_fast)
                     break
+                _emit("engine.retry", index=index, attempt=attempt + 1, reason="exception")
                 _backoff_sleep(backoff, attempt)
                 attempt += 1
                 continue
             if not _result_ok(result, validate):
+                _emit("engine.error", index=index, attempt=attempt, error="invalid result")
                 if attempt >= max_attempts:
                     exc = ValueError(f"invalid result: {result!r}")
+                    _emit("engine.fail", index=index, attempts=attempt, reason="corrupt")
                     _record(failures, index, payload, attempt, "corrupt", exc, fail_fast)
                     break
+                _emit("engine.retry", index=index, attempt=attempt + 1, reason="corrupt")
                 _backoff_sleep(backoff, attempt)
                 attempt += 1
                 continue
+            wall = round(time.perf_counter() - t0, 6)
+            if obs.enabled("engine"):
+                obs.REGISTRY.timer("engine.task").observe(wall)
+            _emit(
+                "engine.ok", index=index, attempt=attempt, worker_pid=os.getpid(), wall_s=wall
+            )
             yield result
             break
 
@@ -258,6 +321,7 @@ def _run_pooled(
                     broken = True
                     break
                 pending.popleft()
+                _emit("engine.submit", index=index, attempt=attempt, path="pooled")
                 deadline = (time.monotonic() + timeout) if timeout else None
                 inflight[fut] = (index, attempt, deadline)
 
@@ -276,29 +340,52 @@ def _run_pooled(
                 status, value = _collect(fut)
                 if status == "broken":
                     broken = True
+                    _emit("engine.requeue", index=index, attempt=attempt)
                     pending.append((index, attempt + 1))
                 elif status == "error":
+                    _emit(
+                        "engine.error",
+                        index=index,
+                        attempt=attempt,
+                        error=f"{type(value).__name__}: {value}",
+                    )
                     if attempt >= max_attempts:
+                        _emit("engine.fail", index=index, attempts=attempt, reason="exception")
                         _record(
                             failures, index, payloads[index], attempt, "exception", value, fail_fast
                         )
                         consecutive_rebuilds = 0
                     else:
+                        _emit("engine.retry", index=index, attempt=attempt + 1, reason="exception")
                         _backoff_sleep(backoff, attempt)
                         pending.append((index, attempt + 1))
-                elif _result_ok(value, validate):
-                    consecutive_rebuilds = 0
-                    yield value
                 else:
-                    if attempt >= max_attempts:
-                        exc = ValueError(f"invalid result: {value!r}")
-                        _record(
-                            failures, index, payloads[index], attempt, "corrupt", exc, fail_fast
-                        )
+                    report, value = _unwrap(value)
+                    if _result_ok(value, validate):
                         consecutive_rebuilds = 0
+                        if obs.enabled("engine") and report is not None:
+                            obs.REGISTRY.timer("engine.task").observe(report.wall_s)
+                        _emit(
+                            "engine.ok",
+                            index=index,
+                            attempt=attempt,
+                            worker_pid=report.pid if report else None,
+                            wall_s=report.wall_s if report else None,
+                        )
+                        yield value
                     else:
-                        _backoff_sleep(backoff, attempt)
-                        pending.append((index, attempt + 1))
+                        _emit("engine.error", index=index, attempt=attempt, error="invalid result")
+                        if attempt >= max_attempts:
+                            exc = ValueError(f"invalid result: {value!r}")
+                            _emit("engine.fail", index=index, attempts=attempt, reason="corrupt")
+                            _record(
+                                failures, index, payloads[index], attempt, "corrupt", exc, fail_fast
+                            )
+                            consecutive_rebuilds = 0
+                        else:
+                            _emit("engine.retry", index=index, attempt=attempt + 1, reason="corrupt")
+                            _backoff_sleep(backoff, attempt)
+                            pending.append((index, attempt + 1))
 
             # 4. Expire deadlines: a hung worker never completes on its own,
             #    and the only way to reclaim it is to rebuild the pool.
@@ -313,36 +400,57 @@ def _run_pooled(
                     broken = True
                     for fut in expired:
                         index, attempt, _ = inflight.pop(fut)
+                        _emit(
+                            "engine.timeout", index=index, attempt=attempt, timeout_s=timeout
+                        )
                         if attempt >= max_attempts:
                             exc = TimeoutError(f"no result within {timeout:g}s")
+                            _emit("engine.fail", index=index, attempts=attempt, reason="timeout")
                             _record(
                                 failures, index, payloads[index], attempt, "timeout", exc, fail_fast
                             )
                             consecutive_rebuilds = 0
                         else:
+                            _emit("engine.retry", index=index, attempt=attempt + 1, reason="timeout")
                             pending.append((index, attempt + 1))
 
             # 5. Rebuild the pool, or degrade to serial when it keeps dying.
             if broken:
                 for fut, (index, attempt, _) in inflight.items():
                     status, value = _collect(fut)
+                    report, value = _unwrap(value)
                     if status == "ok" and _result_ok(value, validate):
                         # Completed in the teardown race window: don't redo it.
                         consecutive_rebuilds = 0
+                        _emit(
+                            "engine.ok",
+                            index=index,
+                            attempt=attempt,
+                            worker_pid=report.pid if report else None,
+                            wall_s=report.wall_s if report else None,
+                        )
                         yield value
                     else:
+                        _emit("engine.requeue", index=index, attempt=attempt)
                         pending.append((index, attempt + 1))
                 inflight.clear()
                 _kill_pool(pool)
                 pool = None
                 consecutive_rebuilds += 1
                 total_rebuilds += 1
+                _emit(
+                    "engine.rebuild",
+                    consecutive=consecutive_rebuilds,
+                    total=total_rebuilds,
+                    pending=len(pending),
+                )
                 if (
                     consecutive_rebuilds >= REBUILD_LIMIT
                     or total_rebuilds >= REBUILD_TOTAL_LIMIT
                 ):
                     tasks = list(pending)
                     pending.clear()
+                    _emit("engine.degrade", remaining=len(tasks), rebuilds=total_rebuilds)
                     yield from _run_serial(
                         worker, payloads, tasks, retries, backoff, validate, failures, fail_fast
                     )
@@ -412,8 +520,21 @@ def run_tasks(
     if chaos is None:
         chaos = chaos_mod.from_env()
     failures: "list[TaskFailure]" = []
-    if jobs == 1 or len(payloads) <= 1:
-        yield from _run_serial(
+    serial = jobs == 1 or len(payloads) <= 1
+    if obs.enabled("engine"):
+        obs.ensure_manifest()
+    _emit(
+        "engine.start",
+        tasks=len(payloads),
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        chaos=chaos,
+        path="serial" if serial else "pooled",
+    )
+    t0 = time.perf_counter()
+    if serial:
+        inner = _run_serial(
             worker,
             payloads,
             [(i, 1) for i in range(len(payloads))],
@@ -424,9 +545,20 @@ def run_tasks(
             fail_fast,
         )
     else:
-        yield from _run_pooled(
+        inner = _run_pooled(
             worker, payloads, jobs, timeout, retries, backoff, validate, chaos, failures, fail_fast
         )
+    ok = 0
+    for result in inner:
+        ok += 1
+        yield result
+    _emit(
+        "engine.done",
+        tasks=len(payloads),
+        ok=ok,
+        failed=len(failures),
+        wall_s=round(time.perf_counter() - t0, 6),
+    )
     if failures:
         raise CampaignError(failures, len(payloads)) from failures[0].cause
 

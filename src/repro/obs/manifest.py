@@ -1,0 +1,74 @@
+"""Run manifests: the reproducibility envelope of a campaign.
+
+A manifest answers "what exactly produced this run directory?" without
+consulting the shell history: every registered ``REPRO_*`` knob (with its
+source - environment or default), the package version, host, interpreter,
+and invocation.  Campaign drivers add campaign-level facts (seeds, the
+config matrix) as extra top-level keys; benchmarks embed
+:func:`manifest_dict` directly into their ``results/BENCH_*.json``.
+
+Writes go through the shared atomic merge-on-write cache helper, so a
+manifest refreshed by two concurrent campaigns keeps both campaigns'
+extra keys and a crash never leaves a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.obs import MANIFEST_FILE
+
+
+def manifest_dict(**extra) -> dict:
+    """The manifest as a JSON-ready dict (plus caller *extra* keys)."""
+    import platform
+    import socket
+    import time
+
+    import numpy
+
+    import repro
+    from repro.util import envcfg
+
+    knobs = {
+        k["name"]: {
+            "current": k["current"],
+            "source": k["source"],
+            "default": k["default"],
+        }
+        for k in envcfg.describe()
+    }
+    base = {
+        "captured_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "monotonic_anchor": round(time.monotonic(), 6),
+        "hostname": socket.gethostname(),
+        "pid": os.getpid(),
+        "argv": list(sys.argv),
+        "cwd": os.getcwd(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "package": {"name": "repro", "version": repro.__version__},
+        "numpy": numpy.__version__,
+        "knobs": knobs,
+    }
+    base.update(extra)
+    return base
+
+
+def write_manifest(run_dir: "Path | str", **extra) -> Path:
+    """Write/merge the manifest into *run_dir* atomically; returns its path."""
+    from repro.util.cachefile import write_json_cache_atomic
+
+    path = Path(run_dir) / MANIFEST_FILE
+    write_json_cache_atomic(path, manifest_dict(**extra))
+    return path
+
+
+def load_manifest(run_dir: "Path | str") -> dict:
+    """Read a run dir's manifest ({} when missing or unreadable)."""
+    from repro.util.cachefile import load_json_cache
+
+    return load_json_cache(Path(run_dir) / MANIFEST_FILE)

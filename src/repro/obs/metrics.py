@@ -1,0 +1,129 @@
+"""In-process metrics registry: counters, gauges, and timers.
+
+The registry is the aggregate side of the telemetry plane: event emission
+(:mod:`repro.obs`) records *what happened*, metrics record *how much*.
+Instrumented layers update named instruments; campaign drivers and
+benchmarks call :meth:`MetricsRegistry.snapshot` to embed the totals into
+their result files, and :meth:`MetricsRegistry.reset` between measured
+sections.
+
+Instruments are created on first use (``REGISTRY.counter("engine.ok")``)
+and live for the process.  Creation is lock-protected so concurrent
+threads registering the same name share one instrument; the per-operation
+updates themselves are single bytecode-level attribute mutations, which is
+adequate for the coarse-grained (per-task / per-chunk / per-run) call
+sites this plane instruments.  Worker *processes* do not share a registry
+- cross-process totals travel through the event bus instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value of a quantity that can move both ways."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Timer:
+    """Duration histogram: count, total, min, max (seconds)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+
+    @contextmanager
+    def time(self):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - t0)
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": round(self.total, 6),
+            "min_s": round(self.min, 6) if self.min is not None else None,
+            "max_s": round(self.max, 6) if self.max is not None else None,
+            "mean_s": round(self.total / self.count, 6) if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with one flat namespace per family."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: "dict[str, Counter]" = {}
+        self._gauges: "dict[str, Gauge]" = {}
+        self._timers: "dict[str, Timer]" = {}
+
+    def _get(self, family: dict, name: str, cls):
+        inst = family.get(name)
+        if inst is None:
+            with self._lock:
+                inst = family.setdefault(name, cls())
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(self._timers, name, Timer)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of every instrument (stable key order)."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "timers": {k: self._timers[k].as_dict() for k in sorted(self._timers)},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (names re-register on next use)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+#: Process-wide default registry used by the instrumented layers.
+REGISTRY = MetricsRegistry()

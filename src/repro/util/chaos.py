@@ -141,6 +141,7 @@ def chaos_call(spec: str, worker, index: int, attempt: int, payload: tuple):
     """
     for fault in parse(spec):
         if fault.matches(index, attempt):
+            _emit_fire(fault, index, attempt)
             if fault.mode == "crash":
                 os._exit(int(fault.param))
             if fault.mode == "hang":
@@ -149,3 +150,20 @@ def chaos_call(spec: str, worker, index: int, attempt: int, payload: tuple):
                 return Corrupted(worker(*payload))
             break
     return worker(*payload)
+
+
+def _emit_fire(fault: ChaosFault, index: int, attempt: int) -> None:
+    """Record a firing on the event bus (mode ``chaos``) before it applies.
+
+    Emitted worker-side *before* the fault takes effect, so even a
+    ``crash`` firing (the worker dies immediately after) reaches the
+    JSONL — tests and ``repro.obs.summarize`` correlate each firing with
+    the recovery that follows it in the stream.
+    """
+    from repro import obs  # local: chaos is imported by envcfg's resolver
+
+    if obs.enabled("chaos"):
+        obs.REGISTRY.counter("chaos.fire").inc()
+        obs.emit(
+            "chaos.fire", mode=fault.mode, index=index, attempt=attempt, param=fault.param
+        )

@@ -20,11 +20,20 @@ All knobs share one parser (:func:`positive_int` / :func:`positive_float`):
 blank or unset falls back to the default, malformed or out-of-range values
 raise ``ValueError`` eagerly in the parent process.  An explicit argument
 at a call site always wins over the environment.
+
+Every ``REPRO_*`` knob is additionally registered in :data:`KNOBS`, the
+single source of truth for documentation and telemetry: run
+``python -m repro.util.envcfg`` to print each knob's parser, default, and
+current effective value (``--markdown`` emits the README table), and
+:mod:`repro.obs.manifest` embeds the same registry into every run
+manifest so a campaign records exactly the knobs it ran under.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
+from typing import Callable
 
 #: Default retry budget per campaign task (attempts = retries + 1).
 DEFAULT_TASK_RETRIES = 2
@@ -107,3 +116,197 @@ def task_retries(explicit: "int | None" = None) -> int:
             raise ValueError(f"task retries must be >= 0, got {explicit}")
         return explicit
     return positive_int("REPRO_TASK_RETRIES", DEFAULT_TASK_RETRIES, minimum=0)
+
+
+# -- knob registry / introspection -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One registered REPRO_* environment knob."""
+
+    name: str  #: environment variable name
+    parser: str  #: human-readable parser/constraint ("int >= 1", "flag", ...)
+    default: str  #: rendered default (what an unset variable means)
+    description: str  #: one-line purpose
+    resolve: Callable[[], str]  #: current *effective* value, rendered
+
+    def current(self) -> str:
+        """Rendered effective value; parser errors render as INVALID."""
+        try:
+            return self.resolve()
+        except ValueError as exc:
+            return f"INVALID ({exc})"
+
+
+#: Registry of every REPRO_* knob, keyed by variable name.
+KNOBS: "dict[str, Knob]" = {}
+
+
+def register(name, parser, default, description, resolve) -> None:
+    KNOBS[name] = Knob(name, parser, default, description, resolve)
+
+
+def _resolve_chaos() -> str:
+    from repro.util import chaos  # lazy: chaos -> obs -> envcfg
+
+    return chaos.from_env() or "(off)"
+
+
+def _resolve_obs_modes() -> str:
+    from repro.obs import parse_modes  # lazy: obs -> envcfg
+
+    modes = parse_modes(os.environ.get("REPRO_OBS"))
+    return ",".join(sorted(modes)) if modes else "(off)"
+
+
+register(
+    "REPRO_JOBS",
+    "int >= 1",
+    "CPU count",
+    "worker-process count of every campaign fan-out (1 = serial reference path)",
+    lambda: str(jobs(os.cpu_count() or 1)),
+)
+register(
+    "REPRO_MC_TRIALS",
+    "int >= 1",
+    "per driver (fig8: 20000)",
+    "default trial count of every Monte Carlo driver; explicit trials= wins",
+    lambda: str(positive_int("REPRO_MC_TRIALS", 0) or "(per-driver default)"),
+)
+register(
+    "REPRO_TASK_TIMEOUT",
+    "float >= 0 (s)",
+    "disabled",
+    "per-task timeout for pooled campaign tasks; hung workers trigger a pool rebuild",
+    lambda: (lambda v: f"{v:g}s" if v else "(disabled)")(task_timeout()),
+)
+register(
+    "REPRO_TASK_RETRIES",
+    "int >= 0",
+    str(DEFAULT_TASK_RETRIES),
+    "retry budget per campaign task beyond the first attempt (0 = single attempt)",
+    lambda: str(task_retries()),
+)
+register(
+    "REPRO_CHAOS",
+    "chaos spec",
+    "(off)",
+    "deterministic fault injection into pool workers: mode[=param]@index[#attempt],...",
+    _resolve_chaos,
+)
+register(
+    "REPRO_CACHE_DIR",
+    "path",
+    "./.repro_cache",
+    "directory of the evaluation-matrix and Monte Carlo checkpoint caches",
+    lambda: os.environ.get("REPRO_CACHE_DIR", "./.repro_cache"),
+)
+register(
+    "REPRO_FULL",
+    "flag",
+    "unset (quick fidelity)",
+    "select the full-fidelity evaluation preset used for EXPERIMENTS.md numbers",
+    lambda: "full" if os.environ.get("REPRO_FULL") else "quick",
+)
+register(
+    "REPRO_BENCH_QUICK",
+    "flag",
+    "unset (full budgets)",
+    "shrink benchmark budgets so benchmarks/ finishes in CI-scale time",
+    lambda: "quick" if os.environ.get("REPRO_BENCH_QUICK") else "full",
+)
+register(
+    "REPRO_OBS",
+    "mode list",
+    "(telemetry off)",
+    "arm the telemetry plane: comma-separated modes engine,mc,sim,chaos (or 'all')",
+    _resolve_obs_modes,
+)
+register(
+    "REPRO_OBS_DIR",
+    "path",
+    "./.repro_obs",
+    "run directory for telemetry events.jsonl + manifest.json",
+    lambda: os.environ.get("REPRO_OBS_DIR", "./.repro_obs"),
+)
+
+
+def describe() -> "list[dict]":
+    """Introspect every registered knob (name order).
+
+    Returns dicts with ``name``, ``parser``, ``default``, ``current``
+    (effective value, env or default), ``source`` (``env``/``default``),
+    and ``description`` — the feed for the CLI table, the README knob
+    table, and run manifests.
+    """
+    out = []
+    for name in sorted(KNOBS):
+        k = KNOBS[name]
+        out.append(
+            {
+                "name": k.name,
+                "parser": k.parser,
+                "default": k.default,
+                "current": k.current(),
+                "source": "env" if os.environ.get(k.name, "").strip() else "default",
+                "description": k.description,
+            }
+        )
+    return out
+
+
+def render_knobs(markdown: bool = False, defaults_only: bool = False) -> str:
+    """Render the knob table (plain text, or a Markdown table for README).
+
+    *defaults_only* drops the machine-specific ``current`` column so the
+    output is stable enough to commit into documentation.
+    """
+    rows = describe()
+    headers = ["knob", "parser", "default", "current", "description"]
+    cells = [
+        [r["name"], r["parser"], r["default"],
+         r["current"] + (" *" if r["source"] == "env" else ""), r["description"]]
+        for r in rows
+    ]
+    if defaults_only:
+        headers = headers[:3] + headers[4:]
+        cells = [c[:3] + c[4:] for c in cells]
+    if markdown:
+        lines = ["| " + " | ".join(["`" + c[0] + "`"] + c[1:]) + " |" for c in cells]
+        return "\n".join(
+            ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"] + lines
+        )
+    widths = [max(len(h), *(len(c[i]) for c in cells)) for i, h in enumerate(headers)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines += [fmt.format(*c) for c in cells]
+    if not defaults_only:
+        lines.append("(* = set in the environment)")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """``python -m repro.util.envcfg``: print every registered knob."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.util.envcfg",
+        description="List every REPRO_* knob: parser, default, current value.",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit the README-ready Markdown table"
+    )
+    parser.add_argument(
+        "--defaults",
+        action="store_true",
+        help="omit the machine-specific 'current' column (for committed docs)",
+    )
+    args = parser.parse_args(argv)
+    print(render_knobs(markdown=args.markdown, defaults_only=args.defaults))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ import time
 import pytest
 
 import repro.experiments.evaluation as ev
+from repro import obs
 from repro.ecc.chipkill import Chipkill36
 from repro.ecc.lot_ecc import LotEcc5
 from repro.experiments import parallel
@@ -191,3 +192,75 @@ class TestDriverChaos:
         out = list(parallel.run_tasks(_eol_cell, PAYLOADS[:3], jobs=1))
         assert len(out) == 3
         assert time.monotonic() - t0 < 5.0  # hang=30@0 did not fire
+
+
+class TestChaosEventStream:
+    """Recovery paths asserted from the telemetry stream, not just results.
+
+    Every firing is emitted worker-side *before* the fault applies (so
+    even a crash reaches the JSONL), and each one must be followed by an
+    ``engine.ok`` for the same task on a later attempt.
+    """
+
+    @pytest.fixture
+    def armed(self, tmp_path):
+        run = tmp_path / "chaos-obs"
+        obs.configure(run, "engine,chaos")
+        yield run
+        obs.disarm()
+        obs.REGISTRY.reset()
+
+    @staticmethod
+    def _assert_recovered(events, fires):
+        for fire in fires:
+            assert any(
+                e["kind"] == "engine.ok"
+                and e["index"] == fire["index"]
+                and e["ts"] > fire["ts"]
+                and e["attempt"] > fire["attempt"]
+                for e in events
+            ), f"no recovery followed {fire}"
+
+    def test_corrupt_firing_then_retry_then_ok(self, armed):
+        from repro.obs.summarize import read_events
+
+        out = list(
+            parallel.run_tasks(_eol_cell, PAYLOADS, jobs=3, chaos="corrupt@4", retries=2, backoff=0)
+        )
+        assert len(out) == len(PAYLOADS)
+        events = read_events(armed)
+        fires = [e for e in events if e["kind"] == "chaos.fire"]
+        assert [(e["mode"], e["index"]) for e in fires] == [("corrupt", 4)]
+        self._assert_recovered(events, fires)
+        assert any(
+            e["kind"] == "engine.retry" and e["index"] == 4 and e["reason"] == "corrupt"
+            for e in events
+        )
+
+    def test_crash_firing_then_rebuild_then_ok(self, armed):
+        from repro.obs.summarize import read_events
+
+        out = list(
+            parallel.run_tasks(_eol_cell, PAYLOADS, jobs=3, chaos="crash@2", retries=2, backoff=0)
+        )
+        assert len(out) == len(PAYLOADS)
+        events = read_events(armed)
+        fires = [e for e in events if e["kind"] == "chaos.fire"]
+        assert [(e["mode"], e["index"]) for e in fires] == [("crash", 2)]
+        self._assert_recovered(events, fires)
+        assert any(e["kind"] == "engine.rebuild" for e in events)
+        assert any(e["kind"] == "engine.requeue" for e in events)
+
+    def test_chaos_mode_gating(self, tmp_path):
+        # Armed for engine only: firings stay out of the stream.
+        from repro.obs.summarize import read_events
+
+        obs.configure(tmp_path, "engine")
+        try:
+            list(parallel.run_tasks(_eol_cell, PAYLOADS[:3], jobs=3, chaos="corrupt@1", backoff=0))
+        finally:
+            obs.disarm()
+            obs.REGISTRY.reset()
+        events = read_events(tmp_path)
+        assert [e for e in events if e["kind"] == "chaos.fire"] == []
+        assert any(e["kind"] == "engine.retry" and e["index"] == 1 for e in events)

@@ -1,0 +1,333 @@
+"""Telemetry plane: event bus, metrics, manifests, and the summarizer.
+
+The acceptance bar for the observability layer (mirroring the chaos
+suite's bit-identity bar): a chaos-storm campaign must be fully
+reconstructible from its run directory's JSONL alone — every task's
+outcome, every injected fault, and the recovery that followed it.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.cpu.llc import LLC
+from repro.cpu.system import SimSystem
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.ecc import Chipkill18
+from repro.experiments import parallel
+from repro.faults.fit_rates import MemoryOrg
+from repro.faults.montecarlo import EolCapacitySim, _eol_cell
+from repro.obs import metrics
+from repro.obs.manifest import load_manifest, manifest_dict, write_manifest
+from repro.obs.summarize import read_events, render, summarize
+from repro.util import envcfg
+
+PAYLOADS = [(2, 400, s, 61320.0, 1 << 14) for s in range(6)]
+
+
+def _subprocess_env():
+    """Env for -m invocations: the package's parent dir on PYTHONPATH."""
+    src = str(Path(obs.__file__).resolve().parents[2])
+    extra = os.environ.get("PYTHONPATH")
+    return dict(os.environ, PYTHONPATH=src + (os.pathsep + extra if extra else ""))
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    """Arm every mode against a temp run dir; disarm and reset afterwards."""
+    run = tmp_path / "obs-run"
+    obs.configure(run, "all")
+    yield run
+    obs.disarm()
+    obs.REGISTRY.reset()
+
+
+class TestParseModes:
+    def test_tokens(self):
+        assert obs.parse_modes("engine") == {"engine"}
+        assert obs.parse_modes("engine, mc") == {"engine", "mc"}
+        assert obs.parse_modes(" SIM ") == {"sim"}
+
+    @pytest.mark.parametrize("raw", ["1", "true", "on", "all", "ALL"])
+    def test_all_tokens(self, raw):
+        assert obs.parse_modes(raw) == set(obs.MODES)
+
+    def test_empty_disarms(self):
+        assert obs.parse_modes(None) == frozenset()
+        assert obs.parse_modes("  ") == frozenset()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            obs.parse_modes("engine,telepathy")
+
+
+class TestEventBus:
+    def test_disarmed_emit_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.ENV_DIR, str(tmp_path))
+        obs.disarm()
+        obs.emit("test.noop", x=1)
+        assert not (tmp_path / obs.EVENTS_FILE).exists()
+        assert not obs.enabled()
+
+    def test_emit_stamps_reserved_fields(self, run_dir):
+        obs.emit("test.ev", x=1, ts="caller-junk", pid="caller-junk")
+        (rec,) = read_events(run_dir)
+        assert rec["kind"] == "test.ev" and rec["x"] == 1
+        assert isinstance(rec["ts"], float)
+        assert isinstance(rec["pid"], int)
+
+    def test_mode_gating(self, tmp_path):
+        obs.configure(tmp_path, "mc")
+        try:
+            assert obs.enabled() and obs.enabled("mc")
+            assert not obs.enabled("engine")
+        finally:
+            obs.disarm()
+
+    def test_non_json_values_rendered_with_repr(self, run_dir):
+        obs.emit("test.obj", obj=Path("/x"))
+        (rec,) = read_events(run_dir)
+        assert "x" in rec["obj"]
+
+    def test_init_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.ENV_MODES, "engine,chaos")
+        monkeypatch.setenv(obs.ENV_DIR, str(tmp_path / "envrun"))
+        try:
+            assert obs.init_from_env() == tmp_path / "envrun"
+            assert obs.enabled("chaos") and not obs.enabled("sim")
+        finally:
+            monkeypatch.delenv(obs.ENV_MODES)
+            obs.init_from_env()
+        assert not obs.enabled()
+
+    def test_worker_config_round_trip(self, run_dir):
+        cfg = obs.worker_config()
+        obs.disarm()
+        obs.ensure_worker(cfg)
+        try:
+            assert obs.run_dir() == run_dir
+            assert obs.enabled("sim")
+        finally:
+            obs.disarm()
+        assert obs.worker_config() is None
+        obs.ensure_worker(None)  # no-op
+        assert not obs.enabled()
+
+
+class TestMetrics:
+    def test_counter_gauge_timer(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        reg.gauge("g").set(2.5)
+        reg.timer("t").observe(0.5)
+        reg.timer("t").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 2.5
+        t = snap["timers"]["t"]
+        assert t["count"] == 2 and t["total_s"] == 2.0
+        assert t["min_s"] == 0.5 and t["max_s"] == 1.5 and t["mean_s"] == 1.0
+
+    def test_timer_context_manager(self):
+        reg = metrics.MetricsRegistry()
+        with reg.timer("t").time():
+            pass
+        assert reg.timer("t").count == 1
+
+    def test_reset(self):
+        reg = metrics.MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+
+
+class TestManifest:
+    def test_manifest_dict_contents(self):
+        man = manifest_dict(extra_fact=7)
+        assert man["package"]["name"] == "repro"
+        assert man["extra_fact"] == 7
+        assert set(man["knobs"]) == set(envcfg.KNOBS)
+        for knob in man["knobs"].values():
+            assert knob["source"] in ("env", "default")
+
+    def test_write_load_merge(self, tmp_path):
+        write_manifest(tmp_path, campaign="a")
+        write_manifest(tmp_path, other="b")
+        man = load_manifest(tmp_path)
+        assert man["campaign"] == "a" and man["other"] == "b"
+
+    def test_ensure_manifest(self, run_dir):
+        assert obs.ensure_manifest() == run_dir / obs.MANIFEST_FILE
+        first = load_manifest(run_dir)["captured_at"]
+        obs.ensure_manifest()  # existing manifest, no extras: untouched
+        assert load_manifest(run_dir)["captured_at"] == first
+        obs.ensure_manifest(seeds=[1, 2])
+        assert load_manifest(run_dir)["seeds"] == [1, 2]
+
+    def test_ensure_manifest_disarmed_noop(self, tmp_path):
+        obs.disarm()
+        assert obs.ensure_manifest() is None
+
+
+class TestEnvcfgIntrospection:
+    def test_describe_covers_every_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        rows = {r["name"]: r for r in envcfg.describe()}
+        assert set(rows) == set(envcfg.KNOBS)
+        assert rows["REPRO_JOBS"]["current"] == "3"
+        assert rows["REPRO_JOBS"]["source"] == "env"
+        assert rows["REPRO_TASK_RETRIES"]["source"] == "default"
+
+    def test_invalid_env_renders_not_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        rows = {r["name"]: r for r in envcfg.describe()}
+        assert rows["REPRO_JOBS"]["current"].startswith("INVALID")
+
+    def test_render_plain_and_markdown(self):
+        plain = envcfg.render_knobs()
+        md = envcfg.render_knobs(markdown=True)
+        for name in envcfg.KNOBS:
+            assert name in plain and f"`{name}`" in md
+        assert md.splitlines()[1].startswith("|---")
+
+    def test_cli(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.util.envcfg"],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=_subprocess_env(),
+        )
+        assert "REPRO_OBS" in out.stdout and "REPRO_JOBS" in out.stdout
+
+
+class TestMcEvents:
+    def test_chunk_events_and_bit_identity(self, run_dir):
+        org = MemoryOrg(channels=2)
+        armed = EolCapacitySim(org, seed=5).run(trials=600, chunk_size=256)
+        obs.disarm()
+        quiet = EolCapacitySim(MemoryOrg(channels=2), seed=5).run(trials=600, chunk_size=256)
+        assert (armed.fractions == quiet.fractions).all()
+        chunks = [e for e in read_events(run_dir) if e["kind"] == "mc.chunk"]
+        assert [c["n"] for c in chunks] == [256, 256, 88]
+        assert chunks[-1]["done"] == 600
+        assert chunks[-1]["running_mean"] == pytest.approx(armed.fractions.mean())
+
+
+class TestSimEvents:
+    def _run_sim(self):
+        scheme = Chipkill18()
+        mem = MemorySystem(
+            MemorySystemConfig(
+                channels=2,
+                ranks_per_channel=1,
+                chip_widths=scheme.chip_widths(),
+                line_size=scheme.line_size,
+            )
+        )
+        sys_ = SimSystem(
+            mem,
+            [iter([(10, a, False) for a in range(40)])],
+            EccTrafficModel.for_scheme(scheme),
+            llc=LLC(size_bytes=64 * 1024, line_size=scheme.line_size),
+        )
+        return sys_.run(0, 10_000)
+
+    def test_sim_run_event(self, run_dir):
+        self._run_sim()
+        (ev,) = [e for e in read_events(run_dir) if e["kind"] == "sim.run"]
+        assert ev["events_scheduled"] > 0
+        assert ev["llc_misses"] > 0
+        assert ev["issued_requests"] >= ev["fast_picks"] > 0
+        assert 0 < ev["fast_pick_rate"] <= 1
+        snap = obs.REGISTRY.snapshot()
+        assert snap["counters"]["sim.runs"] == 1
+        assert snap["counters"]["sim.events"] == ev["events_scheduled"]
+
+    def test_disarmed_sim_emits_nothing(self, tmp_path):
+        obs.configure(tmp_path, "engine")  # armed, but not for sim
+        try:
+            self._run_sim()
+        finally:
+            obs.disarm()
+        assert [e for e in read_events(tmp_path) if e["kind"].startswith("sim.")] == []
+
+
+class TestSummarizeChaosStorm:
+    """Acceptance: reconstruct a chaos-storm campaign from JSONL alone."""
+
+    @pytest.fixture(scope="class")
+    def storm_summary(self, tmp_path_factory):
+        run = tmp_path_factory.mktemp("storm") / "run"
+        obs.configure(run, "all")
+        try:
+            out = list(
+                parallel.run_tasks(
+                    _eol_cell,
+                    PAYLOADS,
+                    jobs=3,
+                    # The hang fires on *every* attempt (#*) so at least
+                    # one of them is guaranteed to trip the deadline in a
+                    # pool — a single-attempt hang could be requeued by
+                    # the crash's pool break before its timeout expires.
+                    # Recovery then comes from the degraded serial path,
+                    # which injects no chaos.
+                    chaos="crash@1,corrupt@4,hang=30@5#*",
+                    timeout=2.0,
+                    retries=2,
+                    backoff=0,
+                )
+            )
+        finally:
+            obs.disarm()
+            obs.REGISTRY.reset()
+        assert len(out) == len(PAYLOADS)
+        return summarize(run)
+
+    def test_every_task_outcome_reconstructed(self, storm_summary):
+        eng = storm_summary["engine"]
+        assert set(eng["tasks"]) == set(range(len(PAYLOADS)))
+        assert all(t["status"] == "ok" for t in eng["tasks"].values())
+        assert eng["totals"]["ok"] == len(PAYLOADS)
+        assert eng["totals"]["failed"] == 0
+
+    def test_every_fault_and_recovery_reconstructed(self, storm_summary):
+        fired = {(c["mode"], c["index"]) for c in storm_summary["chaos"]}
+        assert fired == {("crash", 1), ("corrupt", 4), ("hang", 5)}
+        assert all(c["recovered"] for c in storm_summary["chaos"])
+        for c in storm_summary["chaos"]:
+            assert c["recovery"]["attempt"] >= 2
+
+    def test_recovery_mechanics_in_stream(self, storm_summary):
+        kinds = storm_summary["kinds"]
+        assert kinds.get("engine.rebuild", 0) >= 1  # crash and/or hang
+        assert kinds.get("engine.timeout", 0) >= 1  # hang tripped the deadline
+        assert kinds.get("engine.retry", 0) >= 1  # corrupt consumed a retry
+        assert storm_summary["engine"]["start"]["tasks"] == len(PAYLOADS)
+        assert storm_summary["engine"]["done"]["ok"] == len(PAYLOADS)
+
+    def test_manifest_captured(self, storm_summary):
+        man = storm_summary["manifest"]
+        assert man["package"]["name"] == "repro"
+        assert set(man["knobs"]) == set(envcfg.KNOBS)
+
+    def test_render_and_cli(self, storm_summary):
+        text = render(storm_summary)
+        assert "recovered on attempt" in text
+        assert "NOT RECOVERED" not in text
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.obs.summarize", storm_summary["run_dir"], "--json"],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=_subprocess_env(),
+        )
+        parsed = json.loads(out.stdout)
+        assert parsed["engine"]["totals"]["ok"] == len(PAYLOADS)
