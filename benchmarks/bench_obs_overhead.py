@@ -55,7 +55,7 @@ def _merge(results_dir, **fields):
     merge_results(results_dir, "BENCH_obs_overhead.json", **fields)
 
 
-def _sim_kernel() -> float:
+def _sim_kernel(kernel: "str | None" = None) -> float:
     """One timing simulation (mcf, quad lot_ecc5_ep); returns wall seconds."""
     spec = RunSpec(
         WORKLOADS_BY_NAME["mcf"],
@@ -67,8 +67,16 @@ def _sim_kernel() -> float:
     )
     system = build_system(spec)
     t0 = time.perf_counter()
-    system.run(spec.resolved_warmup, spec.resolved_measure)
+    system.run(spec.resolved_warmup, spec.resolved_measure, kernel=kernel)
     return time.perf_counter() - t0
+
+
+def _sim_event() -> float:
+    return _sim_kernel("event")
+
+
+def _sim_epoch() -> float:
+    return _sim_kernel("epoch")
 
 
 def _mc_kernel() -> float:
@@ -110,22 +118,28 @@ def _interleaved(kernel, modes: str, tmp: Path) -> "tuple[float, float]":
 
 def bench_obs_disabled_path(benchmark, results_dir, emit):
     """Disabled-path overhead: gate sites x gate cost vs kernel wall."""
+    from repro.cpu import epochnative
+
+    epochnative.available()  # compile the epoch core outside timed regions
     obs.disarm()
     obs.REGISTRY.reset()
 
     def measure():
         gate_s = _disarmed_gate_cost_s()
-        sim_wall = min(_sim_kernel() for _ in range(REPS))
+        sim_wall = min(_sim_event() for _ in range(REPS))
+        epoch_wall = min(_sim_epoch() for _ in range(REPS))
         mc_wall = min(_mc_kernel() for _ in range(REPS))
-        return gate_s, sim_wall, mc_wall
+        return gate_s, sim_wall, epoch_wall, mc_wall
 
-    gate_s, sim_wall, mc_wall = once(benchmark, measure)
+    gate_s, sim_wall, epoch_wall, mc_wall = once(benchmark, measure)
     # Gate sites per kernel run (see module docstring): the sim loop checks
-    # once per run and would emit once; the MC loop checks once per run and
-    # branches once per chunk (charged as full gate calls - upper bound).
+    # once per run and would emit once (both kernels share the contract);
+    # the MC loop checks once per run and branches once per chunk (charged
+    # as full gate calls - upper bound).
     sim_sites = 2
     mc_sites = 1 + -(-MC_TRIALS // DEFAULT_CHUNK)
     sim_pct = 100.0 * sim_sites * gate_s / sim_wall
+    epoch_pct = 100.0 * sim_sites * gate_s / epoch_wall
     mc_pct = 100.0 * mc_sites * gate_s / mc_wall
     _merge(
         results_dir,
@@ -135,6 +149,11 @@ def bench_obs_disabled_path(benchmark, results_dir, emit):
                 "wall_s": round(sim_wall, 4),
                 "gate_sites": sim_sites,
                 "overhead_pct": round(sim_pct, 6),
+            },
+            "sim_epoch": {
+                "wall_s": round(epoch_wall, 4),
+                "gate_sites": sim_sites,
+                "overhead_pct": round(epoch_pct, 6),
             },
             "mc": {
                 "wall_s": round(mc_wall, 4),
@@ -150,32 +169,43 @@ def bench_obs_disabled_path(benchmark, results_dir, emit):
         format_table(
             ["kernel", "wall s", "gate sites", "overhead %"],
             [
-                ["simloop", f"{sim_wall:.3f}", f"{sim_sites}", f"{sim_pct:.6f}"],
+                ["simloop (event)", f"{sim_wall:.3f}", f"{sim_sites}", f"{sim_pct:.6f}"],
+                ["simloop (epoch)", f"{epoch_wall:.3f}", f"{sim_sites}", f"{epoch_pct:.6f}"],
                 ["monte carlo", f"{mc_wall:.3f}", f"{mc_sites}", f"{mc_pct:.6f}"],
             ],
             title=f"Telemetry disabled-path overhead (gate call {gate_s * 1e9:.0f} ns)",
         ),
     )
     assert sim_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"sim disabled path {sim_pct:.4f}%"
+    assert epoch_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"epoch disabled path {epoch_pct:.4f}%"
     assert mc_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"mc disabled path {mc_pct:.4f}%"
 
 
 def bench_obs_enabled_overhead(benchmark, results_dir, emit, tmp_path):
-    """Armed-vs-disarmed wall on both kernels, plus the no-emit guarantee."""
+    """Armed-vs-disarmed wall on all kernels, plus the no-emit guarantee."""
+    from repro.cpu import epochnative
+
+    epochnative.available()  # compile the epoch core outside timed regions
     obs.disarm()
     obs.REGISTRY.reset()
 
     def measure():
-        sim = _interleaved(_sim_kernel, "sim", tmp_path / "sim")
+        sim = _interleaved(_sim_event, "sim", tmp_path / "sim")
+        epoch = _interleaved(_sim_epoch, "sim", tmp_path / "sim_epoch")
         mc = _interleaved(_mc_kernel, "mc", tmp_path / "mc")
-        return sim, mc
+        return sim, epoch, mc
 
-    (sim_off, sim_on), (mc_off, mc_on) = once(benchmark, measure)
+    (sim_off, sim_on), (ep_off, ep_on), (mc_off, mc_on) = once(benchmark, measure)
     sim_pct = 100.0 * (sim_on - sim_off) / sim_off
+    ep_pct = 100.0 * (ep_on - ep_off) / ep_off
     mc_pct = 100.0 * (mc_on - mc_off) / mc_off
     armed_events = sum(
         1
-        for rep in list((tmp_path / "sim").glob("rep*")) + list((tmp_path / "mc").glob("rep*"))
+        for rep in (
+            list((tmp_path / "sim").glob("rep*"))
+            + list((tmp_path / "sim_epoch").glob("rep*"))
+            + list((tmp_path / "mc").glob("rep*"))
+        )
         for _ in (rep / obs.EVENTS_FILE).read_text().splitlines()
     )
     _merge(
@@ -185,6 +215,11 @@ def bench_obs_enabled_overhead(benchmark, results_dir, emit, tmp_path):
                 "disarmed_wall_s": round(sim_off, 4),
                 "armed_wall_s": round(sim_on, 4),
                 "overhead_pct": round(sim_pct, 2),
+            },
+            "sim_epoch": {
+                "disarmed_wall_s": round(ep_off, 4),
+                "armed_wall_s": round(ep_on, 4),
+                "overhead_pct": round(ep_pct, 2),
             },
             "mc": {
                 "disarmed_wall_s": round(mc_off, 4),
@@ -200,7 +235,8 @@ def bench_obs_enabled_overhead(benchmark, results_dir, emit, tmp_path):
         format_table(
             ["kernel", "disarmed s", "armed s", "overhead %"],
             [
-                ["simloop", f"{sim_off:.3f}", f"{sim_on:.3f}", f"{sim_pct:+.2f}"],
+                ["simloop (event)", f"{sim_off:.3f}", f"{sim_on:.3f}", f"{sim_pct:+.2f}"],
+                ["simloop (epoch)", f"{ep_off:.3f}", f"{ep_on:.3f}", f"{ep_pct:+.2f}"],
                 ["monte carlo", f"{mc_off:.3f}", f"{mc_on:.3f}", f"{mc_pct:+.2f}"],
             ],
             title="Telemetry armed-path overhead (best-of-reps, interleaved)",
@@ -208,6 +244,7 @@ def bench_obs_enabled_overhead(benchmark, results_dir, emit, tmp_path):
     )
     # Armed runs must actually emit; disarmed reps left no stream anywhere.
     assert armed_events > 0
-    assert len(list(tmp_path.rglob(obs.EVENTS_FILE))) == 2 * REPS
+    assert len(list(tmp_path.rglob(obs.EVENTS_FILE))) == 3 * REPS
     assert sim_pct < ENABLED_OVERHEAD_SANITY_PCT, f"sim armed path {sim_pct:.1f}%"
+    assert ep_pct < ENABLED_OVERHEAD_SANITY_PCT, f"epoch armed path {ep_pct:.1f}%"
     assert mc_pct < ENABLED_OVERHEAD_SANITY_PCT, f"mc armed path {mc_pct:.1f}%"

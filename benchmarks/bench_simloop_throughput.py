@@ -47,7 +47,12 @@ def _merge_results(results_dir, **fields):
     merge_results(results_dir, "BENCH_simloop_throughput.json", **fields)
 
 
-def _one_sim() -> "tuple[int, float]":
+#: Minimum epoch-over-event speedup the comparison bench enforces (the
+#: tentpole acceptance bar; the measured ratio is far above it).
+MIN_KERNEL_SPEEDUP = 3.0
+
+
+def _one_sim(kernel: "str | None" = None) -> "tuple[int, float]":
     spec = RunSpec(
         WORKLOADS_BY_NAME["mcf"],
         SYSTEM_CLASSES["quad"]["lot_ecc5_ep"],
@@ -58,23 +63,29 @@ def _one_sim() -> "tuple[int, float]":
     )
     system = build_system(spec)
     t0 = time.perf_counter()
-    system.run(spec.resolved_warmup, spec.resolved_measure)
+    system.run(spec.resolved_warmup, spec.resolved_measure, kernel=kernel)
     return system.events_scheduled, time.perf_counter() - t0
 
 
+def _best_rate(kernel: "str | None" = None) -> "tuple[float, int, float]":
+    best = None
+    for _ in range(SIM_REPS):
+        events, wall = _one_sim(kernel)
+        rate = events / wall
+        if best is None or rate > best[0]:
+            best = (rate, events, wall)
+    return best
+
+
 def bench_single_sim_events_per_sec(benchmark, results_dir, emit):
-    """Event throughput of one timing simulation (best of SIM_REPS)."""
+    """Event throughput of one timing simulation (best of SIM_REPS).
 
-    def measure():
-        best = None
-        for _ in range(SIM_REPS):
-            events, wall = _one_sim()
-            rate = events / wall
-            if best is None or rate > best[0]:
-                best = (rate, events, wall)
-        return best
+    Uses the ``REPRO_SIM_KERNEL`` default (epoch), so this section tracks
+    the kernel users actually get; the explicit per-kernel comparison
+    lives in :func:`bench_kernel_comparison`.
+    """
 
-    rate, events, wall = once(benchmark, measure)
+    rate, events, wall = once(benchmark, _best_rate)
     _merge_results(
         results_dir,
         single_sim={
@@ -98,6 +109,64 @@ def bench_single_sim_events_per_sec(benchmark, results_dir, emit):
         ),
     )
     assert events > 0 and rate > 0
+
+
+def bench_kernel_comparison(benchmark, results_dir, emit):
+    """Event-driven reference vs epoch kernel on the same simulation.
+
+    Both kernels replay the identical event sequence (the bit-identity
+    contract), so ``events`` matches exactly and the rate ratio is a pure
+    kernel speedup.  The epoch side dispatches to the compiled core when
+    it is available (``REPRO_SIM_NATIVE=auto``); the build is warmed up
+    outside the timed region so first-run compilation does not skew
+    quick-mode numbers.
+    """
+    from repro.cpu import epochnative
+
+    epochnative.available()  # compile outside the timed region
+
+    def measure():
+        return _best_rate("event"), _best_rate("epoch")
+
+    (ev_rate, ev_events, ev_wall), (ep_rate, ep_events, ep_wall) = once(benchmark, measure)
+    speedup = ep_rate / ev_rate
+    _merge_results(
+        results_dir,
+        single_sim_event={
+            "events": ev_events,
+            "wall_s": round(ev_wall, 4),
+            "events_per_sec": round(ev_rate),
+            "quick_mode": QUICK_MODE,
+        },
+        single_sim_epoch={
+            "events": ep_events,
+            "wall_s": round(ep_wall, 4),
+            "events_per_sec": round(ep_rate),
+            "native_core": epochnative.available(),
+            "quick_mode": QUICK_MODE,
+        },
+        kernel_speedup={
+            "epoch_over_event": round(speedup, 2),
+            "minimum": MIN_KERNEL_SPEEDUP,
+            "quick_mode": QUICK_MODE,
+        },
+    )
+    emit(
+        "bench_simloop_kernels",
+        format_table(
+            ["kernel", "events", "wall s", "events / second"],
+            [
+                ["event (reference)", f"{ev_events}", f"{ev_wall:.3f}", f"{ev_rate:,.0f}"],
+                ["epoch", f"{ep_events}", f"{ep_wall:.3f}", f"{ep_rate:,.0f}"],
+                ["speedup", "", "", f"{speedup:.2f}x"],
+            ],
+            title="Simulation kernels, event-driven vs epoch-batched",
+        ),
+    )
+    assert ev_events == ep_events, "kernels diverged: event counts differ"
+    assert speedup >= MIN_KERNEL_SPEEDUP, (
+        f"epoch kernel speedup {speedup:.2f}x below the {MIN_KERNEL_SPEEDUP}x bar"
+    )
 
 
 def _sweep_wall(jobs: int) -> float:

@@ -27,6 +27,8 @@ RESULTS = REPO / "results"
 #: Rates are throughputs: bigger is better.
 GUARDED = [
     ("BENCH_simloop_throughput.json", "single_sim", "events_per_sec"),
+    ("BENCH_simloop_throughput.json", "single_sim_event", "events_per_sec"),
+    ("BENCH_simloop_throughput.json", "single_sim_epoch", "events_per_sec"),
     ("BENCH_mc_throughput.json", "fig8_mc", "batched_trials_per_sec"),
 ]
 

@@ -1,0 +1,1263 @@
+"""Compiled core loop for the epoch kernel (``REPRO_SIM_NATIVE``).
+
+The pure-Python epoch loop in :mod:`repro.cpu.batchkernel` executes the
+reference discrete-event semantics at roughly 2 microseconds per event -
+an op-for-op floor set by the interpreter, since every branch of the loop
+is already flat integer arithmetic over lists.  This module compiles the
+identical loop to machine code with :mod:`cffi` (the toolchain ships in
+the base image; nothing is downloaded) and runs it over flat int64 NumPy
+state, dropping per-event cost by more than an order of magnitude.
+
+Scope: the native loop covers the *common* simulation shape - no patrol
+scrub, no one-shot bursts, no degraded mode, no per-window IPC tracking,
+cached (or inline) ECC state, and a mapping whose geometry matches the
+memory system.  Anything else falls back to the Python epoch loop, which
+handles every configuration.  Both paths are bit-identical to the
+event-driven reference; ``tests/test_epoch_kernel.py`` pins each against
+the oracle.
+
+Build model: the C source below is compiled once per source hash into
+``src/repro/cpu/_native/`` (gitignored) and memoized process-wide.
+Compilation failures (no compiler, sandboxed build dir) degrade silently
+to the Python loop - ``REPRO_SIM_NATIVE=on`` turns that into a hard
+error, ``off`` disables the native path outright, and the default
+``auto`` uses it when available and eligible.
+
+Identity-critical conventions shared with the Python loop:
+
+* events are ``(time, seq, kind, payload)`` with ``seq`` incremented at
+  exactly the reference push sites, so heap order replays exactly;
+* DRAM decode is recomputed arithmetically per address (positive int64
+  division matches Python floor division);
+* pending-request counts are recounted from the queue at pick time,
+  which equals the reference's incremental pending map for every key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from itertools import islice
+from time import perf_counter
+
+import numpy as np
+
+from repro import obs
+from repro.cpu.llc import LineKind
+from repro.cpu.system import (
+    TAG_FILL,
+    TAG_POSTFILL,
+    TAG_SHIFT,
+    AccessCounters,
+    SimResult,
+)
+from repro.dram.channel import MemRequest
+from repro.dram.power import RankEnergyCounters
+from repro.ecc.base import EccTraffic
+
+#: Max cores the native loop supports (fixed-size trace-buffer slots).
+MAX_CORES = 64
+
+#: Event-heap capacity (entries).  Live events are bounded by a few per
+#: core plus queue occupancy and in-flight channel wakeups - observed
+#: peaks are in the hundreds; overflow raises rather than truncates.
+HEAP_CAP = 1 << 17
+
+_CDEF = """
+typedef struct {
+    /* geometry */
+    int64_t C, R, B, MB, n_ranks, n_cores;
+    int64_t lpp, map_channels, map_ranks, seq_policy;
+    int64_t hot_base, hot_ranks;
+    /* timing */
+    int64_t trcd, tcl, tcwl, tburst, trrd, tfaw, twtr, trtrs, txp;
+    int64_t trfc, trefi, bb_read, bb_write, trcd_tcl, PD;
+    int64_t WRITE_DRAIN, WRITE_DRAIN_LOW, QUEUE_DEPTH;
+    int64_t HIT, POSTED_CAP, load_mlp, units_64b;
+    /* ecc: mode 0=inline (no state), 1=parity formula, 2=simple */
+    int64_t ecc_mode, ecc_insert_kind;
+    int64_t eb, lpp_e, ppc, gpp, pc1, cov;
+    /* llc flat state */
+    int64_t set_mask, assoc, n_sets;
+    int64_t *l_tags; int64_t *l_lru; uint8_t *l_dirty; uint8_t *l_kind;
+    int64_t *l_fill;
+    int64_t clock, hits, misses, evictions_dirty;
+    /* llc address -> slot open-addressing map */
+    int64_t *wh_keys; int64_t *wh_vals; int64_t wh_mask, wh_used, wh_tomb;
+    /* per global-rank state */
+    int64_t *bank_ready, *busy_until, *accounted_to, *next_refresh, *refreshes;
+    int64_t *c_act, *c_rd, *c_wr, *c_active, *c_standby, *c_pdown;
+    int64_t *act_ring, *act_len, *act_head;
+    /* per channel state; queue entries are 7 int64 fields */
+    int64_t *qes, *q_len;
+    int64_t *dem_cnt, *bg_cnt, *draining, *bus_free, *last_w;
+    int64_t *fast_picks, *issued, *refresh_due;
+    /* per core state */
+    uint8_t *done, *waiting, *has_pend, *pend_wr;
+    int64_t *posted, *loads, *instr, *pend_addr;
+    int64_t done_cnt;
+    /* trace buffers (per-core pointers owned by Python) */
+    int64_t *buf_gap[64]; int64_t *buf_addr[64];
+    uint8_t *buf_wr[64]; int64_t *buf_dt[64];
+    int64_t buf_i[64], buf_n[64];
+    /* event heap: 4 int64 per entry */
+    int64_t *h; int64_t h_len, h_cap, seq;
+    /* run control */
+    int64_t now, total, limit, target;
+    int64_t resume_cid, resume_now, refill_ok;
+    int64_t snap_taken, error;
+    int64_t *snap_cnt;            /* 6 * n_ranks */
+    int64_t snap_scalars[9], end_scalars[9];
+    /* counters */
+    int64_t accesses_64b, n_data_r, n_data_w, n_ecc_r, n_ecc_w;
+} KS;
+
+void push_event(KS *k, int64_t t, int64_t kind, int64_t payload);
+void wh_bulk(KS *k, int64_t *keys, int64_t *vals, int64_t n);
+int64_t epoch_run(KS *k);
+"""
+
+_CSRC = r"""
+#include <stdint.h>
+#include <string.h>
+
+typedef struct {
+    /* geometry */
+    int64_t C, R, B, MB, n_ranks, n_cores;
+    int64_t lpp, map_channels, map_ranks, seq_policy;
+    int64_t hot_base, hot_ranks;
+    /* timing */
+    int64_t trcd, tcl, tcwl, tburst, trrd, tfaw, twtr, trtrs, txp;
+    int64_t trfc, trefi, bb_read, bb_write, trcd_tcl, PD;
+    int64_t WRITE_DRAIN, WRITE_DRAIN_LOW, QUEUE_DEPTH;
+    int64_t HIT, POSTED_CAP, load_mlp, units_64b;
+    int64_t ecc_mode, ecc_insert_kind;
+    int64_t eb, lpp_e, ppc, gpp, pc1, cov;
+    int64_t set_mask, assoc, n_sets;
+    int64_t *l_tags; int64_t *l_lru; uint8_t *l_dirty; uint8_t *l_kind;
+    int64_t *l_fill;
+    int64_t clock, hits, misses, evictions_dirty;
+    int64_t *wh_keys; int64_t *wh_vals; int64_t wh_mask, wh_used, wh_tomb;
+    int64_t *bank_ready, *busy_until, *accounted_to, *next_refresh, *refreshes;
+    int64_t *c_act, *c_rd, *c_wr, *c_active, *c_standby, *c_pdown;
+    int64_t *act_ring, *act_len, *act_head;
+    int64_t *qes, *q_len;
+    int64_t *dem_cnt, *bg_cnt, *draining, *bus_free, *last_w;
+    int64_t *fast_picks, *issued, *refresh_due;
+    uint8_t *done, *waiting, *has_pend, *pend_wr;
+    int64_t *posted, *loads, *instr, *pend_addr;
+    int64_t done_cnt;
+    int64_t *buf_gap[64]; int64_t *buf_addr[64];
+    uint8_t *buf_wr[64]; int64_t *buf_dt[64];
+    int64_t buf_i[64], buf_n[64];
+    int64_t *h; int64_t h_len, h_cap, seq;
+    int64_t now, total, limit, target;
+    int64_t resume_cid, resume_now, refill_ok;
+    int64_t snap_taken, error;
+    int64_t *snap_cnt;
+    int64_t snap_scalars[9], end_scalars[9];
+    int64_t accesses_64b, n_data_r, n_data_w, n_ecc_r, n_ecc_w;
+} KS;
+
+/* tag codes (mirror repro.cpu.system) */
+#define TAG_SHIFT_   4
+#define TAG_MASK_    ((1 << TAG_SHIFT_) - 1)
+#define TAG_FILL_    1
+#define TAG_POSTFILL_ 2
+#define TAG_POSTLOAD_ 3
+#define TAG_WB_      4
+#define TAG_ECCWB_   5
+#define TAG_ECCRMW_  6
+#define TAG_ECCFILL_ 7
+
+#define EV_CORE_   0
+#define EV_ACCESS_ 1
+#define EV_CHAN_   4
+
+#define KIND_DATA_ 0
+#define KIND_ECC_  1
+
+#define ERR_QUEUE_   1
+#define ERR_CASCADE_ 2
+#define ERR_HEAP_    3
+
+/* -- event heap: (time, seq) ordered, 4 int64 per entry -------------------- */
+
+static void hpush(KS *k, int64_t t, int64_t kind, int64_t payload) {
+    int64_t *h = k->h;
+    int64_t i = k->h_len;
+    if (i >= k->h_cap) { k->error = ERR_HEAP_; return; }
+    k->h_len = i + 1;
+    int64_t s = k->seq++;
+    while (i > 0) {
+        int64_t par = (i - 1) >> 1;
+        int64_t *pe = h + par * 4;
+        if (pe[0] < t || (pe[0] == t && pe[1] < s)) break;
+        int64_t *ie = h + i * 4;
+        ie[0] = pe[0]; ie[1] = pe[1]; ie[2] = pe[2]; ie[3] = pe[3];
+        i = par;
+    }
+    int64_t *ie = h + i * 4;
+    ie[0] = t; ie[1] = s; ie[2] = kind; ie[3] = payload;
+}
+
+static void hpop(KS *k, int64_t *t, int64_t *kind, int64_t *payload) {
+    int64_t *h = k->h;
+    *t = h[0]; *kind = h[2]; *payload = h[3];
+    int64_t n = --k->h_len;
+    if (!n) return;
+    int64_t lt = h[n*4], ls = h[n*4+1], lk = h[n*4+2], lp = h[n*4+3];
+    int64_t i = 0;
+    for (;;) {
+        int64_t c = 2 * i + 1;
+        if (c >= n) break;
+        int64_t c2 = c + 1;
+        if (c2 < n && (h[c2*4] < h[c*4] ||
+                       (h[c2*4] == h[c*4] && h[c2*4+1] < h[c*4+1]))) c = c2;
+        if (h[c*4] > lt || (h[c*4] == lt && h[c*4+1] > ls)) break;
+        int64_t *ie = h + i * 4, *ce = h + c * 4;
+        ie[0] = ce[0]; ie[1] = ce[1]; ie[2] = ce[2]; ie[3] = ce[3];
+        i = c;
+    }
+    int64_t *ie = h + i * 4;
+    ie[0] = lt; ie[1] = ls; ie[2] = lk; ie[3] = lp;
+}
+
+void push_event(KS *k, int64_t t, int64_t kind, int64_t payload) {
+    hpush(k, t, kind, payload);
+}
+
+/* -- LLC address -> slot map (open addressing, -1 empty / -2 tombstone) ---- */
+
+static inline uint64_t wh_hash(int64_t key) {
+    return (uint64_t)key * 0x9E3779B97F4A7C15ull;
+}
+
+static int64_t wh_get(KS *k, int64_t key) {
+    int64_t mask = k->wh_mask;
+    uint64_t i = wh_hash(key) & (uint64_t)mask;
+    for (;;) {
+        int64_t kk = k->wh_keys[i];
+        if (kk == key) return k->wh_vals[i];
+        if (kk == -1) return -1;
+        i = (i + 1) & (uint64_t)mask;
+    }
+}
+
+static void wh_rehash(KS *k) {
+    int64_t cap = k->wh_mask + 1;
+    int64_t *keys = k->wh_keys, *vals = k->wh_vals;
+    /* compact in place via a second pass buffer on the C stack is unsafe
+       for large caps; instead mark-and-reinsert using the slot arrays as
+       the source of truth (every live key is a cached line tag). */
+    for (int64_t i = 0; i < cap; i++) keys[i] = -1;
+    k->wh_used = 0; k->wh_tomb = 0;
+    int64_t slots = k->n_sets * k->assoc;
+    for (int64_t s = 0; s < k->n_sets; s++) {
+        int64_t fill = k->l_fill[s];
+        for (int64_t w = 0; w < fill; w++) {
+            int64_t slot = s * k->assoc + w;
+            int64_t key = k->l_tags[slot];
+            uint64_t i = wh_hash(key) & (uint64_t)k->wh_mask;
+            while (keys[i] != -1) i = (i + 1) & (uint64_t)k->wh_mask;
+            keys[i] = key; vals[i] = slot;
+            k->wh_used++;
+        }
+    }
+    (void)slots;
+}
+
+static void wh_put(KS *k, int64_t key, int64_t val) {
+    if ((k->wh_used + k->wh_tomb) * 2 >= k->wh_mask + 1) wh_rehash(k);
+    int64_t mask = k->wh_mask;
+    uint64_t i = wh_hash(key) & (uint64_t)mask;
+    for (;;) {
+        int64_t kk = k->wh_keys[i];
+        if (kk == key) { k->wh_vals[i] = val; return; }
+        if (kk < 0) {  /* empty or tombstone */
+            if (kk == -2) k->wh_tomb--;
+            k->wh_keys[i] = key; k->wh_vals[i] = val;
+            k->wh_used++;
+            return;
+        }
+        i = (i + 1) & (uint64_t)mask;
+    }
+}
+
+static void wh_del(KS *k, int64_t key) {
+    int64_t mask = k->wh_mask;
+    uint64_t i = wh_hash(key) & (uint64_t)mask;
+    for (;;) {
+        int64_t kk = k->wh_keys[i];
+        if (kk == key) {
+            k->wh_keys[i] = -2;
+            k->wh_used--; k->wh_tomb++;
+            return;
+        }
+        if (kk == -1) return;
+        i = (i + 1) & (uint64_t)mask;
+    }
+}
+
+void wh_bulk(KS *k, int64_t *keys, int64_t *vals, int64_t n) {
+    for (int64_t i = 0; i < n; i++) wh_put(k, keys[i], vals[i]);
+}
+
+/* -- DRAM decode (AddressMapping._decode, positive arithmetic) ------------- */
+
+static inline void decode(KS *k, int64_t addr, int64_t *ci, int64_t *gr,
+                          int64_t *gb, int64_t *pk) {
+    int64_t page = addr / k->lpp, off = addr % k->lpp;
+    int64_t ch = page % k->map_channels, pic = page / k->map_channels;
+    int64_t rank_lo = 0, nr = k->map_ranks;
+    if (k->hot_base >= 0) {
+        if (addr >= k->hot_base && addr < (1LL << 40)) {
+            nr = k->hot_ranks;
+        } else {
+            rank_lo = k->hot_ranks;
+            nr = k->map_ranks - k->hot_ranks;
+        }
+    }
+    int64_t bt = nr * k->MB;
+    int64_t bidx = k->seq_policy ? pic % bt : (off + pic) % bt;
+    int64_t rank = rank_lo + bidx / k->MB, bank = bidx % k->MB;
+    *ci = ch;
+    *gr = ch * k->R + rank;
+    *gb = *gr * k->B + bank;
+    *pk = ((rank << 5 | bank) << 44) | pic;
+}
+
+static inline int64_t ecc_addr(KS *k, int64_t a) {
+    if (k->ecc_mode == 1) {
+        int64_t page = a / k->lpp_e, off = a % k->lpp_e;
+        return k->eb + (page / k->pc1) * k->gpp + off / k->ppc;
+    }
+    return k->eb + a / k->cov;
+}
+
+/* -- residency accounting + refresh ---------------------------------------- */
+
+static void account(KS *k, int64_t gr, int64_t upto) {
+    int64_t t0 = k->accounted_to[gr];
+    if (upto <= t0) return;
+    int64_t busy = k->busy_until[gr];
+    int64_t active_end = busy < upto ? busy : upto;
+    if (active_end > t0) k->c_active[gr] += active_end - t0;
+    int64_t idle_start = t0 > busy ? t0 : busy;
+    if (upto > idle_start) {
+        int64_t pd_point = busy + k->PD;
+        int64_t standby_end = idle_start > pd_point ? idle_start : pd_point;
+        if (standby_end > upto) standby_end = upto;
+        if (standby_end > idle_start) k->c_standby[gr] += standby_end - idle_start;
+        if (upto > standby_end) k->c_pdown[gr] += upto - standby_end;
+    }
+    k->accounted_to[gr] = upto;
+}
+
+static void service_refresh(KS *k, int64_t ci, int64_t now) {
+    int64_t base_gr = ci * k->R;
+    int64_t due = INT64_MAX;
+    for (int64_t g = base_gr; g < base_gr + k->R; g++) {
+        int64_t nr = k->next_refresh[g];
+        while (nr <= now) {
+            int64_t start = nr > 0 ? nr : 0;
+            int64_t end = start + k->trfc;
+            int64_t b0 = g * k->B;
+            for (int64_t b = b0; b < b0 + k->B; b++)
+                if (k->bank_ready[b] < end) k->bank_ready[b] = end;
+            account(k, g, start);
+            if (end > k->busy_until[g]) k->busy_until[g] = end;
+            k->refreshes[g]++;
+            nr += k->trefi;
+        }
+        k->next_refresh[g] = nr;
+        if (nr < due) due = nr;
+    }
+    k->refresh_due[ci] = due;
+}
+
+/* -- memory enqueue (SimSystem._enqueue_mem + MemorySystem.enqueue) -------- */
+
+/* queue entry layout: gr, gb, pk, wr, arrive, tag, dem */
+#define QF 7
+
+static void enqueue(KS *k, int64_t addr, int64_t is_write, int64_t tag,
+                    int64_t now) {
+    int64_t code = tag & TAG_MASK_;
+    int64_t ci, gr, gb, pk;
+    decode(k, addr, &ci, &gr, &gb, &pk);
+    int64_t ql = k->q_len[ci];
+    if (ql >= k->QUEUE_DEPTH) { k->error = ERR_QUEUE_; return; }
+    int64_t *e = k->qes + (ci * k->QUEUE_DEPTH + ql) * QF;
+    int64_t dem = (code == TAG_FILL_ || code == TAG_POSTFILL_);
+    e[0] = gr; e[1] = gb; e[2] = pk; e[3] = is_write;
+    e[4] = now; e[5] = tag; e[6] = dem;
+    k->q_len[ci] = ql + 1;
+    if (dem) k->dem_cnt[ci]++; else k->bg_cnt[ci]++;
+    k->accesses_64b += k->units_64b;
+    if (is_write) {
+        if (code == TAG_ECCWB_ || code == TAG_ECCRMW_) k->n_ecc_w++;
+        else k->n_data_w++;
+    } else {
+        if (code == TAG_ECCFILL_ || code == TAG_ECCRMW_) k->n_ecc_r++;
+        else k->n_data_r++;
+    }
+    hpush(k, now, EV_CHAN_, ci);
+}
+
+/* -- LLC access (LLC.access, flat state) ----------------------------------- */
+/* returns 1 hit, 0 miss without victim, -1 miss with victim (filled) */
+
+static int64_t llc_access(KS *k, int64_t addr, int64_t kind, int64_t make_dirty,
+                          int64_t *ev_addr, int64_t *ev_kind, int64_t *ev_dirty) {
+    int64_t slot = wh_get(k, addr);
+    k->clock++;
+    if (slot >= 0) {
+        k->l_lru[slot] = k->clock;
+        if (make_dirty) k->l_dirty[slot] = 1;
+        k->hits++;
+        return 1;
+    }
+    k->misses++;
+    int64_t s = addr & k->set_mask, base = s * k->assoc;
+    int64_t victim, has_ev = 0;
+    int64_t filled = k->l_fill[s];
+    if (filled < k->assoc) {
+        victim = base + filled;
+        k->l_fill[s] = filled + 1;
+    } else {
+        victim = base;
+        int64_t best = k->l_lru[base];
+        for (int64_t i = base + 1; i < base + k->assoc; i++)
+            if (k->l_lru[i] < best) { best = k->l_lru[i]; victim = i; }
+        *ev_addr = k->l_tags[victim];
+        *ev_kind = k->l_kind[victim];
+        *ev_dirty = k->l_dirty[victim];
+        if (*ev_dirty) k->evictions_dirty++;
+        wh_del(k, *ev_addr);
+        has_ev = 1;
+    }
+    k->l_tags[victim] = addr;
+    k->l_lru[victim] = k->clock;
+    k->l_dirty[victim] = (uint8_t)make_dirty;
+    k->l_kind[victim] = (uint8_t)kind;
+    wh_put(k, addr, victim);
+    return has_ev ? -1 : 0;
+}
+
+/* -- eviction cascade (SimSystem._handle_eviction) ------------------------- */
+
+static void cascade(KS *k, int64_t va, int64_t vk, int64_t vd, int64_t now) {
+    int64_t st_a[66], st_k[66], st_d[66];
+    int sp = 0, guard = 0;
+    st_a[0] = va; st_k[0] = vk; st_d[0] = vd; sp = 1;
+    while (sp) {
+        if (++guard > 64) { k->error = ERR_CASCADE_; return; }
+        sp--;
+        int64_t a = st_a[sp], kk = st_k[sp], dd = st_d[sp];
+        if (!dd) continue;
+        if (kk == KIND_DATA_) {
+            enqueue(k, a, 1, TAG_WB_, now);
+            if (k->error) return;
+            if (k->ecc_mode != 0) {
+                int64_t ea = ecc_addr(k, a);
+                int64_t ev_a, ev_k, ev_d;
+                if (llc_access(k, ea, k->ecc_insert_kind, 1,
+                               &ev_a, &ev_k, &ev_d) == -1) {
+                    st_a[sp] = ev_a; st_k[sp] = ev_k; st_d[sp] = ev_d; sp++;
+                }
+            }
+        } else if (kk == KIND_ECC_) {
+            enqueue(k, a, 1, TAG_ECCWB_, now);
+        } else {  /* XOR line: delta read-modify-write of the parity line */
+            enqueue(k, a, 0, TAG_ECCRMW_, now);
+            if (k->error) return;
+            enqueue(k, a, 1, TAG_ECCRMW_, now);
+        }
+        if (k->error) return;
+    }
+}
+
+/* -- earliest start for one candidate (Channel timing rules) --------------- */
+
+static inline int64_t earliest_start(KS *k, int64_t now, int64_t ci, int64_t gr,
+                                     int64_t gb, int64_t is_write,
+                                     int64_t wcand, int64_t rcand) {
+    int64_t st = k->bank_ready[gb];
+    if (now > st) st = now;
+    int64_t al = k->act_len[gr];
+    if (al) {
+        int64_t head = k->act_head[gr];
+        int64_t v = k->act_ring[gr * 4 + ((head + al - 1) & 3)] + k->trrd;
+        if (v > st) st = v;
+        if (al == 4) {
+            v = k->act_ring[gr * 4 + head] + k->tfaw;
+            if (v > st) st = v;
+        }
+    }
+    int64_t v = is_write ? wcand : rcand;
+    if (v > st) st = v;
+    if (st >= k->busy_until[gr] + k->PD) st += k->txp;
+    return st;
+}
+
+static inline void act_append(KS *k, int64_t gr, int64_t v) {
+    int64_t al = k->act_len[gr], head = k->act_head[gr];
+    if (al < 4) {
+        k->act_ring[gr * 4 + ((head + al) & 3)] = v;
+        k->act_len[gr] = al + 1;
+    } else {  /* deque(maxlen=4): drop the oldest */
+        k->act_ring[gr * 4 + head] = v;
+        k->act_head[gr] = (head + 1) & 3;
+    }
+}
+
+/* -- event handlers --------------------------------------------------------- */
+
+static void core_event(KS *k, int64_t now, int64_t cid) {
+    int64_t bi = k->buf_i[cid];
+    int64_t gap = k->buf_gap[cid][bi];
+    k->buf_i[cid] = bi + 1;
+    k->instr[cid] += gap;
+    k->total += gap;
+    k->pend_addr[cid] = k->buf_addr[cid][bi];
+    k->pend_wr[cid] = k->buf_wr[cid][bi];
+    k->has_pend[cid] = 1;
+    hpush(k, now + k->buf_dt[cid][bi], EV_ACCESS_, cid);
+}
+
+static void access_event(KS *k, int64_t now, int64_t cid) {
+    int64_t addr = k->pend_addr[cid];
+    int64_t is_write = k->pend_wr[cid];
+    k->has_pend[cid] = 0;
+    int64_t ev_a, ev_k, ev_d;
+    int64_t r = llc_access(k, addr, KIND_DATA_, is_write, &ev_a, &ev_k, &ev_d);
+    if (r == 1) {
+        hpush(k, now + k->HIT, EV_CORE_, cid);
+        return;
+    }
+    if (r == -1 && ev_d) {
+        cascade(k, ev_a, ev_k, ev_d, now);
+        if (k->error) return;
+    }
+    int64_t tag, wake;
+    if (is_write && k->posted[cid] < k->POSTED_CAP) {
+        k->posted[cid]++;
+        tag = TAG_POSTFILL_ | cid << TAG_SHIFT_;
+        wake = 1;
+    } else if (!is_write && k->loads[cid] + 1 < k->load_mlp) {
+        k->loads[cid]++;
+        tag = TAG_POSTLOAD_ | cid << TAG_SHIFT_;
+        wake = 1;
+    } else {
+        k->waiting[cid] = 1;
+        tag = TAG_FILL_ | cid << TAG_SHIFT_;
+        wake = 0;
+    }
+    enqueue(k, addr, 0, tag, now);
+    if (wake) hpush(k, now + k->HIT, EV_CORE_, cid);
+}
+
+static void chan_event(KS *k, int64_t now, int64_t ci) {
+    if (now >= k->refresh_due[ci]) service_refresh(k, ci, now);
+    int64_t ql = k->q_len[ci];
+    if (!ql) return;
+    int64_t *qs = k->qes + ci * k->QUEUE_DEPTH * QF;
+    int64_t gr, gb, is_write, tag, dem, start;
+    if (ql == 1) {
+        gr = qs[0]; gb = qs[1]; is_write = qs[3]; tag = qs[5]; dem = qs[6];
+        k->q_len[ci] = 0;
+        if (dem) k->dem_cnt[ci]--; else k->bg_cnt[ci]--;
+        k->draining[ci] = !dem;
+        k->fast_picks[ci]++;
+        int64_t wcand = k->bus_free[ci] + (k->last_w[ci] ? 0 : k->trtrs)
+                        - k->trcd - k->tcwl;
+        int64_t rcand = k->bus_free[ci] + (k->last_w[ci] ? k->twtr : 0)
+                        - k->trcd - k->tcl;
+        start = earliest_start(k, now, ci, gr, gb, is_write, wcand, rcand);
+    } else {
+        int64_t bg = k->bg_cnt[ci], dm = k->dem_cnt[ci];
+        if (bg == 0) k->draining[ci] = 0;
+        else if (bg >= k->WRITE_DRAIN || dm == 0) k->draining[ci] = 1;
+        else if (bg <= k->WRITE_DRAIN_LOW && dm > 0) k->draining[ci] = 0;
+        int64_t want = !(k->draining[ci] && bg > 0);
+        int64_t wcand = k->bus_free[ci] + (k->last_w[ci] ? 0 : k->trtrs)
+                        - k->trcd - k->tcwl;
+        int64_t rcand = k->bus_free[ci] + (k->last_w[ci] ? k->twtr : 0)
+                        - k->trcd - k->tcl;
+        int64_t best_st = 0, best_pm = 0, best_arr = 0, idx = -1;
+        for (int64_t qi = 0; qi < ql; qi++) {
+            int64_t *e = qs + qi * QF;
+            if (e[6] != want) continue;
+            int64_t st = earliest_start(k, now, ci, e[0], e[1], e[3],
+                                        wcand, rcand);
+            if (idx >= 0 && st > best_st) continue;
+            int64_t pm = 0, pk = e[2];
+            for (int64_t j = 0; j < ql; j++)
+                if (qs[j * QF + 2] == pk) pm++;
+            /* reference key: (start, -pending, arrive, queue index) */
+            if (idx < 0 || st < best_st || pm > best_pm ||
+                (pm == best_pm && e[4] < best_arr)) {
+                best_st = st; best_pm = pm; best_arr = e[4]; idx = qi;
+            }
+        }
+        int64_t *e = qs + idx * QF;
+        gr = e[0]; gb = e[1]; is_write = e[3]; tag = e[5]; dem = e[6];
+        start = best_st;
+        memmove(e, e + QF, (ql - idx - 1) * QF * sizeof(int64_t));
+        k->q_len[ci] = ql - 1;
+        if (dem) k->dem_cnt[ci]--; else k->bg_cnt[ci]--;
+    }
+    /* -- issue -- */
+    account(k, gr, start);
+    int64_t data_end, busy_end;
+    if (is_write) {
+        data_end = start + k->trcd + k->tcwl + k->tburst;
+        busy_end = start + k->bb_write;
+        k->c_wr[gr]++;
+    } else {
+        data_end = start + k->trcd_tcl + k->tburst;
+        busy_end = start + k->bb_read;
+        k->c_rd[gr]++;
+    }
+    k->c_act[gr]++;
+    k->bank_ready[gb] = busy_end;
+    act_append(k, gr, start);
+    if (busy_end > k->busy_until[gr]) k->busy_until[gr] = busy_end;
+    k->bus_free[ci] = data_end;
+    k->last_w[ci] = is_write;
+    k->issued[ci]++;
+    int64_t nxt = start + 1, v = data_end - k->trcd_tcl;
+    if (v > nxt) nxt = v;
+    hpush(k, nxt, EV_CHAN_, ci);
+    /* -- completion -- */
+    int64_t code = tag & TAG_MASK_;
+    if (code == TAG_FILL_) {
+        int64_t cid = tag >> TAG_SHIFT_;
+        k->waiting[cid] = 0;
+        hpush(k, data_end + 1, EV_CORE_, cid);
+    } else if (code == TAG_POSTFILL_) {
+        k->posted[tag >> TAG_SHIFT_]--;
+    } else if (code == TAG_POSTLOAD_) {
+        k->loads[tag >> TAG_SHIFT_]--;
+    }
+}
+
+/* -- snapshots -------------------------------------------------------------- */
+
+static void take_counts(KS *k, int64_t *dst, int64_t upto, int64_t do_account) {
+    int64_t n = k->n_ranks;
+    if (do_account)
+        for (int64_t g = 0; g < n; g++) account(k, g, upto);
+    memcpy(dst + 0 * n, k->c_act, n * sizeof(int64_t));
+    memcpy(dst + 1 * n, k->c_rd, n * sizeof(int64_t));
+    memcpy(dst + 2 * n, k->c_wr, n * sizeof(int64_t));
+    memcpy(dst + 3 * n, k->c_active, n * sizeof(int64_t));
+    memcpy(dst + 4 * n, k->c_standby, n * sizeof(int64_t));
+    memcpy(dst + 5 * n, k->c_pdown, n * sizeof(int64_t));
+}
+
+static void take_scalars(KS *k, int64_t *dst) {
+    dst[0] = k->total; dst[1] = k->now; dst[2] = k->accesses_64b;
+    dst[3] = k->hits; dst[4] = k->misses;
+    dst[5] = k->n_data_r; dst[6] = k->n_data_w;
+    dst[7] = k->n_ecc_r; dst[8] = k->n_ecc_w;
+}
+
+/* -- main loop -------------------------------------------------------------- */
+/* returns: >=0 refill needed for that core, -1 heap empty, -2 target hit,
+   -10-err on internal error */
+
+int64_t epoch_run(KS *k) {
+    if (k->resume_cid >= 0) {
+        int64_t cid = k->resume_cid;
+        k->resume_cid = -1;
+        if (k->refill_ok) {
+            core_event(k, k->resume_now, cid);
+        } else {
+            k->done[cid] = 1;
+            k->done_cnt++;
+        }
+        if (k->error) return -10 - k->error;
+    }
+    while (k->h_len) {
+        int64_t t, kind, payload;
+        hpop(k, &t, &kind, &payload);
+        k->now = t;
+        if (k->total >= k->limit) {
+            if (!k->snap_taken) {
+                take_counts(k, k->snap_cnt, t, 1);
+                take_scalars(k, k->snap_scalars);
+                k->snap_taken = 1;
+                k->limit = k->target;
+            }
+            if (k->total >= k->target) {
+                take_scalars(k, k->end_scalars);
+                return -2;
+            }
+        }
+        if (kind == EV_CHAN_) {
+            chan_event(k, t, payload);
+        } else if (kind == EV_CORE_) {
+            if (k->done[payload]) continue;
+            if (k->buf_i[payload] == k->buf_n[payload]) {
+                k->resume_cid = payload;
+                k->resume_now = t;
+                return payload;
+            }
+            core_event(k, t, payload);
+        } else {  /* EV_ACCESS_ */
+            access_event(k, t, payload);
+        }
+        if (k->error) return -10 - k->error;
+    }
+    return -1;
+}
+"""
+
+_BUILD_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_native")
+
+#: LineKind values exported back as enum members (C stores raw ints).
+_KINDS = (LineKind.DATA, LineKind.ECC, LineKind.XOR)
+
+_lib = None
+_ffi = None
+_load_attempted = False
+
+
+def _source_tag() -> str:
+    return hashlib.sha1((_CDEF + _CSRC).encode()).hexdigest()[:12]
+
+
+def _load():
+    """Compile (once) and import the native core; None when unavailable."""
+    global _lib, _ffi, _load_attempted
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    try:
+        import importlib.util
+
+        from cffi import FFI
+
+        modname = f"_epochcore_{_source_tag()}"
+        sofile = None
+        if os.path.isdir(_BUILD_DIR):
+            for fn in os.listdir(_BUILD_DIR):
+                if fn.startswith(modname) and fn.endswith(".so"):
+                    sofile = os.path.join(_BUILD_DIR, fn)
+                    break
+        ffi = FFI()
+        ffi.cdef(_CDEF)
+        if sofile is None:
+            # Build in a per-process scratch dir, then publish atomically so
+            # concurrent workers never import a half-written extension.
+            tmpdir = os.path.join(_BUILD_DIR, f"build-{os.getpid()}")
+            os.makedirs(tmpdir, exist_ok=True)
+            ffi.set_source(modname, _CSRC, extra_compile_args=["-O2"])
+            built = ffi.compile(tmpdir=tmpdir)
+            final = os.path.join(_BUILD_DIR, os.path.basename(built))
+            os.replace(built, final)
+            sofile = final
+        spec = importlib.util.spec_from_file_location(modname, sofile)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        _ffi = mod.ffi
+        _lib = mod.lib
+    except Exception:  # no compiler / sandboxed build dir / import failure
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """True when the compiled core is importable (builds on first call)."""
+    return _load() is not None
+
+
+def native_mode() -> str:
+    from repro.util.envcfg import sim_native
+
+    return sim_native()
+
+
+def eligible(sim) -> bool:
+    """True when *sim*'s configuration fits the native loop's scope."""
+    if sim.scrub is not None or sim.degraded is not None:
+        return False
+    if sim._bursts or sim.ipc_window:
+        return False
+    eccm = sim.ecc_model
+    if eccm.kind != EccTraffic.INLINE and not eccm.cache_ecc_lines:
+        return False
+    mem = sim.mem
+    chans = mem.channels
+    C = len(chans)
+    R = len(chans[0].ranks)
+    B = chans[0].ranks[0].banks
+    mapping = mem.mapping
+    if mapping.channels != C or mapping.ranks_per_channel != R:
+        return False
+    if max(B, mapping.banks_per_rank) >= 32:
+        return False
+    if len(sim.cores) > MAX_CORES:
+        return False
+    for ch in chans:
+        for q in ch.queue:
+            if type(q.tag) is not int:
+                return False
+    return True
+
+
+def wants_native(sim) -> bool:
+    """Policy gate for :func:`repro.cpu.batchkernel.run_epoch`."""
+    mode = native_mode()
+    if mode == "off":
+        return False
+    if not eligible(sim):
+        if mode == "on":
+            raise RuntimeError(
+                "REPRO_SIM_NATIVE=on but this configuration needs the "
+                "Python epoch loop (scrub/bursts/degraded/uncached-ECC/"
+                "ipc_window or mismatched mapping geometry)"
+            )
+        return False
+    if not available():
+        if mode == "on":
+            raise RuntimeError(
+                "REPRO_SIM_NATIVE=on but the native core failed to build "
+                "(compiler or cffi unavailable)"
+            )
+        return False
+    return True
+
+
+def run_native(sim, warmup_instructions: int, measure_instructions: int) -> SimResult:
+    """Run the compiled epoch loop; same contract as ``run_epoch``."""
+    lib = _load()
+    ffi = _ffi
+    obs_armed = obs.enabled("sim")
+    wall0 = perf_counter() if obs_armed else 0.0
+
+    mem = sim.mem
+    llc = sim.llc
+    eccm = sim.ecc_model
+    mapping = mem.mapping
+    t = mem.timing
+    chans = mem.channels
+    C = len(chans)
+    R = len(chans[0].ranks)
+    B = chans[0].ranks[0].banks
+    n_ranks = C * R
+    cores = sim.cores
+    n_cores = len(cores)
+    QUEUE_DEPTH = type(chans[0]).QUEUE_DEPTH
+    IPC = sim.IPC
+    seq0 = sim._seq
+
+    ks = ffi.new("KS *")
+    hold = []  # keep every backing NumPy array alive for the run
+
+    def i64(arr):
+        a = np.ascontiguousarray(arr, dtype=np.int64)
+        hold.append(a)
+        return a, ffi.cast("int64_t *", a.ctypes.data)
+
+    def u8(arr):
+        a = np.ascontiguousarray(arr, dtype=np.uint8)
+        hold.append(a)
+        return a, ffi.cast("uint8_t *", a.ctypes.data)
+
+    # -- geometry / timing / policy constants -------------------------------------------
+    ks.C, ks.R, ks.B, ks.MB = C, R, B, mapping.banks_per_rank
+    ks.n_ranks, ks.n_cores = n_ranks, n_cores
+    ks.lpp = mapping.lines_per_page
+    ks.map_channels = mapping.channels
+    ks.map_ranks = mapping.ranks_per_channel
+    ks.seq_policy = 1 if mapping.policy == "sequential" else 0
+    ks.hot_base = -1 if mapping.hot_arena_base_line is None else mapping.hot_arena_base_line
+    ks.hot_ranks = mapping.hot_ranks
+    ks.trcd, ks.tcl, ks.tcwl, ks.tburst = t.trcd, t.tcl, t.tcwl, t.tburst
+    ks.trrd, ks.tfaw, ks.twtr, ks.trtrs, ks.txp = t.trrd, t.tfaw, t.twtr, t.trtrs, t.txp
+    ks.trfc, ks.trefi = t.trfc, t.trefi
+    ks.bb_read, ks.bb_write = t.bank_busy_read, t.bank_busy_write
+    ks.trcd_tcl = t.trcd + t.tcl
+    ks.PD = type(chans[0]).POWERDOWN_DELAY
+    ks.WRITE_DRAIN = type(chans[0]).WRITE_DRAIN
+    ks.WRITE_DRAIN_LOW = type(chans[0]).WRITE_DRAIN_LOW
+    ks.QUEUE_DEPTH = QUEUE_DEPTH
+    ks.HIT = sim.HIT_LATENCY
+    ks.POSTED_CAP = sim.POSTED_CAP
+    ks.load_mlp = sim.load_mlp
+    ks.units_64b = mem._units_64b
+
+    # -- ECC formula constants ----------------------------------------------------------
+    from repro.cpu.ecc_traffic import ECC_REGION_BASE
+
+    if eccm.kind == EccTraffic.INLINE:
+        ks.ecc_mode = 0
+        ks.lpp_e = ks.ppc = ks.gpp = ks.pc1 = ks.cov = 1
+        ks.eb = 0
+    elif eccm.parity_channels is not None:
+        ks.ecc_mode = 1
+        ks.eb = ECC_REGION_BASE
+        ks.lpp_e = eccm.lines_per_page
+        ks.ppc = eccm.per_page_coverage
+        ks.gpp = max(1, eccm.lines_per_page // eccm.per_page_coverage)
+        ks.pc1 = eccm.parity_channels - 1
+        ks.cov = 1
+    else:
+        ks.ecc_mode = 2
+        ks.eb = ECC_REGION_BASE
+        ks.cov = max(1, eccm.coverage)
+        ks.lpp_e = ks.ppc = ks.gpp = ks.pc1 = 1
+    ks.ecc_insert_kind = int(
+        LineKind.ECC if eccm.kind == EccTraffic.ECC_LINE else LineKind.XOR
+    )
+
+    # -- LLC flat state -----------------------------------------------------------------
+    ks.set_mask = llc._set_mask
+    ks.assoc = llc.assoc
+    ks.n_sets = llc.n_sets
+    l_tags, ks.l_tags = i64(llc._tags)
+    l_lru, ks.l_lru = i64(llc._lru)
+    l_dirty, ks.l_dirty = u8(llc._dirty)
+    l_kind, ks.l_kind = u8([int(v) for v in llc._kind])
+    l_fill, ks.l_fill = i64(llc._fill)
+    ks.clock, ks.hits, ks.misses = llc._clock, llc._hits, llc._misses
+    ks.evictions_dirty = llc._evictions_dirty
+    slots = llc.n_sets * llc.assoc
+    wh_cap = 1 << max(6, (4 * slots - 1).bit_length())
+    wh_keys = np.full(wh_cap, -1, dtype=np.int64)
+    hold.append(wh_keys)
+    ks.wh_keys = ffi.cast("int64_t *", wh_keys.ctypes.data)
+    wh_vals, ks.wh_vals = i64(np.zeros(wh_cap, dtype=np.int64))
+    ks.wh_mask = wh_cap - 1
+    ks.wh_used = ks.wh_tomb = 0
+    if llc._where:
+        keys, ks_keys = i64(np.fromiter(llc._where.keys(), dtype=np.int64))
+        vals, ks_vals = i64(np.fromiter(llc._where.values(), dtype=np.int64))
+        lib.wh_bulk(ks, ks_keys, ks_vals, len(keys))
+
+    # -- rank state ---------------------------------------------------------------------
+    bank_ready = []
+    busy_until, accounted_to, next_refresh, refreshes = [], [], [], []
+    c_act, c_rd, c_wr, c_active, c_standby, c_pdown = [], [], [], [], [], []
+    act_ring = np.zeros(n_ranks * 4, dtype=np.int64)
+    act_len = np.zeros(n_ranks, dtype=np.int64)
+    gr = 0
+    for ch in chans:
+        for r in ch.ranks:
+            bank_ready.extend(r.bank_ready)
+            for i, v in enumerate(r.act_times):
+                act_ring[gr * 4 + i] = v
+            act_len[gr] = len(r.act_times)
+            busy_until.append(r.busy_until)
+            accounted_to.append(r.accounted_to)
+            next_refresh.append(r.next_refresh)
+            refreshes.append(r.refreshes)
+            rc = r.counters
+            c_act.append(rc.activates)
+            c_rd.append(rc.read_bursts)
+            c_wr.append(rc.write_bursts)
+            c_active.append(rc.cycles_active)
+            c_standby.append(rc.cycles_precharge_standby)
+            c_pdown.append(rc.cycles_powerdown)
+            gr += 1
+    a_bank_ready, ks.bank_ready = i64(bank_ready)
+    a_busy, ks.busy_until = i64(busy_until)
+    a_acct, ks.accounted_to = i64(accounted_to)
+    a_nref, ks.next_refresh = i64(next_refresh)
+    a_refs, ks.refreshes = i64(refreshes)
+    a_cact, ks.c_act = i64(c_act)
+    a_crd, ks.c_rd = i64(c_rd)
+    a_cwr, ks.c_wr = i64(c_wr)
+    a_cactive, ks.c_active = i64(c_active)
+    a_cstandby, ks.c_standby = i64(c_standby)
+    a_cpdown, ks.c_pdown = i64(c_pdown)
+    hold.append(act_ring)
+    ks.act_ring = ffi.cast("int64_t *", act_ring.ctypes.data)
+    a_actlen, ks.act_len = i64(act_len)
+    a_acthead, ks.act_head = i64(np.zeros(n_ranks, dtype=np.int64))
+
+    # -- channel state ------------------------------------------------------------------
+    qes = np.zeros(C * QUEUE_DEPTH * 7, dtype=np.int64)
+    q_len = np.zeros(C, dtype=np.int64)
+    dem_cnt, bg_cnt, draining = [], [], []
+    bus_free, last_w, fastp, issued, refresh_due = [], [], [], [], []
+    from repro.cpu.batchkernel import _pack_key, _unpack_key
+
+    for ci, ch in enumerate(chans):
+        for j, q in enumerate(ch.queue):
+            grq = ci * R + q.rank
+            base = (ci * QUEUE_DEPTH + j) * 7
+            qes[base + 0] = grq
+            qes[base + 1] = grq * B + q.bank
+            qes[base + 2] = _pack_key(q.rank, q.bank, q.row)
+            qes[base + 3] = 1 if q.is_write else 0
+            qes[base + 4] = q.arrive
+            qes[base + 5] = q.tag
+            qes[base + 6] = 1 if q.demand else 0
+        q_len[ci] = len(ch.queue)
+        dem_cnt.append(ch._demand_count)
+        bg_cnt.append(ch._background_count)
+        draining.append(1 if ch._draining else 0)
+        bus_free.append(ch.bus_free)
+        last_w.append(1 if ch.last_was_write else 0)
+        fastp.append(ch.fast_picks)
+        issued.append(ch.issued_requests)
+        refresh_due.append(ch._refresh_due)
+    hold.append(qes)
+    ks.qes = ffi.cast("int64_t *", qes.ctypes.data)
+    a_qlen, ks.q_len = i64(q_len)
+    a_dem, ks.dem_cnt = i64(dem_cnt)
+    a_bg, ks.bg_cnt = i64(bg_cnt)
+    a_drain, ks.draining = i64(draining)
+    a_busf, ks.bus_free = i64(bus_free)
+    a_lastw, ks.last_w = i64(last_w)
+    a_fastp, ks.fast_picks = i64(fastp)
+    a_issued, ks.issued = i64(issued)
+    a_rdue, ks.refresh_due = i64(refresh_due)
+
+    # -- core state ---------------------------------------------------------------------
+    a_done, ks.done = u8([1 if c.done else 0 for c in cores])
+    a_wait, ks.waiting = u8([1 if c.waiting else 0 for c in cores])
+    a_haspend, ks.has_pend = u8([1 if c.pending is not None else 0 for c in cores])
+    a_pendwr, ks.pend_wr = u8(
+        [1 if (c.pending is not None and c.pending[1]) else 0 for c in cores]
+    )
+    a_posted, ks.posted = i64([c.outstanding_posted for c in cores])
+    a_loads, ks.loads = i64([c.outstanding_loads for c in cores])
+    a_instr, ks.instr = i64([c.instructions for c in cores])
+    a_pendaddr, ks.pend_addr = i64(
+        [c.pending[0] if c.pending is not None else 0 for c in cores]
+    )
+    ks.done_cnt = sum(1 for c in cores if c.done)
+
+    # -- trace buffers ------------------------------------------------------------------
+    traces = [c.trace for c in cores]
+    chunk = [512] * n_cores  # doubling prefetch for plain-iterator traces
+
+    def refill(cid):
+        tr = traces[cid]
+        tb = getattr(tr, "take_batch", None)
+        if tb is not None:
+            gaps, lines, writes = tb()
+            if not len(gaps):
+                return False
+            gaps = gaps.astype(np.int64, copy=False)
+            deltas = np.maximum(1, np.ceil(gaps / IPC)).astype(np.int64)
+            wr8 = np.ascontiguousarray(writes, dtype=np.uint8)
+            lines = np.ascontiguousarray(lines, dtype=np.int64)
+        else:
+            items = list(islice(tr, chunk[cid]))
+            if chunk[cid] < 4096:
+                chunk[cid] *= 2
+            if not items:
+                return False
+            g, a, w = zip(*items)
+            gaps = np.asarray(g, dtype=np.int64)
+            lines = np.asarray(a, dtype=np.int64)
+            wr8 = np.asarray(w, dtype=np.uint8)
+            deltas = np.maximum(1, np.ceil(gaps / IPC)).astype(np.int64)
+        hold_bufs[cid] = (gaps, lines, wr8, deltas)
+        ks.buf_gap[cid] = ffi.cast("int64_t *", gaps.ctypes.data)
+        ks.buf_addr[cid] = ffi.cast("int64_t *", lines.ctypes.data)
+        ks.buf_wr[cid] = ffi.cast("uint8_t *", wr8.ctypes.data)
+        ks.buf_dt[cid] = ffi.cast("int64_t *", deltas.ctypes.data)
+        ks.buf_i[cid] = 0
+        ks.buf_n[cid] = len(gaps)
+        return True
+
+    hold_bufs = [None] * n_cores
+    for cid in range(n_cores):
+        ks.buf_i[cid] = 0
+        ks.buf_n[cid] = 0
+
+    # -- heap / snapshots / control -----------------------------------------------------
+    heap_arr = np.zeros(HEAP_CAP * 4, dtype=np.int64)
+    hold.append(heap_arr)
+    ks.h = ffi.cast("int64_t *", heap_arr.ctypes.data)
+    ks.h_len, ks.h_cap = 0, HEAP_CAP
+    ks.seq = sim._seq
+    snap_cnt = np.zeros(6 * n_ranks, dtype=np.int64)
+    hold.append(snap_cnt)
+    ks.snap_cnt = ffi.cast("int64_t *", snap_cnt.ctypes.data)
+    ks.now = sim.now
+    ks.total = 0
+    ks.limit = warmup_instructions
+    ks.target = warmup_instructions + measure_instructions
+    ks.resume_cid = -1
+    ks.resume_now = 0
+    ks.refill_ok = 0
+    ks.snap_taken = 0
+    ks.error = 0
+    ks.accesses_64b = mem.accesses_64b
+    ks.n_data_r = sim.counters.data_reads
+    ks.n_data_w = sim.counters.data_writes
+    ks.n_ecc_r = sim.counters.ecc_reads
+    ks.n_ecc_w = sim.counters.ecc_writes
+
+    # Initial events: one EV_CORE per core, reference push order.
+    for cid in range(n_cores):
+        lib.push_event(ks, 0, 0, cid)
+
+    # -- run, servicing refill requests -------------------------------------------------
+    rc = lib.epoch_run(ks)
+    while rc >= 0:
+        ks.refill_ok = 1 if refill(int(rc)) else 0
+        rc = lib.epoch_run(ks)
+    if rc == -11:
+        raise RuntimeError("channel queue overflow; caller must respect can_accept()")
+    if rc == -12:
+        raise RuntimeError("runaway eviction cascade")
+    if rc == -13:
+        raise RuntimeError("epoch native event heap overflow")
+
+    # -- wind-down: mirror the reference's snapshot/finalize order ----------------------
+    now = int(ks.now)
+    if ks.snap_taken:
+        snap = [snap_cnt[i * n_ranks : (i + 1) * n_ranks].tolist() for i in range(6)]
+        ss = list(ks.snap_scalars)
+        snap_state = dict(
+            instructions=ss[0], cycles=ss[1], accesses=ss[2], hits=ss[3],
+            misses=ss[4], counters=(ss[5], ss[6], ss[7], ss[8]),
+        )
+    else:  # trace shorter than warm-up: measure everything
+        snap = [
+            a_cact.tolist(), a_crd.tolist(), a_cwr.tolist(),
+            a_cactive.tolist(), a_cstandby.tolist(), a_cpdown.tolist(),
+        ]
+        snap_state = dict(
+            instructions=0, cycles=0, accesses=0, hits=0, misses=0,
+            counters=(0, 0, 0, 0),
+        )
+    if rc == -2:
+        es = list(ks.end_scalars)
+    else:
+        es = [
+            int(ks.total), now, int(ks.accesses_64b), int(ks.hits),
+            int(ks.misses), int(ks.n_data_r), int(ks.n_data_w),
+            int(ks.n_ecc_r), int(ks.n_ecc_w),
+        ]
+    end_state = dict(
+        instructions=es[0], cycles=es[1], accesses=es[2], hits=es[3],
+        misses=es[4], counters=(es[5], es[6], es[7], es[8]),
+    )
+
+    # -- export flat state back into the live objects -----------------------------------
+    llc._clock = int(ks.clock)
+    llc._hits = int(ks.hits)
+    llc._misses = int(ks.misses)
+    llc._evictions_dirty = int(ks.evictions_dirty)
+    llc._tags[:] = l_tags.tolist()
+    llc._lru[:] = l_lru.tolist()
+    llc._dirty[:] = l_dirty.view(bool).tolist()
+    llc._kind[:] = [_KINDS[v] for v in l_kind.tolist()]
+    llc._fill[:] = l_fill.tolist()
+    llc._where.clear()
+    live = wh_keys >= 0
+    llc._where.update(zip(wh_keys[live].tolist(), wh_vals[live].tolist()))
+
+    from collections import deque
+
+    gr = 0
+    for ci, ch in enumerate(chans):
+        for r in ch.ranks:
+            r.bank_ready[:] = a_bank_ready[gr * B : (gr + 1) * B].tolist()
+            al, head = int(act_len[gr]), int(a_acthead[gr])
+            r.act_times = deque(
+                (int(act_ring[gr * 4 + ((head + i) & 3)]) for i in range(al)),
+                maxlen=4,
+            )
+            r.busy_until = int(a_busy[gr])
+            r.accounted_to = int(a_acct[gr])
+            r.next_refresh = int(a_nref[gr])
+            r.refreshes = int(a_refs[gr])
+            rcnt = r.counters
+            rcnt.activates = int(a_cact[gr])
+            rcnt.read_bursts = int(a_crd[gr])
+            rcnt.write_bursts = int(a_cwr[gr])
+            rcnt.cycles_active = int(a_cactive[gr])
+            rcnt.cycles_precharge_standby = int(a_cstandby[gr])
+            rcnt.cycles_powerdown = int(a_cpdown[gr])
+            gr += 1
+        ql = int(a_qlen[ci])
+        queue = []
+        pend: "dict[tuple, int]" = {}
+        for j in range(ql):
+            base = (ci * QUEUE_DEPTH + j) * 7
+            rank, bank, row = _unpack_key(int(qes[base + 2]))
+            key = (rank, bank, row)
+            queue.append(
+                MemRequest(
+                    rank=rank, bank=bank, row=row,
+                    is_write=bool(qes[base + 3]),
+                    arrive=int(qes[base + 4]),
+                    tag=int(qes[base + 5]),
+                    demand=bool(qes[base + 6]),
+                )
+            )
+            pend[key] = pend.get(key, 0) + 1
+        ch.queue = queue
+        ch._pending_counts = pend
+        ch._demand_count = int(a_dem[ci])
+        ch._background_count = int(a_bg[ci])
+        ch._draining = bool(a_drain[ci])
+        ch.bus_free = int(a_busf[ci])
+        ch.last_was_write = bool(a_lastw[ci])
+        ch.fast_picks = int(a_fastp[ci])
+        ch.issued_requests = int(a_issued[ci])
+        ch._refresh_due = int(a_rdue[ci])
+    mem.accesses_64b = int(ks.accesses_64b)
+    sim.now = now
+    sim._seq = int(ks.seq)
+    sim.total_instructions = int(ks.total)
+    sim.counters = AccessCounters(
+        int(ks.n_data_r), int(ks.n_data_w), int(ks.n_ecc_r), int(ks.n_ecc_w)
+    )
+    for cid, core in enumerate(cores):
+        core.done = bool(a_done[cid])
+        core.waiting = bool(a_wait[cid])
+        core.outstanding_posted = int(a_posted[cid])
+        core.outstanding_loads = int(a_loads[cid])
+        core.instructions = int(a_instr[cid])
+        core.pending = (
+            (int(a_pendaddr[cid]), bool(a_pendwr[cid]))
+            if a_haspend[cid]
+            else None
+        )
+
+    mem.finalize(now)
+    baseline = [
+        [
+            RankEnergyCounters(
+                activates=snap[0][ci * R + ri],
+                read_bursts=snap[1][ci * R + ri],
+                write_bursts=snap[2][ci * R + ri],
+                cycles_active=snap[3][ci * R + ri],
+                cycles_precharge_standby=snap[4][ci * R + ri],
+                cycles_powerdown=snap[5][ci * R + ri],
+            )
+            for ri in range(R)
+        ]
+        for ci in range(C)
+    ]
+    energy = mem.energy_since(baseline)
+    if obs_armed:
+        sim._emit_run_telemetry(perf_counter() - wall0, int(ks.seq) - seq0)
+    c0 = snap_state["counters"]
+    c1 = end_state["counters"]
+    return SimResult(
+        instructions=end_state["instructions"] - snap_state["instructions"],
+        cycles=end_state["cycles"] - snap_state["cycles"],
+        energy=energy,
+        accesses_64b=end_state["accesses"] - snap_state["accesses"],
+        counters=AccessCounters(
+            data_reads=c1[0] - c0[0],
+            data_writes=c1[1] - c0[1],
+            ecc_reads=c1[2] - c0[2],
+            ecc_writes=c1[3] - c0[3],
+        ),
+        llc_hits=end_state["hits"] - snap_state["hits"],
+        llc_misses=end_state["misses"] - snap_state["misses"],
+    )

@@ -79,6 +79,37 @@ class LLC:
         self._hits = 0
         self._misses = 0
         self._evictions_dirty = 0
+        #: Pristine copies of the flat arrays, built lazily on first reset
+        #: so repeated resets slice-assign instead of reallocating.
+        self._reset_templates: "tuple | None" = None
+
+    def reset(self) -> None:
+        """Return to the post-construction state, reusing the flat arrays.
+
+        Lets an evaluation-matrix cell recycle one LLC across the
+        ``SimSystem`` instances it builds instead of reallocating the
+        ~0.5M-element slot arrays per config.
+        """
+        tmpl = self._reset_templates
+        if tmpl is None:
+            slots = self.n_sets * self.assoc
+            tmpl = self._reset_templates = (
+                [-1] * slots,
+                [0] * slots,
+                [False] * slots,
+                [LineKind.DATA] * slots,
+                [0] * self.n_sets,
+            )
+        self._tags[:] = tmpl[0]
+        self._lru[:] = tmpl[1]
+        self._dirty[:] = tmpl[2]
+        self._kind[:] = tmpl[3]
+        self._fill[:] = tmpl[4]
+        self._where.clear()
+        self._clock = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions_dirty = 0
 
     @property
     def stats(self) -> LLCStats:

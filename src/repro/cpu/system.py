@@ -23,6 +23,7 @@ from typing import Callable, Iterator
 
 from repro import obs
 from repro.cpu.degraded import DegradedMode
+from repro.util import envcfg
 from repro.cpu.ecc_traffic import EccTrafficModel
 from repro.cpu.llc import LLC, Eviction, LineKind
 from repro.dram.power import EnergyBreakdown
@@ -115,32 +116,39 @@ class SimResult:
     llc_hits: int
     llc_misses: int
 
+    # Derived metrics guard their denominators: a zero-instruction run (a
+    # warmup-only budget, or a trace shorter than the warm-up) yields 0.0
+    # for every rate instead of raising or reporting the warm-up residue
+    # as if it were one instruction's worth.
+
     @property
     def epi_nj(self) -> float:
         """Memory energy per instruction, nJ."""
-        return self.energy.total / max(1, self.instructions)
+        return self.energy.total / self.instructions if self.instructions else 0.0
 
     @property
     def dynamic_epi_nj(self) -> float:
-        return self.energy.dynamic / max(1, self.instructions)
+        return self.energy.dynamic / self.instructions if self.instructions else 0.0
 
     @property
     def background_epi_nj(self) -> float:
-        return (self.energy.background + self.energy.refresh) / max(1, self.instructions)
+        if not self.instructions:
+            return 0.0
+        return (self.energy.background + self.energy.refresh) / self.instructions
 
     @property
     def accesses_per_instruction(self) -> float:
         """Fig. 16's metric: 64B accesses per instruction."""
-        return self.accesses_64b / max(1, self.instructions)
+        return self.accesses_64b / self.instructions if self.instructions else 0.0
 
     @property
     def ipc(self) -> float:
-        return self.instructions / max(1, self.cycles)
+        return self.instructions / self.cycles if self.cycles else 0.0
 
     @property
     def bandwidth_gbps(self) -> float:
         """Measured data bandwidth in GB/s (1 cycle = 1 ns)."""
-        return self.accesses_64b * 64 / max(1, self.cycles)
+        return self.accesses_64b * 64 / self.cycles if self.cycles else 0.0
 
 
 class SimSystem:
@@ -354,8 +362,31 @@ class SimSystem:
 
     # -- main loop ----------------------------------------------------------------------------
 
-    def run(self, warmup_instructions: int, measure_instructions: int) -> SimResult:
+    def run(
+        self,
+        warmup_instructions: int,
+        measure_instructions: int,
+        kernel: "str | None" = None,
+    ) -> SimResult:
         """Simulate until the instruction budget is spent; return measured stats.
+
+        *kernel* selects the execution engine: ``"epoch"`` (the batched
+        kernel in :mod:`repro.cpu.batchkernel`, the default) or
+        ``"event"`` (the event-driven reference loop).  Unset, the
+        ``REPRO_SIM_KERNEL`` knob decides.  Both produce bit-identical
+        results; a system whose event heap is already populated (an
+        interrupted or resumed run) always takes the reference loop, the
+        one serialization the batched kernel does not model.
+        """
+        kernel = envcfg.sim_kernel(kernel)
+        if kernel == "epoch" and not self._heap:
+            from repro.cpu import batchkernel  # lazy: batchkernel imports this module
+
+            return batchkernel.run_epoch(self, warmup_instructions, measure_instructions)
+        return self._run_reference(warmup_instructions, measure_instructions)
+
+    def _run_reference(self, warmup_instructions: int, measure_instructions: int) -> SimResult:
+        """The event-driven oracle loop (``REPRO_SIM_KERNEL=event``).
 
         With ``REPRO_OBS=sim`` armed, one ``sim.run`` event (events/sec,
         LLC hit/miss, channel fast-pick rate) is emitted per run — the

@@ -22,6 +22,20 @@ class DramCoord(NamedTuple):
     row: int
 
 
+#: Process-wide decode memos, keyed by the mapping's defining parameters.
+#: The mapping is a pure function of those parameters, so every
+#: ``AddressMapping`` (and hence every ``SimSystem``) with the same
+#: geometry shares one coordinate table instead of re-decoding the
+#: workload footprint per config cell of an evaluation matrix.
+_SHARED_TABLES: "dict[tuple, dict]" = {}
+
+#: Same idea for the epoch kernel's packed-decode memo
+#: (addr -> (channel, global_rank, global_bank, packed_key)); keyed
+#: additionally by the channel bank count because the flat global-bank
+#: index depends on the memory system's geometry, not only the mapping's.
+_PACKED_TABLES: "dict[tuple, dict]" = {}
+
+
 @dataclass(frozen=True)
 class AddressMapping:
     """Page-interleaved channel mapping with a configurable intra-channel policy.
@@ -45,8 +59,9 @@ class AddressMapping:
     hot_arena_base_line: "int | None" = None
     hot_ranks: int = 1
     #: Decode memo: the mapping is a pure function of the address and the
-    #: timing plane re-maps the same LLC-footprint lines millions of times,
-    #: so each instance caches its decoded coordinates.
+    #: timing plane re-maps the same LLC-footprint lines millions of times.
+    #: Shared across instances with identical parameters via
+    #: :data:`_SHARED_TABLES` (see ``__post_init__``).
     _coord_cache: "dict[int, DramCoord]" = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -58,6 +73,35 @@ class AddressMapping:
             0 < self.hot_ranks < self.ranks_per_channel
         ):
             raise ValueError("hot_ranks must leave at least one cold rank")
+        key = self._table_key()
+        cache = _SHARED_TABLES.get(key)
+        if cache is None:
+            cache = _SHARED_TABLES[key] = {}
+        object.__setattr__(self, "_coord_cache", cache)
+
+    def _table_key(self) -> tuple:
+        return (
+            self.channels,
+            self.ranks_per_channel,
+            self.banks_per_rank,
+            self.line_size,
+            self.page_size,
+            self.policy,
+            self.hot_arena_base_line,
+            self.hot_ranks,
+        )
+
+    def packed_cache(self, channel_banks: int) -> "dict[int, tuple]":
+        """The shared packed-decode memo used by ``repro.cpu.batchkernel``.
+
+        *channel_banks* (banks per rank of the owning memory system) is
+        part of the key because the packed global-bank index depends on it.
+        """
+        key = self._table_key() + (channel_banks,)
+        table = _PACKED_TABLES.get(key)
+        if table is None:
+            table = _PACKED_TABLES[key] = {}
+        return table
 
     @property
     def lines_per_page(self) -> int:

@@ -69,8 +69,32 @@ class RunSpec:
         return adaptive_instructions(self.workload)
 
 
-def build_system(spec: RunSpec) -> SimSystem:
-    """Construct the full simulated system for a run specification."""
+#: Per-process LLC pool keyed by (size_bytes, line_size): an evaluation
+#: matrix runs one cell at a time per worker, so consecutive cells with the
+#: same cache geometry recycle one LLC via :meth:`LLC.reset` (slice-assign
+#: over the cached flat arrays) instead of reallocating ~0.5M slot entries
+#: per config.  Address-mapping decode tables are likewise shared across
+#: ``SimSystem`` instances (see ``repro.dram.mapping._SHARED_TABLES``).
+_LLC_POOL: "dict[tuple[int, int], LLC]" = {}
+
+
+def _pooled_llc(size_bytes: int, line_size: int) -> LLC:
+    key = (size_bytes, line_size)
+    llc = _LLC_POOL.get(key)
+    if llc is None:
+        llc = _LLC_POOL[key] = LLC(size_bytes=size_bytes, line_size=line_size)
+    else:
+        llc.reset()
+    return llc
+
+
+def build_system(spec: RunSpec, reuse_llc: bool = False) -> SimSystem:
+    """Construct the full simulated system for a run specification.
+
+    With *reuse_llc* the LLC comes from the per-process pool (reset, not
+    reallocated) - only safe when at most one system built this way is
+    live at a time, which holds for the sequential :func:`run` path.
+    """
     scheme = spec.config.make_scheme()
     mem = MemorySystem(
         MemorySystemConfig(
@@ -91,13 +115,22 @@ def build_system(spec: RunSpec) -> SimSystem:
         seed=spec.seed,
         footprint_scale=spec.scale,
     )
-    llc = LLC(size_bytes=(8 << 20) // spec.scale, line_size=scheme.line_size)
+    size_bytes = (8 << 20) // spec.scale
+    if reuse_llc:
+        llc = _pooled_llc(size_bytes, scheme.line_size)
+    else:
+        llc = LLC(size_bytes=size_bytes, line_size=scheme.line_size)
     return SimSystem(mem, traces, ecc_model, llc=llc)
 
 
 def run(spec: RunSpec) -> SimResult:
-    """Execute one simulation and return the measured-phase result."""
-    system = build_system(spec)
+    """Execute one simulation and return the measured-phase result.
+
+    The timing kernel (epoch-batched vs event-driven reference) follows
+    ``REPRO_SIM_KERNEL``; results are bit-identical either way, so the
+    evaluation-matrix cache needs no kernel key.
+    """
+    system = build_system(spec, reuse_llc=True)
     return system.run(spec.resolved_warmup, spec.resolved_measure)
 
 

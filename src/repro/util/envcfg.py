@@ -107,6 +107,33 @@ def task_timeout(explicit: "float | None" = None) -> "float | None":
     return value or None
 
 
+def sim_kernel(explicit: "str | None" = None) -> str:
+    """Resolve the timing-simulation kernel: ``epoch`` (batched, default)
+    or ``event`` (the event-driven reference loop).
+
+    An explicit caller argument wins; otherwise ``REPRO_SIM_KERNEL``
+    applies.  Anything else raises eagerly.
+    """
+    value = explicit if explicit is not None else os.environ.get("REPRO_SIM_KERNEL", "")
+    value = value.strip() or "epoch"
+    if value not in ("event", "epoch"):
+        raise ValueError(f"REPRO_SIM_KERNEL must be 'event' or 'epoch', got {value!r}")
+    return value
+
+
+def sim_native(explicit: "str | None" = None) -> str:
+    """Resolve the epoch kernel's compiled-core policy: ``auto`` (default,
+    use the cffi core when the configuration is eligible and a compiler is
+    available), ``off`` (always the Python epoch loop), or ``on`` (require
+    the compiled core; error out rather than fall back).
+    """
+    value = explicit if explicit is not None else os.environ.get("REPRO_SIM_NATIVE", "")
+    value = value.strip() or "auto"
+    if value not in ("auto", "off", "on"):
+        raise ValueError(f"REPRO_SIM_NATIVE must be 'auto', 'off' or 'on', got {value!r}")
+    return value
+
+
 def task_retries(explicit: "int | None" = None) -> int:
     """Resolve the per-task retry budget (``REPRO_TASK_RETRIES``, default
     :data:`DEFAULT_TASK_RETRIES`).  ``0`` means a single attempt."""
@@ -215,6 +242,20 @@ register(
     "unset (full budgets)",
     "shrink benchmark budgets so benchmarks/ finishes in CI-scale time",
     lambda: "quick" if os.environ.get("REPRO_BENCH_QUICK") else "full",
+)
+register(
+    "REPRO_SIM_KERNEL",
+    "event|epoch",
+    "epoch",
+    "timing-simulation kernel: epoch-batched fast path or the event-driven reference",
+    lambda: sim_kernel(),
+)
+register(
+    "REPRO_SIM_NATIVE",
+    "auto|off|on",
+    "auto",
+    "epoch kernel's compiled core: auto-detect, disable, or require (no fallback)",
+    lambda: sim_native(),
 )
 register(
     "REPRO_OBS",

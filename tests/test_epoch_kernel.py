@@ -1,0 +1,380 @@
+"""Epoch-batched kernel vs the event-driven oracle: bit-identity tests.
+
+The contract under test (ISSUE 5 tentpole): ``repro.cpu.batchkernel``
+must produce *bit-identical* results to ``SimSystem._run_reference`` -
+not just the measured-phase ``SimResult``, but the complete post-run
+system state (LLC arrays, per-rank timing/energy counters, channel
+queues, core state, event sequence numbers).  The same bar applies to
+the compiled core in ``repro.cpu.epochnative``, which is checked here
+both ways: forced off (pure-Python epoch loop) and in its default
+``auto`` dispatch.
+
+Coverage is a scenario matrix over schemes, channel counts, mapping
+policies, ECC-parity wrap, degraded mode (fault states), scrubbing,
+bursts and IPC windows, plus a seeded random property sweep and a
+chaos-armed evaluation-matrix run proving serial == parallel == epoch.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+import repro.experiments.evaluation as ev
+from repro.cpu import epochnative
+from repro.cpu.batchkernel import run_epoch
+from repro.cpu.degraded import DegradedMode
+from repro.cpu.ecc_traffic import EccTrafficModel
+from repro.cpu.llc import LLC
+from repro.cpu.system import ScrubConfig, SimSystem
+from repro.dram.system import MemorySystem, MemorySystemConfig
+from repro.ecc import Chipkill18, Chipkill36, LotEcc5, LotEcc9, MultiEcc
+from repro.experiments.evaluation import Fidelity, evaluation_matrix
+from repro.util import chaos, envcfg
+from repro.workloads.generator import TraceStream, make_core_traces
+from repro.workloads.profiles import ALL_WORKLOADS, WORKLOADS_BY_NAME
+
+PROFILES = {w.name: w for w in ALL_WORKLOADS}
+
+SCHEMES = {
+    "ck36": Chipkill36,
+    "ck18": Chipkill18,
+    "lot9": LotEcc9,
+    "lot5": LotEcc5,
+    "multi": MultiEcc,
+}
+
+
+def build(scheme, traces, channels=2, ranks=1, ecc_parity=None, degraded=None,
+          scrub=None, load_mlp=1, policy="interleave", cache_ecc_lines=True,
+          llc_bytes=64 * 1024):
+    mem = MemorySystem(
+        MemorySystemConfig(
+            channels=channels,
+            ranks_per_channel=ranks,
+            chip_widths=scheme.chip_widths(),
+            line_size=scheme.line_size,
+            mapping_policy=policy,
+        )
+    )
+    model = EccTrafficModel.for_scheme(scheme, ecc_parity)
+    if not cache_ecc_lines:
+        model = dataclasses.replace(model, cache_ecc_lines=False)
+    llc = LLC(size_bytes=llc_bytes, line_size=scheme.line_size)
+    return SimSystem(mem, traces, model, llc=llc, degraded=degraded,
+                     scrub=scrub, load_mlp=load_mlp)
+
+
+def state_of(sim):
+    """Complete observable post-run state, for exact comparison."""
+    st = {
+        "now": sim.now,
+        "seq": sim._seq,
+        "total": sim.total_instructions,
+        "counters": dataclasses.astuple(sim.counters),
+        "acc64": sim.mem.accesses_64b,
+        "llc": (sim.llc._clock, sim.llc._hits, sim.llc._misses,
+                sim.llc._evictions_dirty),
+        "llc_where": dict(sim.llc._where),
+        "llc_tags": list(sim.llc._tags),
+        "llc_lru": list(sim.llc._lru),
+        "llc_dirty": list(sim.llc._dirty),
+        "llc_kind": [int(k) for k in sim.llc._kind],
+        "llc_fill": list(sim.llc._fill),
+        "scrub": (sim._scrub_cursor, sim.scrub_reads),
+        "cores": [
+            (c.done, c.waiting, c.outstanding_posted, c.outstanding_loads,
+             c.instructions, c.pending)
+            for c in sim.cores
+        ],
+        "window": list(sim._window_instr),
+    }
+    for ci, ch in enumerate(sim.mem.channels):
+        st[f"ch{ci}"] = (
+            [(q.rank, q.bank, q.row, q.is_write, q.arrive, q.tag, q.demand)
+             for q in ch.queue],
+            dict(ch._pending_counts), ch._demand_count, ch._background_count,
+            ch._draining, ch.bus_free, ch.last_was_write, ch.fast_picks,
+            ch.issued_requests, ch._refresh_due,
+        )
+        for ri, r in enumerate(ch.ranks):
+            st[f"ch{ci}r{ri}"] = (
+                list(r.bank_ready), list(r.act_times), r.busy_until,
+                r.accounted_to, r.next_refresh, r.refreshes,
+                dataclasses.astuple(r.counters),
+            )
+    return st
+
+
+def res_of(res):
+    return {
+        "instructions": res.instructions,
+        "cycles": res.cycles,
+        "accesses_64b": res.accesses_64b,
+        "counters": dataclasses.astuple(res.counters),
+        "llc": (res.llc_hits, res.llc_misses),
+        "energy": dataclasses.astuple(res.energy),
+    }
+
+
+def assert_identical(mk, warmup, measure, monkeypatch, bursts=(), ipc_window=None):
+    """Reference vs epoch (native off, then auto) - full-state bit identity."""
+
+    def prepared():
+        sim = mk()
+        for b in bursts:
+            sim.schedule_burst(*b)
+        if ipc_window:
+            sim.ipc_window = ipc_window
+        return sim
+
+    ref = prepared()
+    r_ref = ref._run_reference(warmup, measure)
+    want_res, want_state = res_of(r_ref), state_of(ref)
+
+    for native in ("off", "auto"):
+        monkeypatch.setenv("REPRO_SIM_NATIVE", native)
+        epo = prepared()
+        r_epo = run_epoch(epo, warmup, measure)
+        assert res_of(r_epo) == want_res, f"SimResult diverged (native={native})"
+        got = state_of(epo)
+        for key in want_state:
+            assert got[key] == want_state[key], f"state[{key}] diverged (native={native})"
+
+
+def wl_traces(wl_name, seed, cores=4, scale=64, line=64):
+    return make_core_traces(PROFILES[wl_name], cores=cores, llc_block_bytes=line,
+                            seed=seed, footprint_scale=scale)
+
+
+class TestKernelIdentityScenarios:
+    def test_tiny_synthetic_trace(self, monkeypatch):
+        assert_identical(
+            lambda: build(Chipkill18(),
+                          [iter([(10, 5, False), (8, 6, True), (4, 999, False)])]),
+            0, 1000, monkeypatch)
+
+    @pytest.mark.parametrize("tag", sorted(SCHEMES))
+    def test_scheme_sweep(self, tag, monkeypatch):
+        scheme = SCHEMES[tag]()
+        assert_identical(
+            lambda: build(scheme, wl_traces("mcf", 1, line=scheme.line_size)),
+            2000, 6000, monkeypatch)
+
+    def test_ecc_parity_wrap(self, monkeypatch):
+        assert_identical(
+            lambda: build(LotEcc5(), wl_traces("lbm", 2, line=LotEcc5().line_size),
+                          channels=4, ecc_parity=4),
+            2000, 6000, monkeypatch)
+
+    def test_uncached_xor_lines(self, monkeypatch):
+        assert_identical(
+            lambda: build(MultiEcc(), wl_traces("milc", 3), cache_ecc_lines=False),
+            1000, 5000, monkeypatch)
+
+    def test_degraded_mode_fault_state(self, monkeypatch):
+        deg = DegradedMode(frozenset({(0, 0, 0), (1, 0, 3)}), ecc_line_coverage=2)
+        assert_identical(
+            lambda: build(Chipkill18(), wl_traces("mcf", 4), degraded=deg),
+            1000, 5000, monkeypatch)
+
+    def test_patrol_scrub(self, monkeypatch):
+        assert_identical(
+            lambda: build(LotEcc5(), wl_traces("omnetpp", 5, line=LotEcc5().line_size),
+                          scrub=ScrubConfig(interval_cycles=500, region_lines=4096)),
+            1000, 5000, monkeypatch)
+
+    def test_bursts_and_ipc_window(self, monkeypatch):
+        assert_identical(
+            lambda: build(Chipkill36(), wl_traces("mcf", 6)),
+            0, 6000, monkeypatch,
+            bursts=[(100, 200, 100, 1 << 30), (5000, 64, 64, 1 << 31)],
+            ipc_window=1000)
+
+    def test_load_mlp_single_channel_multi_rank(self, monkeypatch):
+        assert_identical(
+            lambda: build(Chipkill18(), wl_traces("libquantum", 7), channels=1,
+                          ranks=2, load_mlp=4),
+            1000, 5000, monkeypatch)
+
+    def test_sequential_mapping(self, monkeypatch):
+        assert_identical(
+            lambda: build(Chipkill18(), wl_traces("streamcluster", 8),
+                          policy="sequential"),
+            1000, 5000, monkeypatch)
+
+    def test_trace_shorter_than_warmup(self, monkeypatch):
+        assert_identical(
+            lambda: build(Chipkill18(),
+                          [iter([(10, i, i % 3 == 0) for i in range(20)])]),
+            1_000_000, 1_000_000, monkeypatch)
+
+    def test_empty_traces(self, monkeypatch):
+        assert_identical(lambda: build(Chipkill18(), [iter([])]), 0, 100, monkeypatch)
+
+    def test_budget_crossed_in_one_gap(self, monkeypatch):
+        """Warm-up and stop thresholds crossed by a single instruction gap."""
+        assert_identical(
+            lambda: build(Chipkill18(),
+                          [iter([(5000, i, False) for i in range(50)])]),
+            100, 50, monkeypatch)
+
+
+class TestKernelIdentityProperty:
+    """Seeded random sweep: profiles x geometry x fault states x seeds."""
+
+    CASES = 8
+
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_random_config(self, case, monkeypatch):
+        rng = random.Random(0xECC0 + case)
+        scheme = SCHEMES[rng.choice(sorted(SCHEMES))]()
+        profile = rng.choice(sorted(PROFILES))
+        channels = rng.choice([1, 2, 4])
+        ranks = rng.choice([1, 2])
+        degraded = None
+        scrub = None
+        if rng.random() < 0.3:
+            faulty = frozenset(
+                (rng.randrange(channels), rng.randrange(ranks), rng.randrange(8))
+                for _ in range(rng.randint(1, 3))
+            )
+            degraded = DegradedMode(faulty, ecc_line_coverage=rng.choice([1, 2, 4]))
+        elif rng.random() < 0.3:
+            scrub = ScrubConfig(
+                interval_cycles=rng.choice([300, 900]),
+                region_lines=rng.choice([1024, 8192]),
+            )
+        kw = dict(
+            channels=channels,
+            ranks=ranks,
+            ecc_parity=channels if channels >= 3 and rng.random() < 0.5 else None,
+            degraded=degraded,
+            scrub=scrub,
+            load_mlp=rng.choice([1, 2, 4]),
+            policy=rng.choice(["interleave", "sequential"]),
+            cache_ecc_lines=rng.random() < 0.8,
+        )
+        seed = rng.randrange(1 << 16)
+        cores = rng.choice([1, 2, 4])
+        warmup = rng.choice([0, 500, 2000])
+        measure = rng.choice([2000, 5000])
+        assert_identical(
+            lambda: build(scheme, wl_traces(profile, seed, cores=cores,
+                                            line=scheme.line_size), **kw),
+            warmup, measure, monkeypatch)
+
+
+class TestNativeCore:
+    def test_native_engages_for_common_case(self, monkeypatch):
+        """The compiled core must actually dispatch on the standard shape."""
+        monkeypatch.setenv("REPRO_SIM_NATIVE", "auto")
+        sim = build(Chipkill18(), wl_traces("mcf", 0))
+        if not epochnative.available():
+            pytest.skip("no C toolchain in this environment")
+        assert epochnative.eligible(sim)
+        assert epochnative.wants_native(sim)
+
+    def test_native_off_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_NATIVE", "off")
+        sim = build(Chipkill18(), wl_traces("mcf", 0))
+        assert not epochnative.wants_native(sim)
+
+    def test_native_on_rejects_ineligible_config(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_NATIVE", "on")
+        deg = DegradedMode(frozenset({(0, 0, 0)}), ecc_line_coverage=2)
+        sim = build(Chipkill18(), wl_traces("mcf", 0), degraded=deg)
+        with pytest.raises(RuntimeError, match="REPRO_SIM_NATIVE=on"):
+            epochnative.wants_native(sim)
+
+    def test_scalar_fallback_cases_are_ineligible(self):
+        """Serializing features must route to the Python epoch loop."""
+        deg = DegradedMode(frozenset({(0, 0, 0)}), ecc_line_coverage=2)
+        for kw in (dict(degraded=deg),
+                   dict(scrub=ScrubConfig(interval_cycles=500, region_lines=1024)),
+                   dict(cache_ecc_lines=False)):
+            assert not epochnative.eligible(
+                build(MultiEcc(), wl_traces("mcf", 0), **kw))
+        burst_sim = build(Chipkill18(), wl_traces("mcf", 0))
+        burst_sim.schedule_burst(10, 4, 4, 1 << 30)
+        assert not epochnative.eligible(burst_sim)
+        window_sim = build(Chipkill18(), wl_traces("mcf", 0))
+        window_sim.ipc_window = 100
+        assert not epochnative.eligible(window_sim)
+
+    @pytest.mark.parametrize("bad", ["never", "1", "EPOCH"])
+    def test_knob_rejects_garbage(self, bad, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_NATIVE", bad)
+        with pytest.raises(ValueError):
+            envcfg.sim_native()
+
+    def test_knob_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_NATIVE", raising=False)
+        assert envcfg.sim_native() == "auto"
+
+
+class TestTraceBatchEquivalence:
+    """take_batch (epoch refill) vs per-item next() on the same RNG stream."""
+
+    @pytest.mark.parametrize("wl,hot_arena", [("mcf", False), ("lbm", True),
+                                              ("canneal", False)])
+    def test_batches_match_items(self, wl, hot_arena):
+        n = 10_000
+        a, b = (
+            make_core_traces(PROFILES[wl], cores=1, seed=7,
+                             footprint_scale=64, hot_arena=hot_arena)[0]
+            for _ in range(2)
+        )
+        items = [next(a) for _ in range(n)]
+        batched = []
+        while len(batched) < n:
+            gaps, lines, writes = b.take_batch()
+            batched.extend(zip(gaps.tolist(), lines.tolist(), writes.tolist()))
+        assert batched[:n] == items
+
+    def test_interleaved_consumption(self):
+        """A mix of next() and take_batch() yields one unbroken stream."""
+        a, b = (
+            make_core_traces(PROFILES["mcf"], cores=1, seed=3,
+                             footprint_scale=64)[0]
+            for _ in range(2)
+        )
+        ref = [next(a) for _ in range(9000)]
+        mixed = [next(b) for _ in range(10)]
+        while len(mixed) < 9000:
+            gaps, lines, writes = b.take_batch()
+            mixed.extend(zip(gaps.tolist(), lines.tolist(), writes.tolist()))
+            for _ in range(3):
+                mixed.append(next(b))
+        assert mixed[:9000] == ref
+
+
+TINY = Fidelity("tiny", scale=64, access_target=4000)
+CELLS = dict(workloads=["streamcluster", "sjeng"],
+             config_keys=["chipkill18", "lot_ecc5_ep"])
+
+
+class TestMatrixKernelIdentity:
+    def test_chaos_armed_serial_parallel_epoch_identical(self, tmp_path, monkeypatch):
+        """Event-serial == epoch-serial == epoch-parallel-under-chaos.
+
+        The parallel sweep runs with an injected worker crash (recovered
+        by the retry engine), so this simultaneously proves kernel
+        identity end-to-end through the evaluation matrix and that chaos
+        recovery does not perturb results.
+        """
+        monkeypatch.setattr(ev, "CACHE_DIR", tmp_path / "event")
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "event")
+        serial_event = evaluation_matrix("quad", fidelity=TINY, jobs=1, **CELLS)
+
+        monkeypatch.setattr(ev, "CACHE_DIR", tmp_path / "epoch")
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "epoch")
+        serial_epoch = evaluation_matrix("quad", fidelity=TINY, jobs=1, **CELLS)
+
+        monkeypatch.setattr(ev, "CACHE_DIR", tmp_path / "par")
+        monkeypatch.setenv(chaos.ENV_VAR, "crash@1")
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel_epoch = evaluation_matrix("quad", fidelity=TINY, **CELLS)
+
+        assert serial_epoch == serial_event
+        assert parallel_epoch == serial_event
