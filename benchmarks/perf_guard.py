@@ -12,6 +12,12 @@ regression and the guard exits non-zero.  A metric is skipped - loudly,
 not silently - when either side is missing or when ``quick_mode``
 differs between the fresh run and the baseline, since quick and full
 budgets are not comparable.
+
+A second table, ``FLOORS``, holds absolute minimums (currently: the
+parallel evaluation sweep must beat the serial one).  Those are checked
+against the fresh numbers alone regardless of quick mode; the only
+exemption - loud, like every other skip - is a run whose recorded
+``cpus`` could not physically host its ``jobs`` workers in parallel.
 """
 
 import argparse
@@ -30,6 +36,17 @@ GUARDED = [
     ("BENCH_simloop_throughput.json", "single_sim_event", "events_per_sec"),
     ("BENCH_simloop_throughput.json", "single_sim_epoch", "events_per_sec"),
     ("BENCH_mc_throughput.json", "fig8_mc", "batched_trials_per_sec"),
+]
+
+#: (file, section, field, floor) absolute minimums, checked against the
+#: fresh run only - no baseline, no quick_mode exemption.  These encode
+#: invariants that must hold wherever the measurement is physically
+#: meaningful: the parallel sweep may never be slower than the serial
+#: one.  A floor is skipped - loudly - when the section's recorded
+#: ``cpus`` is smaller than its ``jobs``, since workers time-sharing one
+#: core cannot beat a serial run.
+FLOORS = [
+    ("BENCH_simloop_throughput.json", "matrix_sweep", "speedup", 1.0),
 ]
 
 DEFAULT_TOLERANCE_PCT = 15.0
@@ -82,6 +99,26 @@ def check(ref: str = "HEAD", tolerance_pct: float = DEFAULT_TOLERANCE_PCT) -> "l
             failures.append(
                 f"{label} regressed: {fresh[field]:,} < {floor:,.0f} "
                 f"(baseline {base[field]:,} at {ref}, tolerance {tolerance_pct:g}%)"
+            )
+    for filename, section, field, floor in FLOORS:
+        label = f"{filename}:{section}.{field}"
+        fresh_path = RESULTS / filename
+        if not fresh_path.exists():
+            print(f"SKIP {label}: no fresh results file")
+            continue
+        fresh = json.loads(fresh_path.read_text()).get(section, {})
+        if field not in fresh:
+            print(f"SKIP {label}: field missing (fresh)")
+            continue
+        cpus, jobs = fresh.get("cpus"), fresh.get("jobs")
+        if cpus is not None and jobs is not None and cpus < jobs:
+            print(f"SKIP {label}: {jobs} workers on {cpus} cpu(s), floor not meaningful")
+            continue
+        verdict = "FAIL" if fresh[field] < floor else "ok"
+        print(f"{verdict:>4} {label}: fresh={fresh[field]} absolute floor={floor}")
+        if fresh[field] < floor:
+            failures.append(
+                f"{label} below absolute floor: {fresh[field]} < {floor}"
             )
     return failures
 

@@ -8,13 +8,13 @@ identical loop to machine code with :mod:`cffi` (the toolchain ships in
 the base image; nothing is downloaded) and runs it over flat int64 NumPy
 state, dropping per-event cost by more than an order of magnitude.
 
-Scope: the native loop covers the *common* simulation shape - no patrol
-scrub, no one-shot bursts, no degraded mode, no per-window IPC tracking,
-cached (or inline) ECC state, and a mapping whose geometry matches the
-memory system.  Anything else falls back to the Python epoch loop, which
-handles every configuration.  Both paths are bit-identical to the
-event-driven reference; ``tests/test_epoch_kernel.py`` pins each against
-the oracle.
+Scope: the native loop covers the common simulation shapes including
+patrol scrubbing and degraded (faulty-bank) mode - excluded are one-shot
+bursts, per-window IPC tracking, uncached ECC state, and mappings whose
+geometry differs from the memory system.  Anything else falls back to
+the Python epoch loop, which handles every configuration.  Both paths
+are bit-identical to the event-driven reference;
+``tests/test_epoch_kernel.py`` pins each against the oracle.
 
 Build model: the C source below is compiled once per source hash into
 ``src/repro/cpu/_native/`` (gitignored) and memoized process-wide.
@@ -110,6 +110,11 @@ typedef struct {
     int64_t snap_scalars[9], end_scalars[9];
     /* counters */
     int64_t accesses_64b, n_data_r, n_data_w, n_ecc_r, n_ecc_w;
+    /* patrol scrub */
+    int64_t scrub_interval, scrub_region, scrub_cursor, scrub_reads;
+    /* degraded mode: faulty-bank bitmap + materialized-ECC constants */
+    int64_t mat_on, mat_cov, mat_base;
+    uint8_t *faulty;
 } KS;
 
 void push_event(KS *k, int64_t t, int64_t kind, int64_t payload);
@@ -157,6 +162,9 @@ typedef struct {
     int64_t *snap_cnt;
     int64_t snap_scalars[9], end_scalars[9];
     int64_t accesses_64b, n_data_r, n_data_w, n_ecc_r, n_ecc_w;
+    int64_t scrub_interval, scrub_region, scrub_cursor, scrub_reads;
+    int64_t mat_on, mat_cov, mat_base;
+    uint8_t *faulty;
 } KS;
 
 /* tag codes (mirror repro.cpu.system) */
@@ -169,9 +177,11 @@ typedef struct {
 #define TAG_ECCWB_   5
 #define TAG_ECCRMW_  6
 #define TAG_ECCFILL_ 7
+#define TAG_SCRUB_   8
 
 #define EV_CORE_   0
 #define EV_ACCESS_ 1
+#define EV_SCRUB_  3
 #define EV_CHAN_   4
 
 #define KIND_DATA_ 0
@@ -445,6 +455,26 @@ static int64_t llc_access(KS *k, int64_t addr, int64_t kind, int64_t make_dirty,
     return has_ev ? -1 : 0;
 }
 
+/* -- degraded mode (faulty banks -> materialized ECC lines) ---------------- */
+
+static inline int is_faulty(KS *k, int64_t addr) {
+    if (!k->mat_on) return 0;
+    int64_t ci, gr, gb, pk;
+    decode(k, addr, &ci, &gr, &gb, &pk);
+    return k->faulty[gb];
+}
+
+/* DegradedMode materialized-ECC line touch: LLC access (KIND_ECC) plus an
+   ECCFILL memory read on miss; returns the llc_access result so the caller
+   can cascade the (dirty) victim exactly like the Python oracle. */
+static int64_t touch_mat(KS *k, int64_t addr, int64_t dirty, int64_t now,
+                         int64_t *ev_a, int64_t *ev_k, int64_t *ev_d) {
+    int64_t ea = k->mat_base + addr / k->mat_cov;
+    int64_t r = llc_access(k, ea, KIND_ECC_, dirty, ev_a, ev_k, ev_d);
+    if (r != 1) enqueue(k, ea, 0, TAG_ECCFILL_, now);
+    return r;
+}
+
 /* -- eviction cascade (SimSystem._handle_eviction) ------------------------- */
 
 static void cascade(KS *k, int64_t va, int64_t vk, int64_t vd, int64_t now) {
@@ -459,7 +489,14 @@ static void cascade(KS *k, int64_t va, int64_t vk, int64_t vd, int64_t now) {
         if (kk == KIND_DATA_) {
             enqueue(k, a, 1, TAG_WB_, now);
             if (k->error) return;
-            if (k->ecc_mode != 0) {
+            if (is_faulty(k, a)) {
+                int64_t ev_a, ev_k, ev_d;
+                int64_t r = touch_mat(k, a, 1, now, &ev_a, &ev_k, &ev_d);
+                if (k->error) return;
+                if (r == -1) {
+                    st_a[sp] = ev_a; st_k[sp] = ev_k; st_d[sp] = ev_d; sp++;
+                }
+            } else if (k->ecc_mode != 0) {
                 int64_t ea = ecc_addr(k, a);
                 int64_t ev_a, ev_k, ev_d;
                 if (llc_access(k, ea, k->ecc_insert_kind, 1,
@@ -539,6 +576,15 @@ static void access_event(KS *k, int64_t now, int64_t cid) {
     if (r == -1 && ev_d) {
         cascade(k, ev_a, ev_k, ev_d, now);
         if (k->error) return;
+    }
+    if (is_faulty(k, addr)) {
+        int64_t ma, mk, md;
+        int64_t mr = touch_mat(k, addr, 0, now, &ma, &mk, &md);
+        if (k->error) return;
+        if (mr == -1 && md) {
+            cascade(k, ma, mk, md, now);
+            if (k->error) return;
+        }
     }
     int64_t tag, wake;
     if (is_write && k->posted[cid] < k->POSTED_CAP) {
@@ -643,6 +689,17 @@ static void chan_event(KS *k, int64_t now, int64_t ci) {
     }
 }
 
+static void scrub_event(KS *k, int64_t now) {
+    if (k->done_cnt < k->n_cores) {
+        int64_t addr = k->scrub_cursor % k->scrub_region;
+        k->scrub_cursor++;
+        k->scrub_reads++;
+        enqueue(k, addr, 0, TAG_SCRUB_, now);
+        if (k->error) return;
+        hpush(k, now + k->scrub_interval, EV_SCRUB_, 0);
+    }
+}
+
 /* -- snapshots -------------------------------------------------------------- */
 
 static void take_counts(KS *k, int64_t *dst, int64_t upto, int64_t do_account) {
@@ -706,8 +763,10 @@ int64_t epoch_run(KS *k) {
                 return payload;
             }
             core_event(k, t, payload);
-        } else {  /* EV_ACCESS_ */
+        } else if (kind == EV_ACCESS_) {
             access_event(k, t, payload);
+        } else {  /* EV_SCRUB_ */
+            scrub_event(k, t);
         }
         if (k->error) return -10 - k->error;
     }
@@ -782,8 +841,6 @@ def native_mode() -> str:
 
 def eligible(sim) -> bool:
     """True when *sim*'s configuration fits the native loop's scope."""
-    if sim.scrub is not None or sim.degraded is not None:
-        return False
     if sim._bursts or sim.ipc_window:
         return False
     eccm = sim.ecc_model
@@ -817,8 +874,8 @@ def wants_native(sim) -> bool:
         if mode == "on":
             raise RuntimeError(
                 "REPRO_SIM_NATIVE=on but this configuration needs the "
-                "Python epoch loop (scrub/bursts/degraded/uncached-ECC/"
-                "ipc_window or mismatched mapping geometry)"
+                "Python epoch loop (bursts/uncached-ECC/ipc_window or "
+                "mismatched mapping geometry)"
             )
         return False
     if not available():
@@ -913,6 +970,42 @@ def run_native(sim, warmup_instructions: int, measure_instructions: int) -> SimR
     ks.ecc_insert_kind = int(
         LineKind.ECC if eccm.kind == EccTraffic.ECC_LINE else LineKind.XOR
     )
+
+    # -- patrol scrub / degraded-mode state ---------------------------------------------
+    scrub = sim.scrub
+    if scrub is not None:
+        ks.scrub_interval = scrub.interval_cycles
+        ks.scrub_region = scrub.region_lines
+    else:
+        ks.scrub_interval = ks.scrub_region = 1
+    ks.scrub_cursor = sim._scrub_cursor
+    ks.scrub_reads = sim.scrub_reads
+    degraded = sim.degraded
+    faulty_gb = set()
+    if degraded is not None:
+        faulty_gb = {
+            (c * R + r) * B + b
+            for (c, r, b) in degraded.faulty_banks
+            if c < C and r < R and b < B
+        }
+    if faulty_gb:
+        from repro.cpu.degraded import MATERIALIZED_BASE
+
+        ks.mat_on = 1
+        ks.mat_cov = degraded.ecc_line_coverage
+        ks.mat_base = MATERIALIZED_BASE
+    else:
+        ks.mat_on = 0
+        ks.mat_cov = 1
+        ks.mat_base = 0
+    # Sized so every decodable global-bank id (gr * B + bank, bank < the
+    # mapping's banks_per_rank) indexes in bounds, matching the oracle's
+    # set-membership test over (c*R+r)*B+b ids.
+    faulty_map = np.zeros(n_ranks * B + mapping.banks_per_rank + 1, dtype=np.uint8)
+    for gb in faulty_gb:
+        faulty_map[gb] = 1
+    hold.append(faulty_map)
+    ks.faulty = ffi.cast("uint8_t *", faulty_map.ctypes.data)
 
     # -- LLC flat state -----------------------------------------------------------------
     ks.set_mask = llc._set_mask
@@ -1097,9 +1190,12 @@ def run_native(sim, warmup_instructions: int, measure_instructions: int) -> SimR
     ks.n_ecc_r = sim.counters.ecc_reads
     ks.n_ecc_w = sim.counters.ecc_writes
 
-    # Initial events: one EV_CORE per core, reference push order.
+    # Initial events: one EV_CORE per core, then the first scrub tick,
+    # in reference push order.
     for cid in range(n_cores):
         lib.push_event(ks, 0, 0, cid)
+    if scrub is not None:
+        lib.push_event(ks, scrub.interval_cycles, 3, 0)
 
     # -- run, servicing refill requests -------------------------------------------------
     rc = lib.epoch_run(ks)
@@ -1215,6 +1311,8 @@ def run_native(sim, warmup_instructions: int, measure_instructions: int) -> SimR
     sim.counters = AccessCounters(
         int(ks.n_data_r), int(ks.n_data_w), int(ks.n_ecc_r), int(ks.n_ecc_w)
     )
+    sim._scrub_cursor = int(ks.scrub_cursor)
+    sim.scrub_reads = int(ks.scrub_reads)
     for cid, core in enumerate(cores):
         core.done = bool(a_done[cid])
         core.waiting = bool(a_wait[cid])

@@ -1,4 +1,4 @@
-"""Resilient process-parallel fan-out of campaign tasks.
+"""Resilient, granularity-aware process-parallel fan-out of campaign tasks.
 
 Every campaign cell (evaluation-matrix cells, Monte Carlo fig8 / coverage /
 collision cells) is an independent, deterministic simulation: workers
@@ -35,18 +35,38 @@ resilience layer:
   :class:`TaskFailure` (payload identity, attempts, error) is raised, so a
   rerun recomputes only the failed cells.
 
+On top of the resilience layer sits **granularity-aware dispatch**: fast
+kernels made individual cells so cheap that per-task pickle + pool
+dispatch overhead can dominate (and even lose to serial), so the engine
+coalesces small tasks into batched *super-tasks* (``REPRO_TASK_BATCH``:
+cost-calibrated ``auto``, ``off``, or a fixed size).  Inside a super-task
+every inner task keeps its own identity: per-inner chaos injection,
+retry/timeout attribution, and telemetry events are unchanged, and inner
+results stream back through a crash-safe spool file in a compact binary
+codec (:mod:`repro.experiments.resultcodec`) instead of pickled object
+graphs — a worker that dies mid-batch loses only its unfinished inners.
+Workers are kept *warm*: a pool initializer (re-applied on every rebuild)
+pre-imports the sim stack and primes per-process caches, so rebuilt pools
+do not pay cold-start per cell.
+
 Because workers are pure and retried/requeued tasks are simply re-executed
 from the same primitives, every recovery path yields the same bytes as a
-fault-free run — the serial == parallel determinism contract survives
-retries, rebuilds, and degradation.  The deterministic fault injector in
-:mod:`repro.util.chaos` (armed via ``REPRO_CHAOS`` or the ``chaos``
-argument) exists to prove exactly that in tests: faults are injected only
-into pool workers, never into the serial/degraded in-process path.
+fault-free run — the serial == parallel == batched-parallel determinism
+contract survives retries, rebuilds, and degradation.  The deterministic
+fault injector in :mod:`repro.util.chaos` (armed via ``REPRO_CHAOS`` or
+the ``chaos`` argument) exists to prove exactly that in tests: faults are
+injected only into pool workers, never into the serial/degraded
+in-process path.
 """
 
 from __future__ import annotations
 
+import math
 import os
+import pickle
+import shutil
+import struct
+import tempfile
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -56,7 +76,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro import obs
 from repro.ecc.catalog import SYSTEM_CLASSES
-from repro.experiments import evaluation
+from repro.experiments import evaluation, resultcodec
 from repro.experiments.runner import RunSpec, run
 from repro.util import chaos as chaos_mod
 from repro.util import envcfg
@@ -75,6 +95,27 @@ REBUILD_LIMIT = 2
 #: progress in between — bounds a persistent crasher that lets other
 #: tasks finish between rebuilds.
 REBUILD_TOTAL_LIMIT = 5
+
+#: Estimated fixed dispatch cost of one pooled submission (pickle, queue
+#: hop, future bookkeeping, result transport).  The auto-batching
+#: heuristic sizes super-tasks so this overhead stays under
+#: :data:`TARGET_OVERHEAD_FRACTION` of the measured per-task work.
+DISPATCH_OVERHEAD_S = 0.004
+
+#: Dispatch overhead budget as a fraction of useful per-task work.
+TARGET_OVERHEAD_FRACTION = 0.10
+
+#: Upper bound on inner tasks per super-task, so one slow batch cannot
+#: serialize the tail of a campaign.
+MAX_BATCH = 32
+
+#: Recent per-task wall samples kept for the auto-batching estimate.
+_CALIBRATION_WINDOW = 64
+
+#: Wait-loop cap while a super-task is in flight: the parent polls the
+#: batch spools at least this often so finished inners settle promptly
+#: even when no future completes and no deadline is near.
+_SPOOL_POLL_S = 0.05
 
 
 def default_jobs() -> int:
@@ -151,7 +192,7 @@ class _WorkerReport:
 
 
 def _obs_task(cfg, chaos, worker, index, attempt, payload):
-    """Worker entry point for every pooled task.
+    """Worker entry point for every individually-submitted pooled task.
 
     Arms the worker's telemetry to the parent's config (*cfg*, picklable;
     fork workers inherit the sink and this is a no-op), applies chaos when
@@ -166,6 +207,135 @@ def _obs_task(cfg, chaos, worker, index, attempt, payload):
     else:
         result = worker(*payload)
     return _WorkerReport(os.getpid(), round(time.perf_counter() - t0, 6)), result
+
+
+#: One spool record per finished inner task of a super-task:
+#: ``(index, wall_s, worker_pid, kind, blob_len)`` then ``blob_len`` bytes.
+_SPOOL_HEADER = struct.Struct("<qdqBI")
+
+#: Spool record kinds: a codec-encoded result, a pickled worker exception,
+#: or a codec-encoded result that a ``corrupt`` chaos fault wrapped.
+_REC_OK, _REC_EXC, _REC_CORRUPT = 0, 1, 2
+
+#: Sentinel a super-task returns through the pool: the real results
+#: travelled through the spool file, not the pickled future.
+_SUPER_DONE = "__super_done__"
+
+
+def _run_super(cfg, chaos, worker, tasks, spool):
+    """Worker entry point for one batched super-task.
+
+    *tasks* is an ordered list of ``(index, attempt, payload)`` inner
+    tasks.  Each inner task runs under its own chaos/attempt identity and
+    appends one self-delimiting record to *spool* with a single
+    ``os.write`` (O_APPEND), so a ``crash`` fault killing the process via
+    ``os._exit`` mid-batch leaves every already-finished inner result
+    durable on disk — the parent recovers them without recomputation.
+    Inner exceptions are captured per record; only the whole-batch
+    envelope travels back through the pool.
+    """
+    obs.ensure_worker(cfg)
+    t0 = time.perf_counter()
+    pid = os.getpid()
+    fd = os.open(spool, os.O_WRONLY | os.O_APPEND)
+    try:
+        for index, attempt, payload in tasks:
+            t1 = time.perf_counter()
+            kind = _REC_OK
+            try:
+                if chaos:
+                    result = chaos_mod.chaos_call(chaos, worker, index, attempt, payload)
+                else:
+                    result = worker(*payload)
+            except Exception as exc:
+                kind = _REC_EXC
+                try:
+                    blob = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    blob = pickle.dumps(RuntimeError(f"{type(exc).__name__}: {exc}"))
+            else:
+                if isinstance(result, chaos_mod.Corrupted):
+                    kind = _REC_CORRUPT
+                    result = result.original
+                blob = resultcodec.encode(result)
+            wall = round(time.perf_counter() - t1, 6)
+            os.write(fd, _SPOOL_HEADER.pack(index, wall, pid, kind, len(blob)) + blob)
+    finally:
+        os.close(fd)
+    return _WorkerReport(pid, round(time.perf_counter() - t0, 6)), _SUPER_DONE
+
+
+def _read_spool_from(path, offset: int) -> "tuple[dict[int, tuple[float, int, int, bytes]], int]":
+    """Parse complete spool records from byte *offset* on.
+
+    Returns ``({index: (wall, pid, kind, blob)}, new_offset)`` where
+    *new_offset* is the end of the last complete record.  Stops at the
+    first truncated record: each record is one ``os.write``, so a torn
+    tail is either a write still in flight (the next read picks it up
+    from the same offset) or a file that vanished mid-read — everything
+    before it is trustworthy either way.
+    """
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
+    except OSError:
+        return {}, offset
+    records: "dict[int, tuple[float, int, int, bytes]]" = {}
+    pos, end = 0, len(data)
+    while pos + _SPOOL_HEADER.size <= end:
+        index, wall, pid, kind, blob_len = _SPOOL_HEADER.unpack_from(data, pos)
+        if pos + _SPOOL_HEADER.size + blob_len > end:
+            break
+        pos += _SPOOL_HEADER.size
+        records[index] = (wall, pid, kind, data[pos : pos + blob_len])
+        pos += blob_len
+    return records, offset + pos
+
+
+def _read_spool(path) -> "dict[int, tuple[float, int, int, bytes]]":
+    """Parse a whole super-task spool into ``{index: (wall, pid, kind, blob)}``."""
+    records, _ = _read_spool_from(path, 0)
+    return records
+
+
+def _apply_warm(warm) -> None:
+    """Run a campaign's warm hint; warming is best-effort, never load-bearing."""
+    if not warm:
+        return
+    fn, args = warm
+    try:
+        fn(*args)
+    except Exception:
+        pass
+
+
+def _pool_init(cfg, warm) -> None:
+    """Pool initializer: arm telemetry and pre-warm every (re)built worker.
+
+    Under the fork start method workers already inherit the parent's
+    imports and caches (the parent runs the warm hint before building the
+    first pool); this keeps spawned workers and post-rebuild pools equally
+    warm.
+    """
+    obs.ensure_worker(cfg)
+    _apply_warm(warm)
+
+
+def _warm_cells(system_class, config_keys, scale) -> None:
+    """Warm hint for evaluation-matrix campaigns.
+
+    Pre-imports the simulation stack, compiles/loads the native epoch core
+    once (instead of per worker per cell), and primes the per-process LLC
+    pool for every cache geometry the sweep will touch.
+    """
+    from repro.cpu import epochnative
+    from repro.experiments import runner
+
+    epochnative.available()
+    for key in config_keys:
+        scheme = SYSTEM_CLASSES[system_class][key].make_scheme()
+        runner._pooled_llc(runner.llc_size_bytes(scale), scheme.line_size)
 
 
 def _unwrap(value) -> "tuple[_WorkerReport | None, object]":
@@ -246,6 +416,18 @@ def _collect(fut) -> "tuple[str, object]":
     return "error", exc
 
 
+class _Flight:
+    """Parent-side state of one in-flight submission (single or batched)."""
+
+    __slots__ = ("entries", "spool", "deadline", "progress")
+
+    def __init__(self, entries, spool, deadline):
+        self.entries = entries  #: ordered [(index, attempt)] unsettled inner tasks
+        self.spool = spool  #: spool path for super-tasks, None for singles
+        self.deadline = deadline  #: monotonic expiry, None when untimed
+        self.progress = 0  #: spool bytes already parsed and settled
+
+
 def _run_serial(worker, payloads, tasks, retries, backoff, validate, failures, fail_fast):
     """In-process execution with the same retry/validation contract.
 
@@ -299,140 +481,347 @@ def _run_serial(worker, payloads, tasks, retries, backoff, validate, failures, f
 
 
 def _run_pooled(
-    worker, payloads, jobs, timeout, retries, backoff, validate, chaos, failures, fail_fast
+    worker,
+    payloads,
+    jobs,
+    timeout,
+    retries,
+    backoff,
+    validate,
+    chaos,
+    failures,
+    fail_fast,
+    batch,
+    warm,
 ):
-    """The pooled engine: windowed submission, deadlines, rebuilds."""
+    """The pooled engine: batching, windowed submission, deadlines, rebuilds."""
     max_attempts = retries + 1
     pending = deque((i, 1) for i in range(len(payloads)))
-    inflight: "dict[object, tuple[int, int, float | None]]" = {}
-    pool = ProcessPoolExecutor(max_workers=min(jobs, len(payloads)))
+    inflight: "dict[object, _Flight]" = {}
     consecutive_rebuilds = 0
     total_rebuilds = 0
+    spool_dir = None
+    samples: "deque[float]" = deque(maxlen=_CALIBRATION_WINDOW)
+
+    def _new_spool():
+        nonlocal spool_dir
+        if spool_dir is None:
+            spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+        fd, path = tempfile.mkstemp(prefix="super-", suffix=".bin", dir=spool_dir)
+        os.close(fd)
+        return path
+
+    def _drop_spool(path):
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _target_batch() -> int:
+        """Inner tasks per submission right now.
+
+        ``off``/1 and fixed sizes are literal.  ``auto`` submits singles
+        until at least one task's wall has been measured (calibration),
+        then sizes batches so :data:`DISPATCH_OVERHEAD_S` stays under
+        :data:`TARGET_OVERHEAD_FRACTION` of the median measured task —
+        capped at :data:`MAX_BATCH` and at an even split of the remaining
+        queue over the whole pool, so one batch never starves the others.
+        """
+        if batch == "off":
+            size = 1
+        elif batch != "auto":
+            size = batch
+        elif not samples:
+            return 1
+        else:
+            med = sorted(samples)[len(samples) // 2]
+            if med <= 0:
+                size = MAX_BATCH
+            else:
+                size = math.ceil(DISPATCH_OVERHEAD_S / (TARGET_OVERHEAD_FRACTION * med))
+            size = min(MAX_BATCH, size)
+        return max(1, min(size, math.ceil(len(pending) / jobs)))
+
+    def _settle_ok(index, attempt, value, pid, wall):
+        """One inner result arrived: validate, account, return (yieldable, value)."""
+        nonlocal consecutive_rebuilds
+        if _result_ok(value, validate):
+            consecutive_rebuilds = 0
+            if wall is not None:
+                samples.append(wall)
+                if obs.enabled("engine"):
+                    obs.REGISTRY.timer("engine.task").observe(wall)
+            _emit("engine.ok", index=index, attempt=attempt, worker_pid=pid, wall_s=wall)
+            return True, value
+        _emit("engine.error", index=index, attempt=attempt, error="invalid result")
+        if attempt >= max_attempts:
+            exc = ValueError(f"invalid result: {value!r}")
+            _emit("engine.fail", index=index, attempts=attempt, reason="corrupt")
+            _record(failures, index, payloads[index], attempt, "corrupt", exc, fail_fast)
+            consecutive_rebuilds = 0
+        else:
+            _emit("engine.retry", index=index, attempt=attempt + 1, reason="corrupt")
+            _backoff_sleep(backoff, attempt)
+            pending.append((index, attempt + 1))
+        return False, None
+
+    def _settle_error(index, attempt, exc):
+        """One inner task raised: charge an attempt, retry or record."""
+        nonlocal consecutive_rebuilds
+        _emit(
+            "engine.error",
+            index=index,
+            attempt=attempt,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        if attempt >= max_attempts:
+            _emit("engine.fail", index=index, attempts=attempt, reason="exception")
+            _record(failures, index, payloads[index], attempt, "exception", exc, fail_fast)
+            consecutive_rebuilds = 0
+        else:
+            _emit("engine.retry", index=index, attempt=attempt + 1, reason="exception")
+            _backoff_sleep(backoff, attempt)
+            pending.append((index, attempt + 1))
+
+    def _settle_record(index, attempt, rec):
+        """Decode one spool record; returns (yieldable, value)."""
+        wall, pid, kind, blob = rec
+        if kind == _REC_EXC:
+            try:
+                exc = pickle.loads(blob)
+            except Exception:
+                exc = RuntimeError("worker exception could not be decoded")
+            _settle_error(index, attempt, exc)
+            return False, None
+        try:
+            value = resultcodec.decode(blob)
+        except Exception as exc:
+            _settle_error(index, attempt, RuntimeError(f"result decode failed: {exc}"))
+            return False, None
+        if kind == _REC_CORRUPT:
+            value = chaos_mod.Corrupted(value)
+        return _settle_ok(index, attempt, value, pid, wall)
+
+    def _charge_timeout(index, attempt):
+        nonlocal consecutive_rebuilds
+        _emit("engine.timeout", index=index, attempt=attempt, timeout_s=timeout)
+        if attempt >= max_attempts:
+            exc = TimeoutError(f"no result within {timeout:g}s")
+            _emit("engine.fail", index=index, attempts=attempt, reason="timeout")
+            _record(failures, index, payloads[index], attempt, "timeout", exc, fail_fast)
+            consecutive_rebuilds = 0
+        else:
+            _emit("engine.retry", index=index, attempt=attempt + 1, reason="timeout")
+            pending.append((index, attempt + 1))
+
+    def _requeue(index, attempt):
+        _emit("engine.requeue", index=index, attempt=attempt)
+        pending.append((index, attempt + 1))
+
+    _apply_warm(warm)  # under fork, workers inherit the warmed parent
+    pool_args = dict(initializer=_pool_init, initargs=(obs.worker_config(), warm))
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(payloads)), **pool_args)
     try:
         while pending or inflight:
             broken = False
-            # 1. Refill the submission window (at most *jobs* in flight, so
-            #    deadlines measure run time, not queue time).
+            # 1. Refill the submission window (at most *jobs* submissions in
+            #    flight, so deadlines measure run time, not queue time).
             while pool is not None and pending and len(inflight) < jobs:
-                index, attempt = pending[0]
-                try:
-                    fut = _submit(pool, worker, payloads[index], index, attempt, chaos)
-                except (BrokenProcessPool, RuntimeError):
-                    broken = True
-                    break
-                pending.popleft()
-                _emit("engine.submit", index=index, attempt=attempt, path="pooled")
+                size = _target_batch()
+                entries = []
+                while pending and len(entries) < size:
+                    index, attempt = pending[0]
+                    if attempt > 1 and entries:
+                        break  # retried tasks always travel alone
+                    pending.popleft()
+                    entries.append((index, attempt))
+                    if attempt > 1:
+                        break
                 deadline = (time.monotonic() + timeout) if timeout else None
-                inflight[fut] = (index, attempt, deadline)
+                if len(entries) == 1:
+                    index, attempt = entries[0]
+                    try:
+                        fut = _submit(pool, worker, payloads[index], index, attempt, chaos)
+                    except (BrokenProcessPool, RuntimeError):
+                        pending.appendleft(entries[0])
+                        broken = True
+                        break
+                    _emit("engine.submit", index=index, attempt=attempt, path="pooled")
+                    inflight[fut] = _Flight(entries, None, deadline)
+                else:
+                    spool = _new_spool()
+                    tasks = [(i, a, payloads[i]) for i, a in entries]
+                    try:
+                        fut = pool.submit(
+                            _run_super, obs.worker_config(), chaos, worker, tasks, spool
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        _drop_spool(spool)
+                        for e in reversed(entries):
+                            pending.appendleft(e)
+                        broken = True
+                        break
+                    _emit("engine.batch", size=len(entries), indices=[i for i, _ in entries])
+                    for i, a in entries:
+                        _emit("engine.submit", index=i, attempt=a, path="batched")
+                    inflight[fut] = _Flight(entries, spool, deadline)
 
             # 2. Wait for completions, bounded by the nearest deadline.
+            #    With a super-task in flight the wait is also capped so the
+            #    parent keeps draining its spool: a finished inner must
+            #    settle promptly even while a sibling hangs.
             done = ()
             if not broken and inflight:
                 wait_s = None
                 if timeout:
-                    nearest = min(d for (_, _, d) in inflight.values())
+                    nearest = min(fl.deadline for fl in inflight.values())
                     wait_s = max(0.0, nearest - time.monotonic())
+                if any(fl.spool is not None for fl in inflight.values()):
+                    wait_s = _SPOOL_POLL_S if wait_s is None else min(wait_s, _SPOOL_POLL_S)
                 done, _ = wait(list(inflight), timeout=wait_s, return_when=FIRST_COMPLETED)
 
             # 3. Settle finished futures.
             for fut in done:
-                index, attempt, _ = inflight.pop(fut)
+                flight = inflight.pop(fut)
                 status, value = _collect(fut)
-                if status == "broken":
-                    broken = True
-                    _emit("engine.requeue", index=index, attempt=attempt)
-                    pending.append((index, attempt + 1))
-                elif status == "error":
-                    _emit(
-                        "engine.error",
-                        index=index,
-                        attempt=attempt,
-                        error=f"{type(value).__name__}: {value}",
-                    )
-                    if attempt >= max_attempts:
-                        _emit("engine.fail", index=index, attempts=attempt, reason="exception")
-                        _record(
-                            failures, index, payloads[index], attempt, "exception", value, fail_fast
-                        )
-                        consecutive_rebuilds = 0
+                if flight.spool is None:
+                    (index, attempt) = flight.entries[0]
+                    if status == "broken":
+                        broken = True
+                        _requeue(index, attempt)
+                    elif status == "error":
+                        _settle_error(index, attempt, value)
                     else:
-                        _emit("engine.retry", index=index, attempt=attempt + 1, reason="exception")
-                        _backoff_sleep(backoff, attempt)
-                        pending.append((index, attempt + 1))
+                        report, value = _unwrap(value)
+                        yieldable, value = _settle_ok(
+                            index,
+                            attempt,
+                            value,
+                            report.pid if report else None,
+                            report.wall_s if report else None,
+                        )
+                        if yieldable:
+                            yield value
                 else:
-                    report, value = _unwrap(value)
-                    if _result_ok(value, validate):
-                        consecutive_rebuilds = 0
-                        if obs.enabled("engine") and report is not None:
-                            obs.REGISTRY.timer("engine.task").observe(report.wall_s)
-                        _emit(
-                            "engine.ok",
-                            index=index,
-                            attempt=attempt,
-                            worker_pid=report.pid if report else None,
-                            wall_s=report.wall_s if report else None,
-                        )
-                        yield value
-                    else:
-                        _emit("engine.error", index=index, attempt=attempt, error="invalid result")
-                        if attempt >= max_attempts:
-                            exc = ValueError(f"invalid result: {value!r}")
-                            _emit("engine.fail", index=index, attempts=attempt, reason="corrupt")
-                            _record(
-                                failures, index, payloads[index], attempt, "corrupt", exc, fail_fast
-                            )
-                            consecutive_rebuilds = 0
+                    records = _read_spool(flight.spool)
+                    if status == "broken":
+                        broken = True
+                    first_unsettled = True
+                    for index, attempt in flight.entries:
+                        rec = records.get(index)
+                        if rec is not None:
+                            yieldable, value = _settle_record(index, attempt, rec)
+                            if yieldable:
+                                yield value
+                        elif status == "error" and first_unsettled:
+                            # The super-task envelope itself raised (spool
+                            # I/O, teardown): the first unfinished inner is
+                            # where it stopped; it is charged, the rest
+                            # never ran and are requeued uncharged.
+                            first_unsettled = False
+                            _settle_error(index, attempt, value)
                         else:
-                            _emit("engine.retry", index=index, attempt=attempt + 1, reason="corrupt")
-                            _backoff_sleep(backoff, attempt)
-                            pending.append((index, attempt + 1))
+                            _requeue(index, attempt)
+                    _drop_spool(flight.spool)
 
-            # 4. Expire deadlines: a hung worker never completes on its own,
-            #    and the only way to reclaim it is to rebuild the pool.
+            # 4. Drain running super-tasks: an inner result that reached the
+            #    spool settles immediately — its retry or its yield must not
+            #    wait for siblings (a hang would delay it a full timeout and
+            #    skew the rebuild/degradation accounting vs singles).  New
+            #    records are also progress and re-arm the deadline.
+            if not broken:
+                for flight in inflight.values():
+                    if flight.spool is None:
+                        continue
+                    records, offset = _read_spool_from(flight.spool, flight.progress)
+                    if offset <= flight.progress:
+                        continue
+                    flight.progress = offset
+                    if timeout:
+                        flight.deadline = time.monotonic() + timeout
+                    if records:
+                        remaining = []
+                        for index, attempt in flight.entries:
+                            rec = records.get(index)
+                            if rec is None:
+                                remaining.append((index, attempt))
+                                continue
+                            yieldable, value = _settle_record(index, attempt, rec)
+                            if yieldable:
+                                yield value
+                        flight.entries = remaining
+
+            # 5. Expire deadlines: a hung worker never completes on its own,
+            #    and the only way to reclaim it is to rebuild the pool.  A
+            #    super-task's deadline is per *inner* task: the drain above
+            #    re-arms it on progress, so expiry means no inner finished
+            #    for a whole window.
             if not broken and timeout and inflight:
                 now = time.monotonic()
                 expired = [
                     f
-                    for f, (_, _, d) in inflight.items()
-                    if d is not None and d <= now and not f.done()
+                    for f, fl in inflight.items()
+                    if fl.deadline is not None and fl.deadline <= now and not f.done()
                 ]
                 if expired:
                     broken = True
                     for fut in expired:
-                        index, attempt, _ = inflight.pop(fut)
-                        _emit(
-                            "engine.timeout", index=index, attempt=attempt, timeout_s=timeout
-                        )
-                        if attempt >= max_attempts:
-                            exc = TimeoutError(f"no result within {timeout:g}s")
-                            _emit("engine.fail", index=index, attempts=attempt, reason="timeout")
-                            _record(
-                                failures, index, payloads[index], attempt, "timeout", exc, fail_fast
-                            )
-                            consecutive_rebuilds = 0
+                        flight = inflight.pop(fut)
+                        if flight.spool is None:
+                            (index, attempt) = flight.entries[0]
+                            _charge_timeout(index, attempt)
                         else:
-                            _emit("engine.retry", index=index, attempt=attempt + 1, reason="timeout")
-                            pending.append((index, attempt + 1))
+                            records = _read_spool(flight.spool)
+                            hung_charged = False
+                            for index, attempt in flight.entries:
+                                rec = records.get(index)
+                                if rec is not None:
+                                    yieldable, value = _settle_record(index, attempt, rec)
+                                    if yieldable:
+                                        yield value
+                                elif not hung_charged:
+                                    # The first inner without a record is
+                                    # the one the worker is stuck inside.
+                                    hung_charged = True
+                                    _charge_timeout(index, attempt)
+                                else:
+                                    _requeue(index, attempt)
+                            _drop_spool(flight.spool)
 
-            # 5. Rebuild the pool, or degrade to serial when it keeps dying.
+            # 6. Rebuild the pool, or degrade to serial when it keeps dying.
             if broken:
-                for fut, (index, attempt, _) in inflight.items():
+                for fut, flight in list(inflight.items()):
                     status, value = _collect(fut)
-                    report, value = _unwrap(value)
-                    if status == "ok" and _result_ok(value, validate):
-                        # Completed in the teardown race window: don't redo it.
-                        consecutive_rebuilds = 0
-                        _emit(
-                            "engine.ok",
-                            index=index,
-                            attempt=attempt,
-                            worker_pid=report.pid if report else None,
-                            wall_s=report.wall_s if report else None,
-                        )
-                        yield value
+                    if flight.spool is None:
+                        (index, attempt) = flight.entries[0]
+                        report, value = _unwrap(value)
+                        if status == "ok" and _result_ok(value, validate):
+                            # Completed in the teardown race window: don't redo it.
+                            consecutive_rebuilds = 0
+                            _emit(
+                                "engine.ok",
+                                index=index,
+                                attempt=attempt,
+                                worker_pid=report.pid if report else None,
+                                wall_s=report.wall_s if report else None,
+                            )
+                            yield value
+                        else:
+                            _requeue(index, attempt)
                     else:
-                        _emit("engine.requeue", index=index, attempt=attempt)
-                        pending.append((index, attempt + 1))
+                        # Whatever reached the spool is durable: settle the
+                        # finished inners, requeue only the unfinished rest.
+                        records = _read_spool(flight.spool)
+                        for index, attempt in flight.entries:
+                            rec = records.get(index)
+                            if rec is not None:
+                                yieldable, value = _settle_record(index, attempt, rec)
+                                if yieldable:
+                                    yield value
+                            else:
+                                _requeue(index, attempt)
+                        _drop_spool(flight.spool)
                 inflight.clear()
                 _kill_pool(pool)
                 pool = None
@@ -456,7 +845,7 @@ def _run_pooled(
                     )
                     return
                 if pending:
-                    pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+                    pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)), **pool_args)
     except BaseException:
         # Ctrl-C or an abandoned generator: drop pending work and return
         # without blocking on the pool - results already yielded were merged
@@ -465,6 +854,9 @@ def _run_pooled(
         if pool is not None:
             _kill_pool(pool)
         raise
+    finally:
+        if spool_dir is not None:
+            shutil.rmtree(spool_dir, ignore_errors=True)
     if pool is not None:
         pool.shutdown()
 
@@ -480,6 +872,8 @@ def run_tasks(
     validate: "Callable[[object], bool] | None" = None,
     chaos: "str | None" = None,
     fail_fast: bool = False,
+    batch: "str | int | None" = None,
+    warm: "tuple | None" = None,
 ) -> "Iterator":
     """Fan *worker(*payload)* over processes, yielding results as they finish.
 
@@ -493,7 +887,8 @@ def run_tasks(
     Resilience knobs (see the module docstring for semantics):
 
     * *timeout* — per-task seconds (default ``REPRO_TASK_TIMEOUT``; unset
-      disables; ``0`` disables explicitly).  Pool path only.
+      disables; ``0`` disables explicitly).  Pool path only; inside a
+      super-task the window re-arms on every finished inner task.
     * *retries* — attempts beyond the first per task (default
       ``REPRO_TASK_RETRIES``, else 2).
     * *backoff* — base seconds of the exponential retry backoff (default
@@ -501,9 +896,16 @@ def run_tasks(
     * *validate* — optional predicate over results; a falsy verdict counts
       as a failed attempt (kind ``corrupt``).
     * *chaos* — a :mod:`repro.util.chaos` spec string (default
-      ``REPRO_CHAOS``); injected into pool workers only.
+      ``REPRO_CHAOS``); injected into pool workers only, per inner task.
     * *fail_fast* — raise :class:`TaskError` on the first exhausted task
       instead of collecting failures into a :class:`CampaignError`.
+    * *batch* — super-task batching policy (default ``REPRO_TASK_BATCH``):
+      ``auto`` sizes batches from measured task cost, ``off`` submits every
+      task individually, an integer pins the size.  Retried tasks are
+      always submitted individually.
+    * *warm* — optional ``(function, args)`` warm hint, applied in the
+      parent before the first pool (fork workers inherit it) and as the
+      initializer of every built or rebuilt pool.
 
     Tasks that exhaust their budget are reported in one
     :class:`CampaignError` raised *after* every other task has been
@@ -515,6 +917,7 @@ def run_tasks(
         jobs = default_jobs()
     timeout = envcfg.task_timeout(timeout)
     retries = envcfg.task_retries(retries)
+    batch = envcfg.task_batch(batch)
     if backoff is None:
         backoff = BACKOFF_BASE
     if chaos is None:
@@ -530,6 +933,7 @@ def run_tasks(
         timeout=timeout,
         retries=retries,
         chaos=chaos,
+        batch=batch,
         path="serial" if serial else "pooled",
     )
     t0 = time.perf_counter()
@@ -546,7 +950,18 @@ def run_tasks(
         )
     else:
         inner = _run_pooled(
-            worker, payloads, jobs, timeout, retries, backoff, validate, chaos, failures, fail_fast
+            worker,
+            payloads,
+            jobs,
+            timeout,
+            retries,
+            backoff,
+            validate,
+            chaos,
+            failures,
+            fail_fast,
+            batch,
+            warm,
         )
     ok = 0
     for result in inner:
@@ -600,18 +1015,25 @@ def run_cells(
 ) -> "Iterator[tuple[str, str, dict]]":
     """Simulate *cells* and yield ``(workload, config_key, cell_dict)``.
 
-    A thin adapter over :func:`run_tasks` (which owns pooling, retries,
-    timeouts, and failure records — *options* passes those knobs through).
-    Results stream back in completion order; callers key by name, so order
-    does not matter for correctness, and with ``jobs == 1`` or a single
-    cell everything runs in-process, byte-for-byte the reference behaviour.
-    A failing cell surfaces in :class:`CampaignError` /
-    :class:`TaskError` with its ``(system_class, workload, config_key,
-    ...)`` payload attached, so it is identifiable without rerunning the
-    sweep.
+    A thin adapter over :func:`run_tasks` (which owns pooling, batching,
+    retries, timeouts, and failure records — *options* passes those knobs
+    through).  Results stream back in completion order; callers key by
+    name, so order does not matter for correctness, and with ``jobs == 1``
+    or a single cell everything runs in-process, byte-for-byte the
+    reference behaviour.  Pooled workers get a warm hint that pre-imports
+    the sim stack, pre-compiles the native core, and primes the LLC pool
+    for every cache geometry in the sweep.  A failing cell surfaces in
+    :class:`CampaignError` / :class:`TaskError` with its ``(system_class,
+    workload, config_key, ...)`` payload attached, so it is identifiable
+    without rerunning the sweep.
     """
+    cells = list(cells)
     payloads = [
         (system_class, wl_name, key, fidelity.scale, fidelity.access_target, seed)
         for wl_name, key in cells
     ]
+    options.setdefault(
+        "warm",
+        (_warm_cells, (system_class, tuple(sorted({key for _, key in cells})), fidelity.scale)),
+    )
     return run_tasks(_run_cell, payloads, jobs=jobs, **options)

@@ -78,6 +78,11 @@ class RunSpec:
 _LLC_POOL: "dict[tuple[int, int], LLC]" = {}
 
 
+def llc_size_bytes(scale: int) -> int:
+    """LLC capacity at a system-scaling factor (the paper's 8 MB, scaled)."""
+    return (8 << 20) // scale
+
+
 def _pooled_llc(size_bytes: int, line_size: int) -> LLC:
     key = (size_bytes, line_size)
     llc = _LLC_POOL.get(key)
@@ -115,7 +120,7 @@ def build_system(spec: RunSpec, reuse_llc: bool = False) -> SimSystem:
         seed=spec.seed,
         footprint_scale=spec.scale,
     )
-    size_bytes = (8 << 20) // spec.scale
+    size_bytes = llc_size_bytes(spec.scale)
     if reuse_llc:
         llc = _pooled_llc(size_bytes, scheme.line_size)
     else:

@@ -282,19 +282,21 @@ class TestNativeCore:
 
     def test_native_on_rejects_ineligible_config(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_NATIVE", "on")
-        deg = DegradedMode(frozenset({(0, 0, 0)}), ecc_line_coverage=2)
-        sim = build(Chipkill18(), wl_traces("mcf", 0), degraded=deg)
+        sim = build(MultiEcc(), wl_traces("mcf", 0), cache_ecc_lines=False)
         with pytest.raises(RuntimeError, match="REPRO_SIM_NATIVE=on"):
             epochnative.wants_native(sim)
 
-    def test_scalar_fallback_cases_are_ineligible(self):
-        """Serializing features must route to the Python epoch loop."""
+    def test_scrub_and_degraded_are_eligible(self):
+        """Patrol scrub and degraded mode run in the compiled core now."""
         deg = DegradedMode(frozenset({(0, 0, 0)}), ecc_line_coverage=2)
         for kw in (dict(degraded=deg),
-                   dict(scrub=ScrubConfig(interval_cycles=500, region_lines=1024)),
-                   dict(cache_ecc_lines=False)):
-            assert not epochnative.eligible(
-                build(MultiEcc(), wl_traces("mcf", 0), **kw))
+                   dict(scrub=ScrubConfig(interval_cycles=500, region_lines=1024))):
+            assert epochnative.eligible(build(Chipkill18(), wl_traces("mcf", 0), **kw))
+
+    def test_scalar_fallback_cases_are_ineligible(self):
+        """Serializing features must route to the Python epoch loop."""
+        assert not epochnative.eligible(
+            build(MultiEcc(), wl_traces("mcf", 0), cache_ecc_lines=False))
         burst_sim = build(Chipkill18(), wl_traces("mcf", 0))
         burst_sim.schedule_burst(10, 4, 4, 1 << 30)
         assert not epochnative.eligible(burst_sim)
