@@ -47,6 +47,11 @@ GUARDED = [
 #: core cannot beat a serial run.
 FLOORS = [
     ("BENCH_simloop_throughput.json", "matrix_sweep", "speedup", 1.0),
+    # The rare-event tentpole claim: importance sampling is worth >= 20x
+    # plain MC in effective trials/sec at the fig8 p999 tail (stratified
+    # clears a lower bar - its strength is means, not deep tails).
+    ("BENCH_rareevent.json", "importance_sampling", "effective_speedup", 20.0),
+    ("BENCH_rareevent.json", "stratified", "effective_speedup", 3.0),
 ]
 
 DEFAULT_TOLERANCE_PCT = 15.0

@@ -10,6 +10,7 @@ from repro.faults.analysis import (
 )
 from repro.faults.fit_rates import MemoryOrg
 from repro.faults.montecarlo import eol_fraction_by_channels
+from repro.faults.rareevent import sharded_estimate
 
 #: X axes used by the paper's figures.
 FIG2_FIT_RANGE = [10, 20, 30, 40, 44, 50, 60, 70, 80, 90, 100]
@@ -58,6 +59,74 @@ def figure8(
     return [
         Fig8Row(n, r.mean, r.percentile(99.9)) for n, r in sorted(results.items())
     ]
+
+
+@dataclass
+class Fig8TailRow:
+    """One channel count's rare-event view of the fig8 tail."""
+
+    channels: int
+    p999_fraction: float  #: weighted 99.9th percentile of the EOL fraction
+    tail_probability: float  #: P(fraction >= threshold) at the reported threshold
+    tail_se: float  #: analytic standard error of ``tail_probability``
+    threshold: float  #: tail threshold the CI is quoted at
+    trials: int  #: sampled trials spent
+    ess: float  #: effective sample size of the weighted stream
+    mode: str  #: estimator that produced the row ("off" | "is" | "strat")
+
+
+def figure8_tail(
+    trials: "int | None" = None,
+    seed: int = 0,
+    jobs: "int | None" = None,
+    mode: "str | None" = None,
+    thresholds: "dict[int, float] | None" = None,
+    use_cache: bool = False,
+    target_rci: "float | None" = None,
+) -> "list[Fig8TailRow]":
+    """Figure 8's 99.9th percentile via the rare-event estimators.
+
+    For each channel count, runs a sharded campaign
+    (:func:`repro.faults.rareevent.sharded_estimate`) under the resolved
+    ``REPRO_MC_VR`` mode and reports the weighted 99.9th percentile plus a
+    tail probability with analytic CI.  *thresholds* optionally pins the
+    tail threshold per channel count (e.g. a materialization budget) -
+    with a pinned threshold the campaign targets that tail directly, and
+    ``auto`` mode resolves to importance sampling, whose tilt pays
+    exactly there (:func:`repro.faults.rareevent.resolve_mode`).
+    Without one, each row's threshold is the campaign's own estimated
+    p999, so the quoted CI is the resolution of the percentile itself.
+    """
+    rows = []
+    for n in FIG8_CHANNELS:
+        org = MemoryOrg(channels=n)
+        threshold = None if thresholds is None else thresholds.get(n)
+        campaign = sharded_estimate(
+            org,
+            mode=mode,
+            trials=trials,
+            seed=seed,
+            threshold=threshold,
+            jobs=jobs,
+            use_cache=use_cache,
+            target_rci=target_rci,
+        )
+        est = campaign.estimate
+        if threshold is None:
+            threshold = est.percentile(99.9)
+        rows.append(
+            Fig8TailRow(
+                channels=n,
+                p999_fraction=est.percentile(99.9),
+                tail_probability=est.tail_probability(threshold),
+                tail_se=est.se_tail(threshold),
+                threshold=threshold,
+                trials=campaign.trials,
+                ess=campaign.ess,
+                mode=campaign.mode,
+            )
+        )
+    return rows
 
 
 @dataclass

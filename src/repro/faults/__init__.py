@@ -18,6 +18,13 @@ from repro.faults.fit_rates import (
     FaultMode,
     MemoryOrg,
 )
+from repro.faults.fleet import (
+    PRESET_MIXES,
+    FleetMix,
+    FleetReport,
+    FleetSegment,
+    fleet_failure_probability,
+)
 from repro.faults.injector import FaultInjector, InjectedFault
 from repro.faults.montecarlo import (
     ChannelGapStats,
@@ -28,6 +35,16 @@ from repro.faults.montecarlo import (
     eol_fraction_by_channels,
     hpc_stall_mc,
     mean_time_between_channel_faults_mc,
+)
+from repro.faults.rareevent import (
+    CampaignResult,
+    StratifiedEstimate,
+    WeightedEstimate,
+    WeightedTally,
+    oracle_compare,
+    run_estimate,
+    sharded_estimate,
+    weighted_percentile,
 )
 
 __all__ = [
@@ -53,4 +70,17 @@ __all__ = [
     "eol_fraction_by_channels",
     "hpc_stall_mc",
     "mean_time_between_channel_faults_mc",
+    "CampaignResult",
+    "StratifiedEstimate",
+    "WeightedEstimate",
+    "WeightedTally",
+    "oracle_compare",
+    "run_estimate",
+    "sharded_estimate",
+    "weighted_percentile",
+    "PRESET_MIXES",
+    "FleetMix",
+    "FleetReport",
+    "FleetSegment",
+    "fleet_failure_probability",
 ]

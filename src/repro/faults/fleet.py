@@ -1,0 +1,260 @@
+"""Fleet-level reliability: mixes of node populations over rare-event MC.
+
+The paper evaluates one memory system; a fleet planner asks the question
+one level up: across *N* heterogeneous nodes - different DRAM vendors,
+different service ages, both shifting the per-chip FIT rate - what is the
+probability that *any* node exceeds an end-of-life materialization budget
+over the deployment lifetime?  Plain MC cannot answer this (per-node
+probabilities sit at 1e-3 and below, and fleets multiply them by 1e5-1e6
+nodes), so every per-segment probability here comes from the rare-event
+estimators in :mod:`repro.faults.rareevent` via sharded campaigns.
+
+A :class:`FleetMix` is a list of :class:`FleetSegment` populations, each
+with a node count and a ``fit_scale`` multiplier applied to every
+per-mode FIT rate (vendor quality spread and age-dependent wear both act
+as multiplicative rate shifts at the granularity this model resolves).
+:func:`fleet_failure_probability` estimates each segment's per-node tail
+probability ``p_s = P(fraction >= threshold)``, then combines
+
+    P(any) = 1 - prod_s (1 - p_s) ** N_s
+
+in log space (``-expm1(sum N_s log1p(-p_s))``) so fleets of a million
+nodes do not underflow, with a delta-method standard error propagated
+from the per-segment MC standard errors
+(``d P(any) / d p_s = N_s (1 - P(any)) / (1 - p_s)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.faults.fit_rates import MemoryOrg
+from repro.faults.rareevent import DEFAULT_SHARDS, CampaignResult, sharded_estimate
+from repro.util.units import YEARS
+
+
+@dataclass(frozen=True)
+class FleetSegment:
+    """One homogeneous node population inside a fleet mix."""
+
+    name: str
+    nodes: int  #: node count of this segment
+    fit_scale: float = 1.0  #: vendor/age multiplier on every per-mode FIT rate
+    org: "MemoryOrg | None" = None  #: per-node memory organization (default org)
+    lifetime_hours: float = 7 * YEARS
+
+    def __post_init__(self):
+        if self.nodes < 0:
+            raise ValueError(f"segment {self.name!r}: nodes must be >= 0, got {self.nodes}")
+        if self.fit_scale <= 0:
+            raise ValueError(
+                f"segment {self.name!r}: fit_scale must be > 0, got {self.fit_scale}"
+            )
+
+
+@dataclass(frozen=True)
+class FleetMix:
+    """A named fleet composition: segments with vendor/age FIT multipliers."""
+
+    name: str
+    segments: "tuple[FleetSegment, ...]"
+
+    def __post_init__(self):
+        if not self.segments:
+            raise ValueError("a fleet mix needs at least one segment")
+        names = [s.name for s in self.segments]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate segment names in mix {self.name!r}: {names}")
+
+    @property
+    def nodes(self) -> int:
+        return sum(s.nodes for s in self.segments)
+
+
+def uniform_mix(nodes: int, name: str = "uniform") -> FleetMix:
+    """A single-segment fleet at nominal FIT rates."""
+    return FleetMix(name=name, segments=(FleetSegment(name="nominal", nodes=nodes),))
+
+
+def vendor_spread_mix(nodes: int, name: str = "vendor-spread") -> FleetMix:
+    """A three-vendor mix with the FIT spread field studies report.
+
+    Large-scale field data (Sridharan et al.; the DDR3 rates behind
+    ``FIT_BY_MODE``) show several-x differences in fault rates across DRAM
+    vendors at equal organization; this mix models a fleet sourced 50/30/20
+    from a nominal, a good (0.6x), and a weak (2.5x) vendor.
+    """
+    return FleetMix(
+        name=name,
+        segments=(
+            FleetSegment(name="vendor-a", nodes=nodes // 2, fit_scale=1.0),
+            FleetSegment(name="vendor-b", nodes=nodes * 3 // 10, fit_scale=0.6),
+            FleetSegment(
+                name="vendor-c", nodes=nodes - nodes // 2 - nodes * 3 // 10, fit_scale=2.5
+            ),
+        ),
+    )
+
+
+def aging_mix(nodes: int, name: str = "aging") -> FleetMix:
+    """A fleet of three service-age cohorts with wear-elevated FIT rates."""
+    third = nodes // 3
+    return FleetMix(
+        name=name,
+        segments=(
+            FleetSegment(name="year-1", nodes=third, fit_scale=0.8),
+            FleetSegment(name="year-3", nodes=third, fit_scale=1.0),
+            FleetSegment(name="year-5", nodes=nodes - 2 * third, fit_scale=1.6),
+        ),
+    )
+
+
+#: Preset mixes by name (the CLI/bench surface).
+PRESET_MIXES = {
+    "uniform": uniform_mix,
+    "vendor-spread": vendor_spread_mix,
+    "aging": aging_mix,
+}
+
+
+@dataclass
+class SegmentReport:
+    """Per-segment outcome of a fleet campaign."""
+
+    segment: FleetSegment
+    campaign: CampaignResult
+
+    @property
+    def p_node(self) -> float:
+        """Per-node P(fraction >= threshold)."""
+        return self.campaign.estimate.tail_probability(self.campaign.threshold)
+
+    @property
+    def se_node(self) -> float:
+        return self.campaign.estimate.se_tail(self.campaign.threshold)
+
+    @property
+    def expected_affected(self) -> float:
+        """Expected number of this segment's nodes over the threshold."""
+        return self.segment.nodes * self.p_node
+
+
+@dataclass
+class FleetReport:
+    """Fleet-level answer: P(any node exceeds the materialization budget)."""
+
+    mix: FleetMix
+    threshold: float
+    segments: "list[SegmentReport]" = field(default_factory=list)
+
+    @property
+    def p_any(self) -> float:
+        """``P(any)`` combined in log space (underflow-safe at 1e6 nodes)."""
+        acc = 0.0
+        for r in self.segments:
+            p = min(r.p_node, 1.0)
+            if p >= 1.0:
+                return 1.0
+            acc += r.segment.nodes * math.log1p(-p)
+        return -math.expm1(acc)
+
+    @property
+    def se_any(self) -> float:
+        """Delta-method SE of :attr:`p_any` from per-segment MC errors."""
+        p_any = self.p_any
+        if p_any >= 1.0:
+            return 0.0
+        var = 0.0
+        for r in self.segments:
+            p = min(r.p_node, 1.0)
+            if p >= 1.0:
+                continue
+            grad = r.segment.nodes * (1.0 - p_any) / (1.0 - p)
+            var += (grad * r.se_node) ** 2
+        return math.sqrt(var)
+
+    @property
+    def expected_affected(self) -> float:
+        """Expected count of nodes over the threshold across the fleet."""
+        return sum(r.expected_affected for r in self.segments)
+
+    @property
+    def se_expected_affected(self) -> float:
+        return math.sqrt(
+            sum((r.segment.nodes * r.se_node) ** 2 for r in self.segments)
+        )
+
+    @property
+    def trials(self) -> int:
+        return sum(r.campaign.trials for r in self.segments)
+
+    def to_dict(self) -> dict:
+        return {
+            "mix": self.mix.name,
+            "threshold": self.threshold,
+            "nodes": self.mix.nodes,
+            "p_any": self.p_any,
+            "se_any": self.se_any,
+            "expected_affected": self.expected_affected,
+            "se_expected_affected": self.se_expected_affected,
+            "segments": [
+                {
+                    "name": r.segment.name,
+                    "nodes": r.segment.nodes,
+                    "fit_scale": r.segment.fit_scale,
+                    "p_node": r.p_node,
+                    "se_node": r.se_node,
+                    "trials": r.campaign.trials,
+                    "ess": r.campaign.ess,
+                    "mode": r.campaign.mode,
+                }
+                for r in self.segments
+            ],
+        }
+
+
+def fleet_failure_probability(
+    mix: FleetMix,
+    threshold: float,
+    *,
+    mode: "str | None" = None,
+    trials: "int | None" = None,
+    shards: int = DEFAULT_SHARDS,
+    seed: int = 0,
+    tilt: "float | None" = None,
+    jobs: "int | None" = None,
+    use_cache: bool = False,
+    target_rci: "float | None" = None,
+) -> FleetReport:
+    """Estimate ``P(any node in the fleet materializes >= threshold)``.
+
+    Runs one sharded rare-event campaign per segment (the segment's
+    ``fit_scale`` feeds straight into the per-mode Poisson rates via
+    ``EolCapacitySim(fit_scale=...)``; the campaign seed is salted with
+    the segment index so segments draw independent streams) and combines
+    the per-node tail probabilities across the mix.  All
+    :func:`~repro.faults.rareevent.sharded_estimate` behaviours apply
+    per segment: ``REPRO_MC_VR`` mode resolution, checkpointed resume
+    with ``use_cache``, early stop on ``target_rci``.
+    """
+    if not 0.0 < threshold:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    report = FleetReport(mix=mix, threshold=threshold)
+    for i, seg in enumerate(mix.segments):
+        campaign = sharded_estimate(
+            seg.org,
+            mode=mode,
+            trials=trials,
+            shards=shards,
+            seed=seed * len(mix.segments) + i,
+            lifetime_hours=seg.lifetime_hours,
+            fit_scale=seg.fit_scale,
+            threshold=threshold,
+            tilt=tilt,
+            jobs=jobs,
+            use_cache=use_cache,
+            target_rci=target_rci,
+        )
+        report.segments.append(SegmentReport(segment=seg, campaign=campaign))
+    return report

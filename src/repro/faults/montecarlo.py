@@ -38,7 +38,7 @@ from repro.faults.fit_rates import (
     FaultMode,
     MemoryOrg,
 )
-from repro.util.envcfg import mc_trials
+from repro.util.envcfg import DEFAULT_MC_CHUNK, mc_chunk, mc_trials
 from repro.util.rng import make_rng
 from repro.util.units import YEARS
 
@@ -53,9 +53,10 @@ _BANKS_MATERIALIZED = {
 #: Saturating modes in enum order - the draw order of every chunk.
 _SAT_MODES = tuple(m for m in FaultMode if m in SATURATING_MODES)
 
-#: Default trials per chunk: bounds peak memory (a few MB of event arrays)
-#: while keeping array draws long enough to amortize NumPy dispatch.
-DEFAULT_CHUNK = 1 << 16
+#: Default trials per chunk; the ``REPRO_MC_CHUNK`` knob overrides it
+#: (resolved through :func:`repro.util.envcfg.mc_chunk` wherever a caller
+#: leaves ``chunk_size`` unset).
+DEFAULT_CHUNK = DEFAULT_MC_CHUNK
 
 
 @dataclass
@@ -69,7 +70,14 @@ class EolResult:
         return float(self.fractions.mean())
 
     def percentile(self, q: float = 99.9) -> float:
-        return float(np.percentile(self.fractions, q))
+        """Percentile under the repo-wide ``linear`` interpolation convention.
+
+        Pinned explicitly so the unweighted path, the histogram round-trip,
+        and the weighted rare-event estimators
+        (:func:`repro.faults.rareevent.weighted_percentile`) all interpolate
+        identically; plain-MC equality is asserted in the tests.
+        """
+        return float(np.percentile(self.fractions, q, method="linear"))
 
     @property
     def any_fault_fraction(self) -> float:
@@ -109,14 +117,55 @@ def _draw_chunk(
     draws = {}
     for m in _SAT_MODES:
         counts = rng.poisson(lam[m], size=n)
-        events = int(counts.sum())
-        channels = rng.integers(org.channels, size=events)
-        ranks = rng.integers(org.ranks_per_channel, size=events)
-        if m is FaultMode.MULTI_RANK:
-            third = rng.integers(org.ranks_per_channel, size=events)
-        else:
-            third = rng.integers(org.banks_per_rank, size=events)
-        draws[m] = (counts, channels, ranks, third)
+        draws[m] = (counts,) + _draw_placements(rng, org, m, int(counts.sum()))
+    return draws
+
+
+def _draw_placements(
+    rng: np.random.Generator, org: MemoryOrg, mode: FaultMode, events: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Placement stage of the draw contract for one mode's pooled events.
+
+    Uniform over the organization in both the nominal and every proposal
+    measure (only the *count* distributions are reweighted/stratified), so
+    the likelihood ratios in :mod:`repro.faults.rareevent` involve counts
+    alone.  Shared verbatim by :func:`_draw_chunk` and
+    :func:`_draw_chunk_conditional`.
+    """
+    channels = rng.integers(org.channels, size=events)
+    ranks = rng.integers(org.ranks_per_channel, size=events)
+    if mode is FaultMode.MULTI_RANK:
+        third = rng.integers(org.ranks_per_channel, size=events)
+    else:
+        third = rng.integers(org.banks_per_rank, size=events)
+    return channels, ranks, third
+
+
+def _draw_chunk_conditional(
+    rng: np.random.Generator,
+    org: MemoryOrg,
+    lam: "dict[FaultMode, float]",
+    totals: np.ndarray,
+) -> "dict[FaultMode, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
+    """Draw one chunk *conditioned on per-trial total event counts*.
+
+    The superposition of the per-mode Poisson processes splits exactly:
+    given trial *t*'s total count ``totals[t]``, the per-mode counts are
+    multinomial with probabilities ``lam[m] / sum(lam)``.  One broadcast
+    multinomial draws the whole split, then each mode's pooled events get
+    placements from :func:`_draw_placements` in enum order — the same
+    ``{mode: (counts, channels, ranks, third)}`` contract
+    :func:`_chunk_batched` and :func:`_chunk_reference` consume, so the
+    stratified sampler reuses both chunk kernels unchanged.
+    """
+    totals = np.asarray(totals, dtype=np.int64)
+    lam_total = sum(lam[m] for m in _SAT_MODES)
+    pvals = np.array([lam[m] / lam_total for m in _SAT_MODES])
+    split = rng.multinomial(totals, pvals)  # (n, modes)
+    draws = {}
+    for j, m in enumerate(_SAT_MODES):
+        counts = split[:, j].astype(np.int64)
+        draws[m] = (counts,) + _draw_placements(rng, org, m, int(counts.sum()))
     return draws
 
 
@@ -145,8 +194,16 @@ def _chunk_batched(org: MemoryOrg, draws, n: int) -> np.ndarray:
             keys.append(base + nxt)
     fractions = np.zeros(n)
     if keys:
-        unique_keys = np.unique(np.concatenate(keys))
-        per_trial = np.bincount(unique_keys // pairs_per_trial, minlength=n)
+        # Dedupe by sort + neighbour-diff rather than np.unique: the keys
+        # are mostly-distinct int64s, where numpy's hash-based unique path
+        # costs several times a plain sort (the dominant chunk cost for
+        # fault-heavy proposals in repro.faults.rareevent).
+        all_keys = np.concatenate(keys)
+        all_keys.sort()
+        fresh = np.empty(all_keys.size, dtype=bool)
+        fresh[0] = True
+        np.not_equal(all_keys[1:], all_keys[:-1], out=fresh[1:])
+        per_trial = np.bincount(all_keys[fresh] // pairs_per_trial, minlength=n)
         fractions = 2.0 * per_trial / org.total_banks
     return fractions
 
@@ -199,20 +256,25 @@ class EolCapacitySim:
         org: "MemoryOrg | None" = None,
         lifetime_hours: float = 7 * YEARS,
         seed: "int | None" = 0,
+        fit_scale: float = 1.0,
     ):
+        if fit_scale <= 0:
+            raise ValueError(f"fit_scale must be > 0, got {fit_scale}")
         self.org = org or MemoryOrg()
         self.lifetime_hours = lifetime_hours
+        self.fit_scale = fit_scale  #: vendor/age FIT multiplier (fleet mixes)
         self.rng = make_rng(seed)
 
     def _lambdas(self) -> "dict[FaultMode, float]":
         # Expected saturating events per system lifetime, per mode.
         org = self.org
         return {
-            m: FIT_BY_MODE[m] * 1e-9 * org.total_chips * self.lifetime_hours
+            m: FIT_BY_MODE[m] * self.fit_scale * 1e-9 * org.total_chips * self.lifetime_hours
             for m in _SAT_MODES
         }
 
-    def _run(self, trials: int, chunk_size: int, chunk_fn) -> EolResult:
+    def _run(self, trials: int, chunk_size: "int | None", chunk_fn) -> EolResult:
+        chunk_size = mc_chunk(chunk_size)
         lam = self._lambdas()
         fractions = np.empty(trials)
         done = 0
@@ -248,12 +310,17 @@ class EolCapacitySim:
                 )
         return EolResult(fractions=fractions)
 
-    def run(self, trials: int = 20000, chunk_size: int = DEFAULT_CHUNK) -> EolResult:
-        """Vectorized simulation (chunked so memory stays bounded)."""
+    def run(self, trials: int = 20000, chunk_size: "int | None" = None) -> EolResult:
+        """Vectorized simulation (chunked so memory stays bounded).
+
+        *chunk_size* defaults to ``REPRO_MC_CHUNK`` (else
+        :data:`DEFAULT_CHUNK`); it slices the shared draw stream, so results
+        are bit-reproducible only at a matched chunk size.
+        """
         return self._run(trials, chunk_size, _chunk_batched)
 
     def _run_reference(
-        self, trials: int = 20000, chunk_size: int = DEFAULT_CHUNK
+        self, trials: int = 20000, chunk_size: "int | None" = None
     ) -> EolResult:
         """Per-event reference loop; identical results to :meth:`run` at a
         matched seed and chunk size (property-tested)."""
@@ -285,7 +352,7 @@ def eol_fraction_by_channels(
     trials: "int | None" = None,
     seed: int = 0,
     lifetime_hours: float = 7 * YEARS,
-    chunk_size: int = DEFAULT_CHUNK,
+    chunk_size: "int | None" = None,
     jobs: "int | None" = None,
     use_cache: bool = False,
 ) -> "dict[int, EolResult]":
@@ -305,6 +372,7 @@ def eol_fraction_by_channels(
     from repro.experiments import parallel
 
     trials = mc_trials(trials, 20000)
+    chunk_size = mc_chunk(chunk_size)
     cache: "dict[str, object]" = {}
     cache_path = None
     if use_cache:

@@ -38,6 +38,24 @@ from typing import Callable
 #: Default retry budget per campaign task (attempts = retries + 1).
 DEFAULT_TASK_RETRIES = 2
 
+#: Default Monte Carlo chunk size (trials per whole-array chunk): bounds
+#: peak memory (a few MB of event arrays) while keeping array draws long
+#: enough to amortize NumPy dispatch.  ``repro.faults.montecarlo`` re-exports
+#: this as ``DEFAULT_CHUNK``.
+DEFAULT_MC_CHUNK = 1 << 16
+
+#: Default exponential-tilt factor of the importance-sampling estimator
+#: (``repro.faults.rareevent``): the smallest-blast-radius fault modes'
+#: Poisson rates are multiplied by this factor (heavier modes tilt harder,
+#: scaled by banks materialized per event), pushing trials toward the
+#: fault-heavy trajectories that resolve the 99.9th-percentile tail.
+#: Tuned on the fig8 default organization: effective speedup at the p999
+#: tail peaks (and plateaus) around tilt 4-6.
+DEFAULT_MC_TILT = 6.0
+
+#: Variance-reduction modes accepted by ``REPRO_MC_VR``.
+MC_VR_MODES = ("off", "is", "strat", "auto")
+
 
 def _env_number(name: str, cast, kind: str):
     """Parse ``os.environ[name]`` via *cast*; blank/unset returns ``None``."""
@@ -79,6 +97,80 @@ def mc_trials(explicit: "int | None", default: int) -> int:
     if explicit is not None:
         return explicit
     return positive_int("REPRO_MC_TRIALS", default)
+
+
+def mc_chunk(explicit: "int | None" = None) -> int:
+    """Resolve the Monte Carlo chunk size (trials per whole-array chunk).
+
+    Priority: an explicit caller argument, then ``REPRO_MC_CHUNK``, then
+    :data:`DEFAULT_MC_CHUNK`.  The chunk size slices the shared draw stream,
+    so two runs agree bit-for-bit only at a matched chunk size; campaign
+    cache keys therefore record the resolved value.
+    """
+    if explicit is not None:
+        explicit = int(explicit)
+        if explicit < 1:
+            raise ValueError(f"mc chunk size must be >= 1, got {explicit}")
+        return explicit
+    return positive_int("REPRO_MC_CHUNK", DEFAULT_MC_CHUNK)
+
+
+def mc_vr(explicit: "str | None" = None) -> str:
+    """Resolve the rare-event variance-reduction mode of the MC plane.
+
+    ``off`` (default) keeps plain Monte Carlo; ``is`` arms the
+    exponential-tilt importance sampler; ``strat`` arms fault-count
+    stratification; ``auto`` lets the driver pick per target (importance
+    sampling for tail/threshold targets, stratification for means).  An
+    explicit caller argument wins over ``REPRO_MC_VR``.
+    """
+    value = explicit if explicit is not None else os.environ.get("REPRO_MC_VR", "")
+    value = value.strip() or "off"
+    if value not in MC_VR_MODES:
+        raise ValueError(
+            f"REPRO_MC_VR must be one of {'|'.join(MC_VR_MODES)}, got {value!r}"
+        )
+    return value
+
+
+def mc_tilt(explicit: "float | None" = None) -> float:
+    """Resolve the importance-sampling tilt factor (``REPRO_MC_TILT``).
+
+    Saturating-mode Poisson rates are multiplied by this factor under the
+    proposal measure; ``1`` degenerates to plain MC (weights all one).
+    Values below 1 would tilt *away* from faults and are rejected.
+    """
+    if explicit is not None:
+        explicit = float(explicit)
+        if explicit < 1:
+            raise ValueError(f"mc tilt factor must be >= 1, got {explicit}")
+        return explicit
+    value = _env_number("REPRO_MC_TILT", float, "a number")
+    if value is None:
+        return DEFAULT_MC_TILT
+    if value < 1:
+        raise ValueError(f"REPRO_MC_TILT must be >= 1, got {value}")
+    return value
+
+
+def mc_target_rci(explicit: "float | None" = None) -> "float | None":
+    """Resolve the early-stop target relative CI (``REPRO_MC_TARGET_RCI``).
+
+    A rare-event campaign stops drawing once the 95% relative CI half-width
+    of its primary estimator falls to this fraction (e.g. ``0.05`` = ±5%).
+    ``None``/unset disables early stopping; ``0`` disables it explicitly.
+    """
+    if explicit is not None:
+        explicit = float(explicit)
+        if explicit < 0:
+            raise ValueError(f"mc target rci must be >= 0, got {explicit}")
+        return explicit or None
+    value = _env_number("REPRO_MC_TARGET_RCI", float, "a number")
+    if value is None:
+        return None
+    if value < 0:
+        raise ValueError(f"REPRO_MC_TARGET_RCI must be >= 0, got {value}")
+    return value or None
 
 
 def jobs(default: int) -> int:
@@ -228,6 +320,34 @@ register(
     "per driver (fig8: 20000)",
     "default trial count of every Monte Carlo driver; explicit trials= wins",
     lambda: str(positive_int("REPRO_MC_TRIALS", 0) or "(per-driver default)"),
+)
+register(
+    "REPRO_MC_CHUNK",
+    "int >= 1",
+    str(DEFAULT_MC_CHUNK),
+    "trials per whole-array Monte Carlo chunk; slices the draw stream, so cache keys record it",
+    lambda: str(mc_chunk()),
+)
+register(
+    "REPRO_MC_VR",
+    "off|is|strat|auto",
+    "off",
+    "rare-event variance reduction: importance sampling, count stratification, or per-target auto",
+    lambda: mc_vr(),
+)
+register(
+    "REPRO_MC_TILT",
+    "float >= 1",
+    str(DEFAULT_MC_TILT),
+    "exponential-tilt factor of the importance sampler (1 = plain MC weights)",
+    lambda: f"{mc_tilt():g}",
+)
+register(
+    "REPRO_MC_TARGET_RCI",
+    "float >= 0",
+    "disabled",
+    "early-stop a rare-event campaign once the 95% relative CI reaches this fraction (0 = off)",
+    lambda: (lambda v: f"{v:g}" if v else "(disabled)")(mc_target_rci()),
 )
 register(
     "REPRO_TASK_TIMEOUT",

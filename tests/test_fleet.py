@@ -1,0 +1,184 @@
+"""Tests for fleet-level reliability (``repro.faults.fleet``).
+
+The combination math is checked against brute force on stub campaigns
+(tallies with known tail mass), and the end-to-end path - one sharded
+rare-event campaign per segment - for determinism and FIT scaling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.fit_rates import MemoryOrg
+from repro.faults.fleet import (
+    PRESET_MIXES,
+    FleetMix,
+    FleetReport,
+    FleetSegment,
+    SegmentReport,
+    aging_mix,
+    fleet_failure_probability,
+    uniform_mix,
+    vendor_spread_mix,
+)
+from repro.faults.montecarlo import EolCapacitySim, _SAT_MODES
+from repro.faults.rareevent import CampaignResult, WeightedEstimate, WeightedTally
+
+
+def _stub_report(nodes: int, p: float, trials: int = 1000) -> SegmentReport:
+    """A segment whose campaign saw exactly ``p * trials`` tail samples."""
+    tally = WeightedTally()
+    hits = round(p * trials)
+    tally.add(np.concatenate([np.zeros(trials - hits), np.ones(hits)]))
+    campaign = CampaignResult(
+        estimate=WeightedEstimate(mode="off", tally=tally),
+        mode="off",
+        shards_total=1,
+        shards_used=1,
+        early_stopped=False,
+        threshold=0.5,
+        wall_s=0.0,
+    )
+    return SegmentReport(
+        segment=FleetSegment(name=f"seg-{nodes}-{p}", nodes=nodes), campaign=campaign
+    )
+
+
+class TestValidation:
+    def test_segment_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            FleetSegment(name="bad", nodes=-1)
+        with pytest.raises(ValueError):
+            FleetSegment(name="bad", nodes=10, fit_scale=0.0)
+        with pytest.raises(ValueError):
+            FleetSegment(name="bad", nodes=10, fit_scale=-2.0)
+
+    def test_mix_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValueError):
+            FleetMix(name="empty", segments=())
+        seg = FleetSegment(name="twin", nodes=1)
+        with pytest.raises(ValueError):
+            FleetMix(name="dup", segments=(seg, seg))
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            fleet_failure_probability(uniform_mix(10), threshold=0.0, trials=100)
+
+
+class TestPresetMixes:
+    @pytest.mark.parametrize("nodes", [3, 10, 101, 1_000_000])
+    @pytest.mark.parametrize("factory", sorted(PRESET_MIXES), ids=str)
+    def test_node_conservation(self, factory, nodes):
+        # Integer splits must never drop or invent nodes.
+        mix = PRESET_MIXES[factory](nodes)
+        assert mix.nodes == nodes
+
+    def test_shapes(self):
+        assert len(uniform_mix(10).segments) == 1
+        assert len(vendor_spread_mix(100).segments) == 3
+        assert len(aging_mix(100).segments) == 3
+        scales = [s.fit_scale for s in vendor_spread_mix(100).segments]
+        assert min(scales) < 1.0 < max(scales)
+
+
+class TestCombination:
+    def test_p_any_matches_brute_force(self):
+        report = FleetReport(
+            mix=uniform_mix(1),  # shape only; segments below carry the nodes
+            threshold=0.5,
+            segments=[_stub_report(3, 0.1), _stub_report(5, 0.2), _stub_report(2, 0.0)],
+        )
+        brute = 1.0 - (1 - 0.1) ** 3 * (1 - 0.2) ** 5 * (1 - 0.0) ** 2
+        assert report.p_any == pytest.approx(brute, rel=1e-12)
+        assert report.expected_affected == pytest.approx(3 * 0.1 + 5 * 0.2, rel=1e-12)
+
+    def test_p_any_survives_million_node_fleets(self):
+        # p=1e-3 over 1e6 nodes: the naive product underflows to 1.0 loss
+        # of precision; the log-space path must stay finite and sane.
+        report = FleetReport(
+            mix=uniform_mix(1),
+            threshold=0.5,
+            segments=[_stub_report(1_000_000, 0.001, trials=100_000)],
+        )
+        assert report.p_any == pytest.approx(-np.expm1(1_000_000 * np.log1p(-0.001)))
+        assert 0.999 < report.p_any <= 1.0
+
+    def test_certain_failure_segment(self):
+        report = FleetReport(
+            mix=uniform_mix(1), threshold=0.5, segments=[_stub_report(4, 1.0)]
+        )
+        assert report.p_any == 1.0
+        assert report.se_any == 0.0
+
+    def test_se_any_single_segment_delta_method(self):
+        # One segment: d/dp [1-(1-p)^N] = N (1-p)^(N-1), so the delta-method
+        # SE must equal that gradient times the per-node SE exactly.
+        r = _stub_report(7, 0.1)
+        report = FleetReport(mix=uniform_mix(1), threshold=0.5, segments=[r])
+        grad = 7 * (1 - 0.1) ** 6
+        assert report.se_any == pytest.approx(grad * r.se_node, rel=1e-12)
+
+    def test_se_expected_affected(self):
+        a, b = _stub_report(3, 0.1), _stub_report(5, 0.2)
+        report = FleetReport(mix=uniform_mix(1), threshold=0.5, segments=[a, b])
+        expected = np.hypot(3 * a.se_node, 5 * b.se_node)
+        assert report.se_expected_affected == pytest.approx(expected, rel=1e-12)
+
+
+class TestFitScale:
+    def test_scales_every_mode_rate_linearly(self):
+        base = EolCapacitySim(seed=0)._lambdas()
+        scaled = EolCapacitySim(seed=0, fit_scale=2.5)._lambdas()
+        for m in _SAT_MODES:
+            assert scaled[m] == pytest.approx(2.5 * base[m], rel=1e-12)
+
+
+class TestEndToEnd:
+    MIX = FleetMix(
+        name="tiny",
+        segments=(
+            FleetSegment(name="nominal", nodes=50),
+            FleetSegment(name="worn", nodes=20, fit_scale=2.0),
+        ),
+    )
+
+    def _run(self, **kw):
+        kw.setdefault("mode", "is")
+        kw.setdefault("trials", 3_000)
+        kw.setdefault("shards", 2)
+        kw.setdefault("jobs", 1)
+        return fleet_failure_probability(self.MIX, threshold=0.02, **kw)
+
+    def test_deterministic(self):
+        assert self._run().to_dict() == self._run().to_dict()
+
+    def test_report_shape(self):
+        report = self._run()
+        d = report.to_dict()
+        assert d["mix"] == "tiny" and d["nodes"] == 70
+        assert len(d["segments"]) == 2
+        assert d["segments"][0]["mode"] == "is"
+        assert 0.0 <= d["p_any"] <= 1.0
+        assert d["se_any"] >= 0.0
+        assert report.trials == sum(s["trials"] for s in d["segments"])
+        # The combination is consistent with the per-segment answers.
+        brute = 1.0
+        for r in report.segments:
+            brute *= (1.0 - r.p_node) ** r.segment.nodes
+        assert report.p_any == pytest.approx(1.0 - brute, rel=1e-9)
+
+    def test_segments_draw_independent_streams(self):
+        report = self._run()
+        a, b = report.segments
+        assert a.campaign.estimate.to_dict() != b.campaign.estimate.to_dict()
+
+    def test_org_override_per_segment(self):
+        mix = FleetMix(
+            name="mixed-org",
+            segments=(
+                FleetSegment(name="wide", nodes=5, org=MemoryOrg(channels=16)),
+            ),
+        )
+        report = fleet_failure_probability(
+            mix, threshold=0.02, mode="is", trials=1_000, shards=1, jobs=1
+        )
+        assert report.segments[0].campaign.trials == 1_000

@@ -13,6 +13,10 @@ from repro.ecc.chipkill import Chipkill18, Chipkill36
 from repro.ecc.double_chipkill import DoubleChipkill40
 from repro.ecc.lot_ecc import LotEcc5, LotEcc9
 from repro.experiments import coverage
+from repro.faults.analysis import (
+    hpc_stall_fraction,
+    mean_time_between_channel_faults_days,
+)
 from repro.faults.fit_rates import FaultMode, MemoryOrg
 from repro.faults.montecarlo import (
     _SAT_MODES,
@@ -21,6 +25,7 @@ from repro.faults.montecarlo import (
     _chunk_batched,
     _chunk_reference,
     channel_fault_gap_stats,
+    hpc_stall_mc,
     mean_time_between_channel_faults_mc,
 )
 from repro.util.rng import make_rng
@@ -179,3 +184,63 @@ class TestCoverageBatchedEqualsReference:
         reference = coverage._tally_reference(scheme, data, spec)
         assert np.array_equal(batched, reference)
         assert int(batched.sum()) == 64
+
+
+class TestHpcStallMc:
+    def test_seeded_determinism(self):
+        a = hpc_stall_mc(trials=50, seed=4)
+        b = hpc_stall_mc(trials=50, seed=4)
+        assert (a.migrations, a.stall_hours) == (b.migrations, b.stall_hours)
+        assert hpc_stall_mc(trials=50, seed=5).migrations != a.migrations
+
+    def test_agrees_with_closed_form(self):
+        # stall_fraction is total-event-count driven; at ~1e4 expected
+        # events per machine over 200 machines the MC mean sits within a
+        # fraction of a percent of the analytic Section VI-B estimate.
+        mc = hpc_stall_mc(trials=200, seed=0)
+        analytic = hpc_stall_fraction()
+        assert mc.stall_fraction == pytest.approx(analytic, rel=5e-3)
+
+    def test_stall_scales_with_nic_bandwidth(self):
+        slow = hpc_stall_mc(nic_gbps=1.0, trials=50, seed=0)
+        fast = hpc_stall_mc(nic_gbps=10.0, trials=50, seed=0)
+        # Same seed, same event draws: only the per-event stall shrinks.
+        assert fast.migrations == slow.migrations
+        assert fast.stall_hours < slow.stall_hours
+
+
+class TestChannelGapClosedForm:
+    def test_mean_matches_analytic(self):
+        # E[gap to a different-channel fault] = 1 / ((N-1) lam_channel);
+        # ~17k counted runs at the default org pin the MC mean within ~2%.
+        org = MemoryOrg()
+        mc = channel_fault_gap_stats(44.0, org, trials=20_000, seed=0)
+        analytic = mean_time_between_channel_faults_days(44.0, org)
+        assert mc.mean_days == pytest.approx(analytic, rel=0.02)
+
+    def test_wrapper_matches_analytic(self):
+        assert mean_time_between_channel_faults_mc(
+            100.0, trials=20_000, seed=1
+        ) == pytest.approx(mean_time_between_channel_faults_days(100.0), rel=0.02)
+
+    def test_single_channel_never_ends_a_run(self):
+        # One channel: no fault ever lands in a *different* channel, so no
+        # run completes and everything after the anchor is censored.
+        stats = channel_fault_gap_stats(44.0, MemoryOrg(channels=1), trials=100, seed=0)
+        assert stats.runs_counted == 0
+        assert stats.censored_tail_events == 99
+        assert stats.mean_days == 0.0
+
+
+class TestChunkKnobDoesNotTouchScalarMc:
+    """The §VI-B and Figure 2 MCs draw whole sample arrays in one shot;
+    ``REPRO_MC_CHUNK`` must never reach them."""
+
+    def test_outputs_bitwise_stable_under_chunk_knob(self, monkeypatch):
+        base_stall = hpc_stall_mc(trials=40, seed=2)
+        base_gap = channel_fault_gap_stats(44.0, trials=500, seed=2)
+        base_mean = mean_time_between_channel_faults_mc(44.0, trials=500, seed=2)
+        monkeypatch.setenv("REPRO_MC_CHUNK", "7")
+        assert hpc_stall_mc(trials=40, seed=2) == base_stall
+        assert channel_fault_gap_stats(44.0, trials=500, seed=2) == base_gap
+        assert mean_time_between_channel_faults_mc(44.0, trials=500, seed=2) == base_mean

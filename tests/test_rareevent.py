@@ -1,0 +1,416 @@
+"""Tests for the rare-event estimators (``repro.faults.rareevent``).
+
+Three layers of guarantees:
+
+* **Conventions** - :func:`weighted_percentile` reproduces numpy's
+  ``linear`` (type-7) interpolation exactly on unit weights and on
+  integer-count histograms, which pins the weighted estimators to
+  :meth:`EolResult.percentile` on the plain-MC special case.
+* **Unbiasedness** - the vectorized likelihood ratios match the per-trial
+  log-pmf reference, importance weights average to one, and the oracle
+  (:func:`oracle_compare`) keeps IS and stratified estimates within
+  analytic CI bounds of plain MC.
+* **Campaign semantics** - sharded runs merge bit-identically serial vs
+  parallel, resume from checkpoints recomputing only missing shards,
+  survive an armed ``REPRO_CHAOS`` storm, and stop early on a target
+  relative CI.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.fit_rates import MemoryOrg
+from repro.faults.montecarlo import _SAT_MODES, EolCapacitySim, _draw_chunk
+from repro.faults.rareevent import (
+    MAX_TALLY_POINTS,
+    StratifiedEstimate,
+    WeightedEstimate,
+    WeightedTally,
+    _is_log_weights,
+    _is_log_weights_reference,
+    _tilt_by_mode,
+    estimate_from_dict,
+    oracle_compare,
+    resolve_mode,
+    run_estimate,
+    run_is,
+    run_plain,
+    run_stratified,
+    sharded_estimate,
+    weighted_percentile,
+)
+from repro.util import envcfg
+
+ORGS = [
+    MemoryOrg(),
+    MemoryOrg(channels=2, ranks_per_channel=1, banks_per_rank=2),
+    MemoryOrg(channels=16),
+]
+
+QS = [0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 99.9, 100.0]
+
+
+def _sim(salt: int, org: "MemoryOrg | None" = None, **kw) -> EolCapacitySim:
+    return EolCapacitySim(
+        org, seed=np.random.default_rng(np.random.SeedSequence((0, salt))), **kw
+    )
+
+
+class TestWeightedPercentile:
+    def test_unit_weights_are_numpy_linear(self, rng):
+        values = rng.normal(size=257)
+        for q in QS:
+            expected = float(np.percentile(values, q, method="linear"))
+            assert weighted_percentile(values, None, q) == expected
+            got = weighted_percentile(values, np.ones_like(values), q)
+            assert got == pytest.approx(expected, rel=0, abs=1e-12)
+
+    def test_integer_counts_equal_expanded_sample(self, rng):
+        # The convention the module is built on: integer weights with
+        # samples=sum(weights) reproduce np.percentile over the repeated
+        # sample exactly - including the flat segments duplicates create.
+        for case in range(40):
+            k = int(rng.integers(2, 12))
+            values = np.sort(rng.normal(size=k))
+            counts = rng.integers(1, 9, size=k)
+            expanded = np.repeat(values, counts)
+            for q in QS:
+                expected = float(np.percentile(expanded, q, method="linear"))
+                got = weighted_percentile(
+                    values, counts.astype(float), q, samples=int(counts.sum())
+                )
+                assert got == pytest.approx(expected, rel=0, abs=1e-12), (case, q)
+
+    def test_monotone_in_q(self, rng):
+        values = rng.normal(size=64)
+        weights = rng.random(64) + 0.01
+        got = [weighted_percentile(values, weights, q) for q in QS]
+        assert got == sorted(got)
+
+    def test_zero_weight_points_do_not_anchor(self):
+        # A zero-weight outlier must not drag the interpolation grid.
+        assert weighted_percentile(
+            np.array([1.0, 2.0, 1e9]), np.array([1.0, 1.0, 0.0]), 100.0
+        ) == pytest.approx(2.0)
+
+    def test_single_point_and_degenerate_mass(self):
+        assert weighted_percentile(np.array([3.0]), np.array([2.0]), 50.0) == 3.0
+        # samples=1: the whole mass is one nominal sample, no span to
+        # interpolate over.
+        assert weighted_percentile(
+            np.array([1.0, 5.0]), np.array([0.5, 0.5]), 50.0, samples=1
+        ) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_percentile(np.array([]), None, 50.0)
+        with pytest.raises(ValueError):
+            weighted_percentile(np.array([1.0, 2.0]), np.array([1.0]), 50.0)
+        with pytest.raises(ValueError):
+            weighted_percentile(np.array([1.0, 2.0]), np.array([1.0, -0.5]), 50.0)
+        with pytest.raises(ValueError):
+            weighted_percentile(np.array([1.0, 2.0]), np.array([0.0, 0.0]), 50.0)
+
+
+class TestLikelihoodRatios:
+    @pytest.mark.parametrize("org", ORGS, ids=lambda o: f"{o.channels}ch")
+    @pytest.mark.parametrize("tilt", [1.0, 2.5, 6.0])
+    def test_vectorized_matches_reference(self, org, tilt):
+        sim = _sim(11, org)
+        lam = sim._lambdas()
+        tilts = _tilt_by_mode(org, tilt)
+        lam_q = {m: tilts[m] * lam[m] for m in _SAT_MODES}
+        draws = _draw_chunk(sim.rng, org, lam_q, 256)
+        fast = _is_log_weights(draws, lam, tilts)
+        slow = _is_log_weights_reference(draws, lam, tilts)
+        assert np.allclose(fast, slow, rtol=1e-12, atol=1e-12)
+
+    def test_unit_tilt_is_plain_mc(self):
+        org = MemoryOrg()
+        tilts = _tilt_by_mode(org, 1.0)
+        assert all(t == 1.0 for t in tilts.values())
+        sim = _sim(3, org)
+        lam = sim._lambdas()
+        draws = _draw_chunk(sim.rng, org, lam, 64)
+        assert np.all(_is_log_weights(draws, lam, tilts) == 0.0)
+
+    def test_blast_radius_ordering(self):
+        # Heavier modes tilt harder; the two-bank modes tilt by exactly
+        # the scalar knob.
+        from repro.faults.fit_rates import FaultMode
+
+        tilts = _tilt_by_mode(MemoryOrg(), 6.0)
+        assert tilts[FaultMode.SINGLE_COLUMN] == 6.0
+        assert tilts[FaultMode.SINGLE_BANK] == 6.0
+        assert tilts[FaultMode.MULTI_BANK] > tilts[FaultMode.SINGLE_BANK]
+        assert tilts[FaultMode.MULTI_RANK] > tilts[FaultMode.MULTI_BANK]
+
+    def test_importance_weights_average_to_one(self):
+        est = run_is(_sim(7), trials=20_000, tilt=4.0)
+        t = est.tally
+        mean_w = t.sum_w / t.n
+        var_w = max(0.0, t.sum_w_sq / t.n - mean_w**2)
+        se = (var_w / t.n) ** 0.5
+        assert abs(mean_w - 1.0) <= 5 * se
+
+
+class TestPlainSpecialCase:
+    """Satellite: the weighted pipeline with unit weights IS plain MC."""
+
+    def test_plain_run_matches_eol_result(self):
+        trials = 30_000
+        result = EolCapacitySim(seed=0).run(trials)
+        est = run_plain(EolCapacitySim(seed=0), trials)
+        assert est.mean == pytest.approx(result.mean, rel=0, abs=1e-15)
+        for q in (50.0, 99.0, 99.9):
+            assert est.percentile(q) == result.percentile(q)
+        assert est.tail_probability(est.percentile(99.9)) == pytest.approx(
+            float((result.fractions >= result.percentile(99.9)).mean())
+        )
+        assert est.ess == pytest.approx(trials)
+        assert est.tally.weight_cv_sq == pytest.approx(0.0, abs=1e-12)
+
+
+class TestWeightedTally:
+    def test_merge_matches_bulk(self, rng):
+        values = rng.random(999)
+        weights = rng.random(999) + 0.1
+        bulk = WeightedTally()
+        bulk.add(values, weights)
+        split = WeightedTally()
+        for lo, hi in ((0, 100), (100, 101), (101, 999)):
+            part = WeightedTally()
+            part.add(values[lo:hi], weights[lo:hi])
+            split.merge(part)
+        assert split.n == bulk.n
+        assert split.sum_w == pytest.approx(bulk.sum_w, rel=1e-12)
+        assert split.mean == pytest.approx(bulk.mean, rel=1e-12)
+        assert split.ess == pytest.approx(bulk.ess, rel=1e-12)
+        assert split.percentile(99.0) == pytest.approx(bulk.percentile(99.0), rel=1e-12)
+
+    def test_round_trips_through_json(self, rng):
+        tally = WeightedTally()
+        tally.add(rng.random(500), rng.random(500))
+        back = WeightedTally.from_dict(json.loads(json.dumps(tally.to_dict())))
+        assert back.n == tally.n
+        assert back.mean == tally.mean
+        assert back.se_mean == tally.se_mean
+        assert back.ess == tally.ess
+        assert back.percentile(99.9) == tally.percentile(99.9)
+
+    def test_compaction_bounds_histogram(self, rng):
+        tally = WeightedTally()
+        tally.add(rng.normal(size=3 * MAX_TALLY_POINTS))
+        assert tally.compacted > 0
+        assert len(tally._hist) <= MAX_TALLY_POINTS
+        # Compaction merges at weight-averaged midpoints: the mean survives.
+        assert tally.mean == pytest.approx(tally.sum_wv / tally.n, rel=1e-12)
+        assert tally.n == 3 * MAX_TALLY_POINTS
+
+    def test_scaled_preserves_values_and_ess(self, rng):
+        tally = WeightedTally()
+        tally.add(rng.random(100), rng.random(100) + 0.5)
+        scaled = tally.scaled(3.0)
+        assert scaled.mean == pytest.approx(3.0 * tally.mean, rel=1e-12)
+        assert scaled.ess == pytest.approx(tally.ess, rel=1e-12)
+        assert scaled.percentile(50.0) == pytest.approx(tally.percentile(50.0), rel=1e-12)
+
+
+class TestStratified:
+    def test_zero_stratum_is_analytic(self):
+        est = run_stratified(_sim(5), trials=2_000)
+        zero = est.strata[0]
+        assert zero.k == 0 and zero.exact == 0.0 and zero.tally.n == 0
+        assert sum(s.prob for s in est.strata) == pytest.approx(1.0, abs=1e-12)
+        assert all(s.tally.n > 0 for s in est.strata if s.exact is None and s.prob > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_stratified(_sim(1), trials=100, strata=1)
+        with pytest.raises(ValueError):
+            run_stratified(_sim(1), trials=100, allocation="bogus")
+
+    def test_merge_rejects_mismatched_strata(self):
+        a = run_stratified(_sim(1), trials=500, strata=4)
+        b = run_stratified(_sim(2), trials=500, strata=5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_round_trips_through_json(self):
+        est = run_stratified(_sim(9), trials=1_000)
+        back = estimate_from_dict(json.loads(json.dumps(est.to_dict())))
+        assert isinstance(back, StratifiedEstimate)
+        assert back.mean == est.mean
+        assert back.se_mean == est.se_mean
+        assert back.trials == est.trials
+        assert back.percentile(99.9) == est.percentile(99.9)
+
+
+class TestOracle:
+    """The unbiasedness oracle: weighted estimates agree with plain MC."""
+
+    def test_is_and_strat_within_ci(self):
+        threshold = run_plain(_sim(1), 40_000).percentile(99.9)
+        report = oracle_compare(trials=30_000, threshold=threshold)
+        assert report["ok"], report["zscores"]
+        # Variance reduction is the point: IS must beat plain's tail SE.
+        assert (
+            report["estimates"]["is"]["se_tail"]
+            < report["estimates"]["plain"]["se_tail"]
+        )
+
+    def test_disagreement_flips_ok(self):
+        # A corrupted estimator (simulated via a tiny z bound) must be
+        # reported, not silently averaged away.
+        report = oracle_compare(trials=5_000, z=1e-9)
+        assert not report["ok"]
+
+
+class TestShardedCampaigns:
+    def test_serial_equals_parallel_bitwise(self):
+        kw = dict(mode="is", trials=6_000, shards=3, seed=4, tilt=4.0)
+        serial = sharded_estimate(jobs=1, **kw)
+        par = sharded_estimate(jobs=2, **kw)
+        assert serial.estimate.to_dict() == par.estimate.to_dict()
+        assert serial.shards_used == par.shards_used == 3
+        assert not serial.early_stopped
+
+    def test_stratified_shards_merge(self):
+        out = sharded_estimate(mode="strat", trials=3_000, shards=2, jobs=1)
+        assert isinstance(out.estimate, StratifiedEstimate)
+        assert out.estimate.trials > 0
+        assert out.mode == "strat"
+
+    def test_resume_recomputes_only_missing_shards(self, tmp_path, monkeypatch):
+        from repro.experiments import evaluation as ev
+        from repro.experiments import parallel
+
+        original = parallel.run_tasks
+        monkeypatch.setattr(ev, "CACHE_DIR", tmp_path)
+        kw = dict(mode="is", trials=4_000, shards=4, seed=1, jobs=1, use_cache=True)
+        first = sharded_estimate(**kw)
+        cache_path = tmp_path / "mc_rareevent.json"
+        assert cache_path.exists()
+        cache = json.loads(cache_path.read_text())
+        assert len(cache) == 4
+
+        # Fully cached: the engine must not be consulted at all.
+        def exploding(*a, **k):
+            raise AssertionError("run_tasks called despite a complete cache")
+
+        monkeypatch.setattr(parallel, "run_tasks", exploding)
+        resumed = sharded_estimate(**kw)
+        assert resumed.estimate.to_dict() == first.estimate.to_dict()
+
+        # Evict half the shards: exactly the missing ones are recomputed
+        # and the merged estimate is bit-identical to the original.
+        evicted = dict(list(cache.items())[:2])
+        cache_path.write_text(json.dumps(evicted))
+        ran = []
+
+        def counting(fn, payloads, **k):
+            ran.extend(payloads)
+            return original(fn, payloads, **k)
+
+        monkeypatch.setattr(parallel, "run_tasks", counting)
+        partial = sharded_estimate(**kw)
+        assert len(ran) == 2
+        assert partial.estimate.to_dict() == first.estimate.to_dict()
+
+    def test_chaos_storm_with_resume(self, tmp_path, monkeypatch):
+        """Armed REPRO_CHAOS + checkpointed shards == the serial answer."""
+        from repro.experiments import evaluation as ev
+
+        kw = dict(mode="is", trials=3_000, shards=3, seed=2)
+        serial = sharded_estimate(jobs=1, **kw)
+
+        monkeypatch.setattr(ev, "CACHE_DIR", tmp_path)
+        monkeypatch.setenv("REPRO_CHAOS", "crash@1,corrupt@0")
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "2")
+        stormy = sharded_estimate(jobs=3, use_cache=True, **kw)
+        assert stormy.estimate.to_dict() == serial.estimate.to_dict()
+
+        # And the checkpoints written under fire resume cleanly.
+        monkeypatch.delenv("REPRO_CHAOS")
+        resumed = sharded_estimate(jobs=1, use_cache=True, **kw)
+        assert resumed.estimate.to_dict() == serial.estimate.to_dict()
+
+    def test_early_stop_on_target_rci(self):
+        out = sharded_estimate(mode="is", trials=8_000, shards=4, jobs=1, target_rci=10.0)
+        assert out.early_stopped
+        assert out.shards_used < out.shards_total
+        # Explicit 0 disables early stopping entirely.
+        full = sharded_estimate(mode="is", trials=8_000, shards=4, jobs=1, target_rci=0)
+        assert not full.early_stopped
+        assert full.shards_used == full.shards_total == 4
+
+    def test_shard_validation(self):
+        with pytest.raises(ValueError):
+            sharded_estimate(trials=100, shards=0)
+
+
+class TestKnobs:
+    """Env knob resolution for the rare-event plane."""
+
+    def test_mc_chunk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_CHUNK", "777")
+        assert envcfg.mc_chunk() == 777
+        assert envcfg.mc_chunk(123) == 123  # explicit wins
+        monkeypatch.delenv("REPRO_MC_CHUNK")
+        assert envcfg.mc_chunk() == envcfg.DEFAULT_MC_CHUNK
+        with pytest.raises(ValueError):
+            envcfg.mc_chunk(0)
+        monkeypatch.setenv("REPRO_MC_CHUNK", "nope")
+        with pytest.raises(ValueError):
+            envcfg.mc_chunk()
+
+    def test_mc_vr(self, monkeypatch):
+        for value in ("off", "is", "strat", "auto"):
+            monkeypatch.setenv("REPRO_MC_VR", value)
+            assert envcfg.mc_vr() == value
+        assert envcfg.mc_vr("off") == "off"  # explicit wins
+        monkeypatch.setenv("REPRO_MC_VR", "bogus")
+        with pytest.raises(ValueError):
+            envcfg.mc_vr()
+        monkeypatch.delenv("REPRO_MC_VR")
+        assert envcfg.mc_vr() == "off"
+
+    def test_mc_tilt(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_TILT", "3.5")
+        assert envcfg.mc_tilt() == 3.5
+        assert envcfg.mc_tilt(2.0) == 2.0
+        monkeypatch.setenv("REPRO_MC_TILT", "0.5")
+        with pytest.raises(ValueError):
+            envcfg.mc_tilt()
+        with pytest.raises(ValueError):
+            envcfg.mc_tilt(0.5)
+        monkeypatch.delenv("REPRO_MC_TILT")
+        assert envcfg.mc_tilt() == envcfg.DEFAULT_MC_TILT
+
+    def test_mc_target_rci(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_TARGET_RCI", "0.05")
+        assert envcfg.mc_target_rci() == 0.05
+        assert envcfg.mc_target_rci(0) is None  # explicit 0 disables
+        monkeypatch.setenv("REPRO_MC_TARGET_RCI", "0")
+        assert envcfg.mc_target_rci() is None
+        monkeypatch.setenv("REPRO_MC_TARGET_RCI", "-1")
+        with pytest.raises(ValueError):
+            envcfg.mc_target_rci()
+        monkeypatch.delenv("REPRO_MC_TARGET_RCI")
+        assert envcfg.mc_target_rci() is None
+
+    def test_resolve_mode_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_VR", "auto")
+        assert resolve_mode(target=("tail", 0.05)) == "is"
+        assert resolve_mode(target=None) == "strat"
+        assert resolve_mode(target=("mean",)) == "strat"
+        monkeypatch.delenv("REPRO_MC_VR")
+        assert resolve_mode() == "off"
+
+    def test_env_mode_steers_run_estimate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_VR", "is")
+        est = run_estimate(_sim(13), trials=1_000)
+        assert isinstance(est, WeightedEstimate)
+        assert est.mode == "is" and est.tilt > 1.0
