@@ -52,6 +52,9 @@ FLOORS = [
     # clears a lower bar - its strength is means, not deep tails).
     ("BENCH_rareevent.json", "importance_sampling", "effective_speedup", 20.0),
     ("BENCH_rareevent.json", "stratified", "effective_speedup", 3.0),
+    # The supervisor tentpole claim: journaling every settlement costs <2%
+    # of clean-path campaign wall-clock (ratio = raw_wall / supervised_wall).
+    ("BENCH_supervisor.json", "overhead", "throughput_ratio", 0.98),
 ]
 
 DEFAULT_TOLERANCE_PCT = 15.0

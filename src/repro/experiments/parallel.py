@@ -112,6 +112,25 @@ MAX_BATCH = 32
 #: Recent per-task wall samples kept for the auto-batching estimate.
 _CALIBRATION_WINDOW = 64
 
+#: Process-wide ceiling on inner tasks per super-task, below
+#: :data:`MAX_BATCH`; ``None`` = uncapped.  The supervisor's resource
+#: watchdog lowers it under memory pressure (smaller batches mean fewer
+#: concurrently-materialized results per worker) and restores it after.
+_batch_cap: "int | None" = None
+
+
+def set_batch_cap(cap: "int | None") -> "int | None":
+    """Set (or with ``None`` clear) the process-wide super-task batch cap.
+
+    Returns the previous value so callers can restore it.  Takes effect on
+    the next submission of every running campaign — in-flight batches are
+    not recalled.
+    """
+    global _batch_cap
+    previous = _batch_cap
+    _batch_cap = max(1, int(cap)) if cap is not None else None
+    return previous
+
 #: Wait-loop cap while a super-task is in flight: the parent polls the
 #: batch spools at least this often so finished inners settle promptly
 #: even when no future completes and no deadline is near.
@@ -435,6 +454,7 @@ def _run_serial(worker, payloads, tasks, retries, backoff, validate, failures, f
     path hands over tasks mid-campaign with their attempt count intact.
     Every task is executed at least once regardless of the attempt it
     arrives with.  No chaos, no timeout: this is the reference path.
+    Yields ``(index, result)`` pairs like every engine path.
     """
     max_attempts = retries + 1
     for index, attempt in tasks:
@@ -476,7 +496,7 @@ def _run_serial(worker, payloads, tasks, retries, backoff, validate, failures, f
             _emit(
                 "engine.ok", index=index, attempt=attempt, worker_pid=os.getpid(), wall_s=wall
             )
-            yield result
+            yield index, result
             break
 
 
@@ -493,14 +513,23 @@ def _run_pooled(
     fail_fast,
     batch,
     warm,
+    spool_dir=None,
 ):
-    """The pooled engine: batching, windowed submission, deadlines, rebuilds."""
+    """The pooled engine: batching, windowed submission, deadlines, rebuilds.
+
+    Yields ``(index, result)`` pairs.  With a caller-provided *spool_dir*
+    super-task spools live there and the directory survives this function
+    (the supervisor salvages finished inner results out of spools orphaned
+    by a killed driver); settled spools are still unlinked individually.
+    """
     max_attempts = retries + 1
     pending = deque((i, 1) for i in range(len(payloads)))
     inflight: "dict[object, _Flight]" = {}
     consecutive_rebuilds = 0
     total_rebuilds = 0
-    spool_dir = None
+    owns_spool_dir = spool_dir is None
+    if spool_dir is not None:
+        os.makedirs(spool_dir, exist_ok=True)
     samples: "deque[float]" = deque(maxlen=_CALIBRATION_WINDOW)
 
     def _new_spool():
@@ -541,6 +570,8 @@ def _run_pooled(
             else:
                 size = math.ceil(DISPATCH_OVERHEAD_S / (TARGET_OVERHEAD_FRACTION * med))
             size = min(MAX_BATCH, size)
+        if _batch_cap is not None:
+            size = min(size, _batch_cap)
         return max(1, min(size, math.ceil(len(pending) / jobs)))
 
     def _settle_ok(index, attempt, value, pid, wall):
@@ -702,7 +733,7 @@ def _run_pooled(
                             report.wall_s if report else None,
                         )
                         if yieldable:
-                            yield value
+                            yield index, value
                 else:
                     records = _read_spool(flight.spool)
                     if status == "broken":
@@ -713,7 +744,7 @@ def _run_pooled(
                         if rec is not None:
                             yieldable, value = _settle_record(index, attempt, rec)
                             if yieldable:
-                                yield value
+                                yield index, value
                         elif status == "error" and first_unsettled:
                             # The super-task envelope itself raised (spool
                             # I/O, teardown): the first unfinished inner is
@@ -749,7 +780,7 @@ def _run_pooled(
                                 continue
                             yieldable, value = _settle_record(index, attempt, rec)
                             if yieldable:
-                                yield value
+                                yield index, value
                         flight.entries = remaining
 
             # 5. Expire deadlines: a hung worker never completes on its own,
@@ -779,7 +810,7 @@ def _run_pooled(
                                 if rec is not None:
                                     yieldable, value = _settle_record(index, attempt, rec)
                                     if yieldable:
-                                        yield value
+                                        yield index, value
                                 elif not hung_charged:
                                     # The first inner without a record is
                                     # the one the worker is stuck inside.
@@ -806,7 +837,7 @@ def _run_pooled(
                                 worker_pid=report.pid if report else None,
                                 wall_s=report.wall_s if report else None,
                             )
-                            yield value
+                            yield index, value
                         else:
                             _requeue(index, attempt)
                     else:
@@ -818,7 +849,7 @@ def _run_pooled(
                             if rec is not None:
                                 yieldable, value = _settle_record(index, attempt, rec)
                                 if yieldable:
-                                    yield value
+                                    yield index, value
                             else:
                                 _requeue(index, attempt)
                         _drop_spool(flight.spool)
@@ -855,7 +886,9 @@ def _run_pooled(
             _kill_pool(pool)
         raise
     finally:
-        if spool_dir is not None:
+        # A caller-provided spool dir outlives the engine: whatever a killed
+        # driver left there is exactly what the supervisor salvages.
+        if owns_spool_dir and spool_dir is not None:
             shutil.rmtree(spool_dir, ignore_errors=True)
     if pool is not None:
         pool.shutdown()
@@ -874,6 +907,8 @@ def run_tasks(
     fail_fast: bool = False,
     batch: "str | int | None" = None,
     warm: "tuple | None" = None,
+    yield_index: bool = False,
+    spool_dir: "str | None" = None,
 ) -> "Iterator":
     """Fan *worker(*payload)* over processes, yielding results as they finish.
 
@@ -906,6 +941,13 @@ def run_tasks(
     * *warm* — optional ``(function, args)`` warm hint, applied in the
       parent before the first pool (fork workers inherit it) and as the
       initializer of every built or rebuilt pool.
+    * *yield_index* — yield ``(payload_index, result)`` pairs instead of
+      bare results, so a caller journaling settlements (the supervisor)
+      can attribute each completion-ordered result to its task.
+    * *spool_dir* — directory for super-task spool files.  By default the
+      engine owns a private temp dir and removes it on exit; a
+      caller-provided directory is created if needed and left in place, so
+      spools orphaned by a killed driver survive for salvage.
 
     Tasks that exhaust their budget are reported in one
     :class:`CampaignError` raised *after* every other task has been
@@ -962,11 +1004,12 @@ def run_tasks(
             fail_fast,
             batch,
             warm,
+            spool_dir,
         )
     ok = 0
-    for result in inner:
+    for index, result in inner:
         ok += 1
-        yield result
+        yield (index, result) if yield_index else result
     _emit(
         "engine.done",
         tasks=len(payloads),

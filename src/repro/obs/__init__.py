@@ -54,7 +54,7 @@ EVENTS_FILE = "events.jsonl"
 MANIFEST_FILE = "manifest.json"
 
 #: Instrumented layers selectable in REPRO_OBS.
-MODES = ("engine", "mc", "sim", "chaos")
+MODES = ("engine", "mc", "sim", "chaos", "supervisor")
 
 _ALL_TOKENS = frozenset({"1", "true", "on", "all"})
 

@@ -68,7 +68,14 @@ def write_manifest(run_dir: "Path | str", **extra) -> Path:
 
 
 def load_manifest(run_dir: "Path | str") -> dict:
-    """Read a run dir's manifest ({} when missing or unreadable)."""
+    """Read a run dir's manifest ({} when missing or unreadable).
+
+    A reader, not a writer: manifests from older layouts are returned
+    as-is rather than schema-checked, and nothing is ever quarantined out
+    of someone else's run directory.
+    """
     from repro.util.cachefile import load_json_cache
 
-    return load_json_cache(Path(run_dir) / MANIFEST_FILE)
+    return load_json_cache(
+        Path(run_dir) / MANIFEST_FILE, schema=False, quarantine=False
+    )

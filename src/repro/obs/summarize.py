@@ -13,6 +13,7 @@ report.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 
 from repro.obs import EVENTS_FILE
@@ -23,20 +24,35 @@ TIMELINE_BUCKETS = 10
 
 
 def read_events(run_dir: "Path | str") -> "list[dict]":
-    """Parse ``events.jsonl``; raises on a torn/interleaved line."""
+    """Parse ``events.jsonl``.
+
+    A torn *trailing* line — the one record a killed writer (ENOSPC,
+    SIGKILL, power loss) can leave half-written, since every append is a
+    single ``O_APPEND`` write — is skipped with a one-line warning on
+    stderr.  An invalid line anywhere *before* the tail cannot come from a
+    torn write and still raises: that file is corrupt, not interrupted.
+    """
     path = Path(run_dir) / EVENTS_FILE
     if not path.exists():
         return []
-    events = []
     with path.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                events.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: invalid JSONL record: {exc}") from None
+        numbered = [
+            (lineno, line.strip())
+            for lineno, line in enumerate(fh, 1)
+            if line.strip()
+        ]
+    events = []
+    for pos, (lineno, line) in enumerate(numbered):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if pos == len(numbered) - 1:
+                print(
+                    f"warning: {path}:{lineno}: skipping torn trailing JSONL record",
+                    file=sys.stderr,
+                )
+                break
+            raise ValueError(f"{path}:{lineno}: invalid JSONL record: {exc}") from None
     events.sort(key=lambda e: e.get("ts", 0.0))
     return events
 
@@ -160,6 +176,39 @@ def _chaos_summary(events: "list[dict]") -> "list[dict]":
     return out
 
 
+def _supervisor_summary(events: "list[dict]") -> "dict | None":
+    """Durability accounting from supervisor.* events.
+
+    Answers the resume question directly from telemetry: how much of the
+    campaign was replayed from the journal or salvaged from orphaned
+    spools versus recomputed, and what the watchdog did about resources.
+    """
+    sup = [e for e in events if e.get("kind", "").startswith("supervisor.")]
+    if not sup:
+        return None
+
+    def count(kind):
+        return sum(1 for e in sup if e["kind"] == kind)
+
+    begins = [e for e in sup if e["kind"] == "supervisor.begin"]
+    return {
+        "campaigns": len(begins),
+        "last_begin": begins[-1] if begins else None,
+        "replayed": sum(
+            int(e.get("settled", 0)) for e in sup if e["kind"] == "supervisor.replay"
+        ),
+        "salvaged": sum(
+            int(e.get("count", 0)) for e in sup if e["kind"] == "supervisor.salvage"
+        ),
+        "settled": count("supervisor.settle"),
+        "memory_pressure": count("supervisor.memory_pressure"),
+        "low_disk": count("supervisor.low_disk"),
+        "pauses": count("supervisor.pause"),
+        "interrupts": count("supervisor.interrupt"),
+        "done": next((e for e in reversed(sup) if e["kind"] == "supervisor.done"), None),
+    }
+
+
 def _timeline(events: "list[dict]") -> "list[dict]":
     """Bucketed progress: completions and MC trials per wall-clock slice."""
     marks = [e for e in events if e.get("kind") in ("engine.ok", "mc.chunk") and "ts" in e]
@@ -196,6 +245,7 @@ def summarize(run_dir: "Path | str") -> dict:
         "engine": _engine_summary(events),
         "mc": _mc_summary(events),
         "sim": _sim_summary(events),
+        "supervisor": _supervisor_summary(events),
         "chaos": _chaos_summary(events),
         "timeline": _timeline(events),
     }
@@ -275,6 +325,34 @@ def render(summary: dict) -> str:
             f"llc {last.get('llc_hits')}/{last.get('llc_misses')} hit/miss, "
             f"{last.get('fast_picks')} fast picks / {last.get('issued_requests')} issues"
         )
+        lines.append("")
+
+    if summary.get("supervisor"):
+        sup = summary["supervisor"]
+        begin = sup["last_begin"] or {}
+        done = sup["done"] or {}
+        lines.append(
+            f"supervisor: {sup['campaigns']} campaign(s), last "
+            f"{begin.get('name', '?')!r}: {begin.get('total', '?')} tasks, "
+            f"{sup['replayed']} replayed from journal, {sup['salvaged']} salvaged "
+            f"from spools, {sup['settled']} settled live"
+        )
+        if done:
+            lines.append(
+                f"  finished: {done.get('settled', '?')} settled / "
+                f"{done.get('total', '?')} total (recomputed {done.get('computed', '?')})"
+            )
+        watch = []
+        if sup["memory_pressure"]:
+            watch.append(f"{sup['memory_pressure']} memory-pressure degradation(s)")
+        if sup["low_disk"]:
+            watch.append(f"{sup['low_disk']} low-disk sample(s)")
+        if sup["pauses"]:
+            watch.append(f"{sup['pauses']} pause(s)")
+        if sup["interrupts"]:
+            watch.append(f"{sup['interrupts']} signal interrupt(s)")
+        if watch:
+            lines.append("  watchdog: " + ", ".join(watch))
         lines.append("")
 
     if summary["chaos"]:

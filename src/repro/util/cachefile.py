@@ -6,7 +6,7 @@ file + same-directory ``os.replace``) after every finished cell, so
 interrupted or crashed sweeps resume where they stopped and a
 corrupt/truncated cache is recomputed rather than crashing.
 
-Two hardening layers protect concurrent and crashing campaigns:
+Hardening layers protecting concurrent and crashing campaigns:
 
 * **fsync before rename** — the temp file is flushed and fsynced (and the
   directory entry synced, best-effort) before ``os.replace``, so a machine
@@ -16,24 +16,161 @@ Two hardening layers protect concurrent and crashing campaigns:
   unioned under the new entries before every rewrite, so two concurrent
   campaigns sharing a cache file don't silently drop each other's finished
   cells (for identical keys the writer's value wins).
+* **schema stamp + quarantine** — every cache carries a reserved
+  ``__meta__`` entry recording :data:`SCHEMA_VERSION`.  A cache whose
+  stamp is missing or wrong (written by an incompatible format), or whose
+  content is corrupt/truncated, is moved aside into a sibling
+  ``<name>.quarantine/`` directory and treated as empty: the campaign
+  recomputes rather than half-merging foreign entries, and the original
+  bytes survive for post-mortems.
+* **stale-temp sweep** — temp files are named ``<name>.tmp<pid>``; the
+  first write into a directory removes temp files whose writer pid is
+  dead (an ENOSPC or SIGKILL mid-write strands them), and every failed
+  write unlinks its own temp file on the way out.
+
+Chaos instrumentation: the write path calls
+:func:`repro.util.chaos.io_fire` at the ``cache.write`` (temp-file write,
+torn-capable) and ``cache.rename`` (atomic replace) sites, so the
+supervisor test-suite can inject ENOSPC/EIO/torn-write faults here and
+assert the recovery contract.  Disarmed, the hooks are early-return no-ops.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import re
+import warnings
 from pathlib import Path
 
+from repro.util import chaos
 
-def load_json_cache(path: Path) -> "dict[str, object]":
-    """Read a cache file, treating missing/corrupt content as empty."""
+#: Format version stamped into every cache under :data:`META_KEY`.  Bump it
+#: when the cache encoding changes incompatibly; older files quarantine.
+SCHEMA_VERSION = 1
+
+#: Reserved top-level key holding the stamp; never returned to callers.
+META_KEY = "__meta__"
+
+_TMP_RE = re.compile(r"\.tmp(\d+)$")
+_swept_dirs: "set[str]" = set()
+_quarantine_seq = itertools.count()
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # PermissionError and friends: the pid exists (or we can't tell) —
+        # never treat an uncertain writer as dead.
+        return True
+    return True
+
+
+def sweep_stale_tmps(directory: Path) -> "list[Path]":
+    """Remove ``*.tmp<pid>`` files whose writer process is dead.
+
+    An atomic write interrupted *after* creating its temp file but before
+    the replace (ENOSPC, SIGKILL, power loss) strands the temp; this sweep
+    reclaims them.  Live writers (including this process) are left alone.
+    Returns the removed paths.
+    """
+    removed = []
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return removed
+    for name in names:
+        match = _TMP_RE.search(name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        victim = Path(directory) / name
+        try:
+            os.unlink(victim)
+        except OSError:
+            continue
+        removed.append(victim)
+    return removed
+
+
+def _sweep_once(directory: Path) -> None:
+    key = str(directory)
+    if key not in _swept_dirs:
+        _swept_dirs.add(key)
+        sweep_stale_tmps(directory)
+
+
+def quarantine_path(path: Path) -> Path:
+    """The quarantine directory a bad *path* would be moved into."""
+    return path.with_name(f"{path.name}.quarantine")
+
+
+def quarantine_file(path: Path, reason: str) -> "Path | None":
+    """Move a corrupt/incompatible file into ``<name>.quarantine/``.
+
+    Best-effort (a read-only tree just leaves the file in place); returns
+    the new location or ``None``.  The move uses ``os.replace`` so a
+    concurrent quarantine of the same file cannot duplicate it.  Shared by
+    the JSON caches here and the supervisor's binary journals.
+    """
+    qdir = quarantine_path(path)
+    dest = qdir / f"{path.name}.{os.getpid()}.{next(_quarantine_seq)}"
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        os.replace(path, dest)
+    except OSError:
+        return None
+    warnings.warn(
+        f"cache {path} quarantined to {dest} ({reason}); it will be recomputed",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return dest
+
+
+def load_json_cache(
+    path: Path, *, schema: bool = True, quarantine: bool = True
+) -> "dict[str, object]":
+    """Read a cache file, treating missing/corrupt content as empty.
+
+    Corrupt (undecodable/non-object) files, and — with ``schema=True`` —
+    files missing the :data:`SCHEMA_VERSION` stamp or carrying a different
+    one, are quarantined (unless ``quarantine=False``) and reported empty,
+    so an incompatible cache is recomputed rather than half-merged.  The
+    stamp itself is stripped from the returned dict.
+    """
     try:
         cache = json.loads(path.read_text())
     except FileNotFoundError:
         return {}
-    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        if quarantine:
+            quarantine_file(path, "corrupt or truncated JSON")
         return {}
-    return cache if isinstance(cache, dict) else {}
+    except OSError:
+        return {}
+    if not isinstance(cache, dict):
+        if quarantine:
+            quarantine_file(path, "not a JSON object")
+        return {}
+    meta = cache.pop(META_KEY, None)
+    if schema:
+        stamped = isinstance(meta, dict) and meta.get("schema") == SCHEMA_VERSION
+        if not stamped:
+            if quarantine:
+                found = meta.get("schema") if isinstance(meta, dict) else None
+                quarantine_file(
+                    path,
+                    f"schema {found!r} incompatible with version {SCHEMA_VERSION}",
+                )
+            return {}
+    return cache
 
 
 def write_json_cache_atomic(
@@ -44,23 +181,35 @@ def write_json_cache_atomic(
     With ``merge=True`` the current file is reloaded and the union (disk
     entries under *cache* entries) is written, preserving cells finished by
     a concurrent campaign between our loads; ``merge=False`` restores plain
-    replacement.  The caller's *cache* dict is never mutated.
+    replacement.  The written file always carries the schema stamp.  The
+    caller's *cache* dict is never mutated.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
+    _sweep_once(path.parent)
     if merge:
         on_disk = load_json_cache(path)
         if on_disk:
             cache = {**on_disk, **cache}
+    payload = {k: v for k, v in cache.items() if k != META_KEY}
+    payload[META_KEY] = {"schema": SCHEMA_VERSION}
+    data = json.dumps(payload)
     tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
     try:
+        torn = chaos.io_fire("cache.write", size=len(data))
         with open(tmp, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps(cache))
+            if torn is not None and torn < len(data):
+                fh.write(data[:torn])
+                fh.flush()
+                raise OSError(5, f"chaos: torn write after {torn} bytes [{tmp}]")
+            fh.write(data)
             fh.flush()
             os.fsync(fh.fileno())
+        chaos.io_fire("cache.rename")
         os.replace(tmp, path)
     except BaseException:
-        # Ctrl-C (or a crash mid-write) must not litter the cache dir with
-        # temp files; the previous cache file is still intact.
+        # Any failure mid-write (Ctrl-C, ENOSPC, a torn write, a crash
+        # being raised through us) must not litter the cache dir with temp
+        # files; the previous cache file is still intact.
         try:
             os.unlink(tmp)
         except OSError:

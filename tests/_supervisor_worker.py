@@ -1,0 +1,18 @@
+"""Pool-picklable workers shared by the supervisor test-suite.
+
+They live in their own module (not the test file) so a subprocess driver
+and the resuming test process import the worker under the **same**
+``__module__.__qualname__`` — the supervisor's spec hash keys on it, and a
+mismatch would quarantine the journal instead of resuming.
+"""
+
+import time
+
+
+def square(x):
+    return x * x
+
+
+def slow_square(x, delay=0.05):
+    time.sleep(delay)
+    return x * x

@@ -331,3 +331,102 @@ class TestSummarizeChaosStorm:
         )
         parsed = json.loads(out.stdout)
         assert parsed["engine"]["totals"]["ok"] == len(PAYLOADS)
+
+
+class TestTornTrailingLine:
+    """read_events tolerates the one line a killed writer can half-write."""
+
+    def _events_file(self, tmp_path, text):
+        (tmp_path / "events.jsonl").write_text(text)
+        return tmp_path
+
+    def test_torn_trailing_line_skipped_with_warning(self, tmp_path, capsys):
+        run = self._events_file(
+            tmp_path,
+            '{"kind":"a","ts":1}\n{"kind":"b","ts":2}\n{"kind":"c","ts":',
+        )
+        events = read_events(run)
+        assert [e["kind"] for e in events] == ["a", "b"]
+        err = capsys.readouterr().err
+        assert "skipping torn trailing JSONL record" in err
+        assert ":3:" in err  # names the torn line
+
+    def test_midfile_corruption_still_raises(self, tmp_path):
+        run = self._events_file(
+            tmp_path, '{"kind":"a","ts":1}\nnot json\n{"kind":"b","ts":2}\n'
+        )
+        with pytest.raises(ValueError, match="invalid JSONL record"):
+            read_events(run)
+
+    def test_clean_file_is_quiet(self, tmp_path, capsys):
+        run = self._events_file(tmp_path, '{"kind":"a","ts":1}\n')
+        assert len(read_events(run)) == 1
+        assert capsys.readouterr().err == ""
+
+    def test_torn_only_line_yields_empty(self, tmp_path, capsys):
+        run = self._events_file(tmp_path, '{"kind":"a"')
+        assert read_events(run) == []
+        assert "torn trailing" in capsys.readouterr().err
+
+    def test_cli_tolerates_torn_tail(self, tmp_path):
+        self._events_file(
+            tmp_path, '{"kind":"engine.start","ts":1,"tasks":1}\n{"kind":"en'
+        )
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.obs.summarize", str(tmp_path)],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=_subprocess_env(),
+        )
+        assert "torn trailing" in out.stderr
+        assert "events: 1" in out.stdout
+
+
+class TestSupervisorSummary:
+    """supervisor.* events reconstruct the durability accounting."""
+
+    @pytest.fixture
+    def paused_run(self, tmp_path):
+        from repro.experiments import supervisor
+        from repro.util import chaos
+        from tests._supervisor_worker import square
+
+        run = tmp_path / "run"
+        state = tmp_path / "state"
+        obs.configure(run, "supervisor")
+        try:
+            chaos.arm_io("enospc@journal.append#4")
+            with pytest.raises(supervisor.CampaignPaused):
+                supervisor.run_campaign(
+                    square, [(i,) for i in range(4)], name="obs",
+                    directory=state, jobs=1, watchdog=False,
+                )
+            chaos.arm_io(None)
+            supervisor.run_campaign(
+                square, [(i,) for i in range(4)], name="obs",
+                directory=state, jobs=1, watchdog=False,
+            )
+        finally:
+            chaos.arm_io(None)
+            obs.disarm()
+            obs.REGISTRY.reset()
+        return run
+
+    def test_pause_resume_reconstructed(self, paused_run):
+        summary = summarize(paused_run)
+        sup = summary["supervisor"]
+        assert sup["campaigns"] == 2
+        assert sup["pauses"] == 1
+        assert sup["replayed"] == 1  # one settle survived the first run
+        assert sup["settled"] == 4  # live settles across both runs
+        assert sup["done"]["settled"] == 4
+        assert sup["done"]["computed"] == 3
+        assert sup["last_begin"]["resumed"] == 1
+
+    def test_render_has_supervisor_section(self, paused_run):
+        text = render(summarize(paused_run))
+        assert "supervisor: 2 campaign(s)" in text
+        assert "1 replayed from journal" in text
+        assert "finished: 4 settled / 4 total (recomputed 3)" in text
+        assert "1 pause(s)" in text

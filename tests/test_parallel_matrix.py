@@ -108,14 +108,14 @@ class TestCacheRobustness:
         path = tmp_path / "m.json"
         ev._write_cache_atomic(path, {"a": {"x": 1}})
         ev._write_cache_atomic(path, {"b": {"y": 2}})
-        assert json.loads(path.read_text()) == {"a": {"x": 1}, "b": {"y": 2}}
+        assert ev._load_cache(path) == {"a": {"x": 1}, "b": {"y": 2}}
         assert [p.name for p in tmp_path.iterdir()] == ["m.json"]
 
     def test_write_cache_atomic_replace_mode(self, tmp_path):
         path = tmp_path / "m.json"
         ev._write_cache_atomic(path, {"a": {"x": 1}})
         ev._write_cache_atomic(path, {"b": {"y": 2}}, merge=False)
-        assert json.loads(path.read_text()) == {"b": {"y": 2}}
+        assert ev._load_cache(path) == {"b": {"y": 2}}
         assert [p.name for p in tmp_path.iterdir()] == ["m.json"]
 
     def test_load_cache_missing_file(self, tmp_path):

@@ -294,6 +294,7 @@ class TestShardedCampaigns:
         cache_path = tmp_path / "mc_rareevent.json"
         assert cache_path.exists()
         cache = json.loads(cache_path.read_text())
+        cache.pop("__meta__")  # schema stamp, not a shard
         assert len(cache) == 4
 
         # Fully cached: the engine must not be consulted at all.
@@ -307,6 +308,7 @@ class TestShardedCampaigns:
         # Evict half the shards: exactly the missing ones are recomputed
         # and the merged estimate is bit-identical to the original.
         evicted = dict(list(cache.items())[:2])
+        evicted["__meta__"] = {"schema": 1}  # keep the stamp: evict, don't corrupt
         cache_path.write_text(json.dumps(evicted))
         ran = []
 

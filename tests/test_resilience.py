@@ -240,6 +240,7 @@ class TestCancellation:
 
         cache_file = next(tmp_path.glob("matrix-*.json"))
         checkpointed = json.loads(cache_file.read_text())
+        checkpointed.pop("__meta__")  # schema stamp, not a cell
         assert len(checkpointed) == 1  # exactly the finished cell survived
 
         # Resume: only the three unfinished cells are simulated.
@@ -291,7 +292,10 @@ class TestCacheMerge:
         path.write_text('{"torn": ')
         write_json_cache_atomic(path, {"a": 1})
         assert load_json_cache(path) == {"a": 1}
-        assert [p.name for p in tmp_path.iterdir()] == ["c.json"]  # no temp litter
+        # The corrupt original was quarantined, not merged; no temp litter.
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["c.json", "c.json.quarantine"]
+        assert any((tmp_path / "c.json.quarantine").iterdir())
 
     def test_interrupted_write_leaves_no_temp_litter(self, tmp_path):
         path = tmp_path / "c.json"

@@ -1,0 +1,494 @@
+"""Durable campaign supervision: journal, salvage, watchdog, recovery.
+
+The acceptance bar (mirroring the engine's chaos contract one level up):
+SIGKILL the *driver* mid-campaign, storm ENOSPC at the journal, or tear
+the journal's tail — rerunning the same campaign must converge on results
+bit-identical to a fault-free serial run, recomputing only tasks the
+journal never settled.  Economics are asserted from the journal itself
+via :func:`repro.experiments.supervisor.journal_stats`.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import parallel, supervisor
+from repro.util import chaos, envcfg
+from tests._supervisor_worker import slow_square, square
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(autouse=True)
+def _clean_chaos():
+    chaos.arm_io(None)
+    yield
+    chaos.arm_io(None)
+    parallel.set_batch_cap(None)
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.journal"
+        j = supervisor.Journal(path)
+        records = [
+            (supervisor.REC_BEGIN, "abc", 3, "camp"),
+            (supervisor.REC_GRANT, [0, 1, 2]),
+            (supervisor.REC_SETTLE, 1, {"x": 2.5}, "live"),
+            (supervisor.REC_DONE, 1),
+        ]
+        for rec in records:
+            j.append(rec)
+        j.close()
+        got, torn = supervisor.Journal.read(path)
+        assert torn is False
+        assert [tuple(r[:2]) for r in got] == [tuple(r[:2]) for r in records]
+        assert got[2][2] == {"x": 2.5}
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert supervisor.Journal.read(tmp_path / "nope") == ([], False)
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.journal"
+        j = supervisor.Journal(path)
+        j.append((supervisor.REC_BEGIN, "abc", 1, "camp"))
+        j.append((supervisor.REC_SETTLE, 0, 42, "live"))
+        j.close()
+        clean = path.read_bytes()
+        path.write_bytes(clean + b"\x07\x03partial-frame")
+        got, torn = supervisor.Journal.read(path)
+        assert torn is True and len(got) == 2
+
+    def test_crc_mismatch_stops_replay(self, tmp_path):
+        path = tmp_path / "j.journal"
+        j = supervisor.Journal(path)
+        j.append((supervisor.REC_BEGIN, "abc", 1, "camp"))
+        j.append((supervisor.REC_SETTLE, 0, 42, "live"))
+        j.close()
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # corrupt the last record's payload
+        path.write_bytes(bytes(data))
+        got, torn = supervisor.Journal.read(path)
+        assert torn is True and len(got) == 1
+
+    def test_scan_reports_clean_prefix_length(self, tmp_path):
+        path = tmp_path / "j.journal"
+        j = supervisor.Journal(path)
+        j.append((supervisor.REC_BEGIN, "abc", 1, "camp"))
+        j.close()
+        clean = path.read_bytes()
+        path.write_bytes(clean + b"junk")
+        records, torn, clean_len = supervisor.Journal.scan(path)
+        assert torn is True and clean_len == len(clean) and len(records) == 1
+
+    def test_stats_accounting(self, tmp_path):
+        path = tmp_path / "j.journal"
+        j = supervisor.Journal(path)
+        j.append((supervisor.REC_BEGIN, "abc", 4, "camp"))
+        j.append((supervisor.REC_GRANT, [0, 1, 2, 3]))
+        j.append((supervisor.REC_SETTLE, 0, 0, "live"))
+        j.append((supervisor.REC_GRANT, [1, 2, 3]))
+        j.append((supervisor.REC_SETTLE, 1, 1, "salvage"))
+        j.append((supervisor.REC_SETTLE, 2, 4, "live"))
+        j.append((supervisor.REC_SETTLE, 3, 9, "live"))
+        j.append((supervisor.REC_DONE, 4))
+        j.close()
+        stats = supervisor.journal_stats(path)
+        assert stats == {
+            "begins": 1,
+            "grants": [[0, 1, 2, 3], [1, 2, 3]],
+            "granted": 7,
+            "settled": 4,
+            "settled_live": 3,
+            "settled_salvage": 1,
+            "done": True,
+            "torn_tail": False,
+        }
+
+
+class TestSpecHash:
+    def test_sensitive_to_worker_and_payloads(self):
+        base = supervisor.spec_hash(square, [(1,), (2,)])
+        assert supervisor.spec_hash(square, [(1,), (2,)]) == base
+        assert supervisor.spec_hash(slow_square, [(1,), (2,)]) != base
+        assert supervisor.spec_hash(square, [(1,), (3,)]) != base
+        assert supervisor.spec_hash(square, [(2,), (1,)]) != base
+
+
+class TestFreshAndReplay:
+    def test_fresh_campaign_in_order(self, tmp_path):
+        payloads = [(i,) for i in range(8)]
+        res = supervisor.run_campaign(
+            square, payloads, name="fresh", directory=tmp_path, jobs=2, watchdog=False
+        )
+        assert res == [i * i for i in range(8)]
+        stats = supervisor.journal_stats(tmp_path / "fresh.journal")
+        assert stats["settled"] == 8 and stats["settled_live"] == 8
+        assert stats["done"] and not stats["torn_tail"]
+        assert not (tmp_path / "fresh.spool").exists()
+
+    def test_completed_campaign_replays_without_engine(self, tmp_path, monkeypatch):
+        payloads = [(i,) for i in range(5)]
+        first = supervisor.run_campaign(
+            square, payloads, name="rep", directory=tmp_path, jobs=1, watchdog=False
+        )
+
+        def _boom(*a, **k):  # any engine launch on replay is a failure
+            raise AssertionError("engine must not run on a pure replay")
+
+        monkeypatch.setattr(parallel, "run_tasks", _boom)
+        again = supervisor.run_campaign(
+            square, payloads, name="rep", directory=tmp_path, jobs=1, watchdog=False
+        )
+        assert again == first
+        stats = supervisor.journal_stats(tmp_path / "rep.journal")
+        assert stats["settled_live"] == 5  # replay recomputed nothing
+        assert len(stats["grants"]) == 1
+
+    def test_spec_mismatch_quarantines_and_restarts(self, tmp_path):
+        supervisor.run_campaign(
+            square, [(1,), (2,)], name="c", directory=tmp_path, jobs=1, watchdog=False
+        )
+        with pytest.warns(RuntimeWarning, match="spec hash"):
+            res = supervisor.run_campaign(
+                square, [(3,), (4,)], name="c", directory=tmp_path, jobs=1, watchdog=False
+            )
+        assert res == [9, 16]
+        qdir = tmp_path / "c.journal.quarantine"
+        assert qdir.is_dir() and len(list(qdir.iterdir())) == 1
+        stats = supervisor.journal_stats(tmp_path / "c.journal")
+        assert stats["begins"] == 1 and stats["settled"] == 2
+
+    def test_forget_campaign(self, tmp_path):
+        supervisor.run_campaign(
+            square, [(1,)], name="f", directory=tmp_path, jobs=1, watchdog=False
+        )
+        assert (tmp_path / "f.journal").exists()
+        supervisor.forget_campaign("f", directory=tmp_path)
+        assert not (tmp_path / "f.journal").exists()
+
+    def test_streaming_yields_replays_then_live(self, tmp_path):
+        payloads = [(i,) for i in range(6)]
+        chaos.arm_io("enospc@journal.append#5")  # begin,grant,settle,settle -> fail
+        with pytest.raises(supervisor.CampaignPaused):
+            list(
+                supervisor.supervised_tasks(
+                    square, payloads, name="s", directory=tmp_path, jobs=1, watchdog=False
+                )
+            )
+        chaos.arm_io(None)
+        pairs = list(
+            supervisor.supervised_tasks(
+                square, payloads, name="s", directory=tmp_path, jobs=1, watchdog=False
+            )
+        )
+        # Replayed settles come first, in index order; all six settle once.
+        assert pairs[:2] == [(0, 0), (1, 1)]
+        assert sorted(pairs) == [(i, i * i) for i in range(6)]
+
+
+class TestEnospcRecovery:
+    def test_journal_enospc_pauses_then_resumes_identically(self, tmp_path):
+        payloads = [(i,) for i in range(6)]
+        expected = [i * i for i in range(6)]
+        chaos.arm_io("enospc@journal.append#4")  # first live settle append dies
+        with pytest.raises(supervisor.CampaignPaused) as exc:
+            supervisor.run_campaign(
+                square, payloads, name="en", directory=tmp_path, jobs=1, watchdog=False
+            )
+        assert "journal append failed" in exc.value.reason
+        chaos.arm_io(None)
+        pre = supervisor.journal_stats(tmp_path / "en.journal")
+        assert pre["settled_live"] == 1 and not pre["done"]
+        res = supervisor.run_campaign(
+            square, payloads, name="en", directory=tmp_path, jobs=1, watchdog=False
+        )
+        assert res == expected
+        post = supervisor.journal_stats(tmp_path / "en.journal")
+        assert post["settled"] == 6 and post["done"]
+        # Only the five unsettled tasks were re-granted.
+        assert len(post["grants"]) == 2 and len(post["grants"][1]) == 5
+        assert post["settled_live"] == 6  # across both runs, each task computed once
+
+    def test_enospc_storm_every_append_still_converges(self, tmp_path):
+        payloads = [(i,) for i in range(4)]
+        expected = [i * i for i in range(4)]
+        # One settle survives per run: the storm kills every *second* append
+        # this run sees after it (occurrence counters reset per arm).
+        for _ in range(10):
+            chaos.arm_io("enospc@journal.append#5")
+            try:
+                res = supervisor.run_campaign(
+                    square, payloads, name="storm", directory=tmp_path, jobs=1, watchdog=False
+                )
+            except supervisor.CampaignPaused:
+                continue
+            break
+        else:  # pragma: no cover - convergence is monotone
+            pytest.fail("campaign never converged under ENOSPC storm")
+        chaos.arm_io(None)
+        assert res == expected
+        stats = supervisor.journal_stats(tmp_path / "storm.journal")
+        assert stats["settled"] == 4 and stats["done"]
+        assert stats["settled_live"] == 4  # monotone: no task computed twice
+
+
+class TestTornJournalRecovery:
+    def test_torn_append_resumes_bit_identically(self, tmp_path):
+        payloads = [(i,) for i in range(6)]
+        expected = [i * i for i in range(6)]
+        chaos.arm_io("torn=3@journal.append#5")  # third live settle torn mid-frame
+        with pytest.raises(supervisor.CampaignPaused):
+            supervisor.run_campaign(
+                square, payloads, name="torn", directory=tmp_path, jobs=1, watchdog=False
+            )
+        chaos.arm_io(None)
+        pre = supervisor.journal_stats(tmp_path / "torn.journal")
+        assert pre["torn_tail"] and pre["settled_live"] == 2
+        res = supervisor.run_campaign(
+            square, payloads, name="torn", directory=tmp_path, jobs=1, watchdog=False
+        )
+        assert res == expected
+        post = supervisor.journal_stats(tmp_path / "torn.journal")
+        # The torn tail was truncated on resume, so the healed journal reads
+        # clean end-to-end; the settle the tear destroyed was recomputed.
+        assert not post["torn_tail"]
+        assert post["settled"] == 6 and post["done"] and post["settled_live"] == 6
+
+    def test_externally_truncated_journal_resumes(self, tmp_path):
+        payloads = [(i,) for i in range(5)]
+        supervisor.run_campaign(
+            square, payloads, name="cut", directory=tmp_path, jobs=1, watchdog=False
+        )
+        jpath = tmp_path / "cut.journal"
+        data = jpath.read_bytes()
+        jpath.write_bytes(data[: len(data) - 7])  # tear mid final frame
+        res = supervisor.run_campaign(
+            square, payloads, name="cut", directory=tmp_path, jobs=1, watchdog=False
+        )
+        assert res == [i * i for i in range(5)]
+        assert supervisor.journal_stats(jpath)["settled"] == 5
+
+
+class TestDriverKill:
+    """SIGKILL the driver mid-campaign; resume salvages orphaned spools."""
+
+    def test_sigkill_resume_salvages_and_recomputes_only_missing(self, tmp_path):
+        state = tmp_path / "state"
+        script = textwrap.dedent(
+            f"""
+            import sys
+            sys.path.insert(0, {str(REPO_ROOT)!r})
+            from tests._supervisor_worker import slow_square
+            from repro.experiments import supervisor
+            payloads = [(i, 0.05) for i in range(12)]
+            supervisor.run_campaign(
+                slow_square, payloads, name="killed",
+                directory={str(state)!r}, jobs=2, batch=4, watchdog=False,
+            )
+            raise SystemExit("unreachable: the driver must die at settle #3")
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env["REPRO_CHAOS_IO"] = "kill@supervisor.settle#3"
+        env.pop("REPRO_OBS", None)
+        # start_new_session + DEVNULL: orphaned pool workers must neither
+        # hold our pipes open nor survive the cleanup killpg below.
+        child = subprocess.Popen(
+            [sys.executable, "-c", script],
+            env=env,
+            start_new_session=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            rc = child.wait(timeout=120)
+        finally:
+            try:
+                os.killpg(child.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+        assert rc == -signal.SIGKILL
+
+        jpath = state / "killed.journal"
+        pre = supervisor.journal_stats(jpath)
+        assert pre["begins"] == 1 and not pre["done"]
+        assert pre["settled_live"] == 2  # settles 1-2 landed; kill fired on #3
+        assert (state / "killed.spool").is_dir()  # orphaned spools survive
+
+        payloads = [(i, 0.05) for i in range(12)]
+        res = supervisor.run_campaign(
+            slow_square, payloads, name="killed", directory=state, jobs=2, batch=4,
+            watchdog=False,
+        )
+        assert res == [i * i for i in range(12)]  # bit-identical to fault-free
+
+        post = supervisor.journal_stats(jpath)
+        assert post["settled"] == 12 and post["done"]
+        # The killed driver's first super-task (batch=4) was fully spooled,
+        # with two of its inners settled: at least the other two salvage.
+        assert post["settled_salvage"] >= 2
+        # Economics: every task settled exactly once across both runs, and
+        # the resume granted precisely what replay + salvage left missing.
+        assert post["settled_live"] + post["settled_salvage"] == 12
+        assert len(post["grants"]) == 2
+        assert len(post["grants"][1]) == 12 - pre["settled_live"] - post["settled_salvage"]
+        assert not (state / "killed.spool").exists()  # spent spools cleared
+
+
+class TestWatchdog:
+    def test_memory_pressure_halves_batch_cap_and_chunk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_CHUNK", "8192")
+        wd = supervisor.ResourceWatchdog(
+            tmp_path, mem_budget=100, min_disk=0, poll_s=60,
+            rss_sampler=lambda: 200, disk_sampler=lambda: 1 << 40,
+        )
+        assert parallel._batch_cap is None
+        wd.sample()
+        assert parallel._batch_cap == parallel.MAX_BATCH // 2
+        assert os.environ["REPRO_MC_CHUNK"] == "4096"
+        wd.sample()
+        assert parallel._batch_cap == parallel.MAX_BATCH // 4
+        assert wd.degradations == 2
+        wd.stop()
+        assert parallel._batch_cap is None  # restored
+        assert os.environ["REPRO_MC_CHUNK"] == "8192"
+
+    def test_degradation_bottoms_out_at_one(self, tmp_path):
+        wd = supervisor.ResourceWatchdog(
+            tmp_path, mem_budget=1, min_disk=0, poll_s=60,
+            rss_sampler=lambda: 2, disk_sampler=lambda: 1 << 40,
+        )
+        for _ in range(12):
+            wd.sample()
+        assert parallel._batch_cap == 1
+        fired = wd.degradations
+        wd.sample()
+        assert wd.degradations == fired  # no-op once fully degraded
+        wd.stop()
+
+    def test_chunk_floor(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MC_CHUNK", "1024")
+        wd = supervisor.ResourceWatchdog(
+            tmp_path, mem_budget=1, min_disk=0, poll_s=60,
+            rss_sampler=lambda: 2, disk_sampler=lambda: 1 << 40,
+        )
+        wd.sample()
+        assert os.environ["REPRO_MC_CHUNK"] == "1024"  # never below the floor
+        wd.stop()
+
+    def test_low_disk_sets_pause(self, tmp_path):
+        wd = supervisor.ResourceWatchdog(
+            tmp_path, mem_budget=None, min_disk=1000, poll_s=60,
+            rss_sampler=lambda: 0, disk_sampler=lambda: 10,
+        )
+        wd.sample()
+        assert wd.pause.is_set() and "below floor" in wd.pause_reason
+        wd.stop()
+
+    def test_healthy_sample_is_quiet(self, tmp_path):
+        wd = supervisor.ResourceWatchdog(
+            tmp_path, mem_budget=1 << 40, min_disk=1, poll_s=60,
+            rss_sampler=lambda: 100, disk_sampler=lambda: 1 << 40,
+        )
+        wd.sample()
+        assert parallel._batch_cap is None and not wd.pause.is_set()
+        wd.stop()
+
+    def test_chaos_rss_override(self):
+        chaos.arm_io("rss=123456789@watchdog.rss")
+        assert supervisor.process_rss() == 123456789
+        chaos.arm_io(None)
+        assert supervisor.process_rss() > 0  # real sampler on Linux
+
+    def test_low_disk_pauses_campaign_then_resumes(self, tmp_path):
+        payloads = [(i, 0.1) for i in range(4)]
+        with pytest.raises(supervisor.CampaignPaused) as exc:
+            supervisor.run_campaign(
+                slow_square, payloads, name="disk", directory=tmp_path, jobs=1,
+                min_disk=1000, poll_s=0.005, disk_sampler=lambda: 10,
+            )
+        assert "below floor" in exc.value.reason
+        assert 0 < exc.value.settled < 4
+        res = supervisor.run_campaign(
+            slow_square, payloads, name="disk", directory=tmp_path, jobs=1,
+            watchdog=False,
+        )
+        assert res == [i * i for i in range(4)]
+        stats = supervisor.journal_stats(tmp_path / "disk.journal")
+        assert stats["settled_live"] == 4  # pause lost nothing
+
+
+class TestSignals:
+    def test_sigterm_interrupts_cleanly_and_resumes(self, tmp_path):
+        payloads = [(i,) for i in range(6)]
+        gen = supervisor.supervised_tasks(
+            square, payloads, name="sig", directory=tmp_path, jobs=1, watchdog=False
+        )
+        first = next(gen)
+        assert first == (0, 0)
+        os.kill(os.getpid(), signal.SIGTERM)  # our handler just sets a flag
+        with pytest.raises(supervisor.CampaignInterrupted) as exc:
+            next(gen)
+        assert exc.value.settled == 1
+        assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL  # restored
+        res = supervisor.run_campaign(
+            square, payloads, name="sig", directory=tmp_path, jobs=1, watchdog=False
+        )
+        assert res == [i * i for i in range(6)]
+        stats = supervisor.journal_stats(tmp_path / "sig.journal")
+        assert stats["settled_live"] == 6  # the settled task was not redone
+
+
+class TestEnvKnobs:
+    @pytest.mark.parametrize(
+        "raw,value",
+        [
+            ("1024", 1024),
+            ("64k", 64 << 10),
+            ("512M", 512 << 20),
+            ("2g", 2 << 30),
+            ("1.5g", (3 << 30) // 2),
+            ("2gb", 2 << 30),
+            ("2GiB", 2 << 30),
+        ],
+    )
+    def test_parse_bytes(self, raw, value):
+        assert envcfg.parse_bytes(raw) == value
+
+    def test_mem_budget_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEM_BUDGET", raising=False)
+        assert envcfg.mem_budget() is None
+        monkeypatch.setenv("REPRO_MEM_BUDGET", "512m")
+        assert envcfg.mem_budget() == 512 << 20
+        assert envcfg.mem_budget(0) is None  # explicit zero disables
+        monkeypatch.setenv("REPRO_MEM_BUDGET", "0")
+        assert envcfg.mem_budget() is None
+
+    def test_supervisor_knobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SUPERVISOR_DIR", raising=False)
+        assert envcfg.supervisor_dir() == envcfg.DEFAULT_SUPERVISOR_DIR
+        monkeypatch.setenv("REPRO_SUPERVISOR_DIR", "/x/y")
+        assert envcfg.supervisor_dir() == "/x/y"
+        assert envcfg.supervisor_dir("/z") == "/z"
+        monkeypatch.setenv("REPRO_SUPERVISOR_POLL", "2.5")
+        assert envcfg.supervisor_poll() == 2.5
+        monkeypatch.setenv("REPRO_SUPERVISOR_MIN_DISK", "128m")
+        assert envcfg.supervisor_min_disk() == 128 << 20
+        assert envcfg.supervisor_min_disk(0) == 0
+
+    def test_knobs_registered(self):
+        names = set(envcfg.KNOBS)
+        assert {
+            "REPRO_CHAOS_IO",
+            "REPRO_MEM_BUDGET",
+            "REPRO_SUPERVISOR_DIR",
+            "REPRO_SUPERVISOR_POLL",
+            "REPRO_SUPERVISOR_MIN_DISK",
+        } <= names
