@@ -16,6 +16,15 @@ best-of-reps rates) and recorded alongside, with a loose sanity bound:
 event volume on these kernels is one record per sim run and one per MC
 chunk, so even the enabled path should stay within a few percent.
 
+The span plane (``repro.obs.trace``) gets the same treatment: with
+``REPRO_TRACE`` unset every ``trace.span(...)`` site hands back a shared
+no-op singleton, so the disabled-path bound is again proven directly -
+per-site cost of a disarmed span gate times the span sites a kernel run
+touches (one ``sim.run`` per simulation, one ``sim.epoch`` per epoch
+dispatch, one ``mc.run`` per MC run), divided by the kernel wall.  The
+``trace_disabled`` section is enforced by ``perf_guard.py``'s CEILINGS
+table at < 2% on both kernels.
+
 Numbers land in ``results/BENCH_obs_overhead.json`` (plus a rendered
 table).  ``REPRO_BENCH_QUICK=1`` shrinks the budgets for CI.
 """
@@ -179,6 +188,79 @@ def bench_obs_disabled_path(benchmark, results_dir, emit):
     assert sim_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"sim disabled path {sim_pct:.4f}%"
     assert epoch_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"epoch disabled path {epoch_pct:.4f}%"
     assert mc_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"mc disabled path {mc_pct:.4f}%"
+
+
+def _disarmed_span_cost_s() -> float:
+    """Per-call wall cost of a disarmed span site (``with trace.span(...)``).
+
+    With ``REPRO_TRACE`` unset the call returns the shared no-op span, so
+    this times the entire per-site price: the gate branch, the singleton
+    return, and the context-manager enter/exit.
+    """
+    from repro.obs import trace
+
+    assert not trace.enabled()
+    t0 = time.perf_counter()
+    for _ in range(GATE_CALLS):
+        with trace.span("bench.noop", "compute"):
+            pass
+    return (time.perf_counter() - t0) / GATE_CALLS
+
+
+def bench_trace_disabled_path(benchmark, results_dir, emit):
+    """Span-plane disabled-path overhead: span sites x gate cost vs wall."""
+    from repro.cpu import epochnative
+    from repro.obs import trace
+
+    epochnative.available()  # compile the epoch core outside timed regions
+    obs.disarm()
+    trace.arm(False)
+    obs.REGISTRY.reset()
+
+    def measure():
+        gate_s = _disarmed_span_cost_s()
+        sim_wall = min(_sim_event() for _ in range(REPS))
+        epoch_wall = min(_sim_epoch() for _ in range(REPS))
+        mc_wall = min(_mc_kernel() for _ in range(REPS))
+        return gate_s, sim_wall, epoch_wall, mc_wall
+
+    gate_s, sim_wall, epoch_wall, mc_wall = once(benchmark, measure)
+    # Span sites per kernel run: the event simulator opens one ``sim.run``
+    # span; the epoch simulator adds one ``sim.epoch`` per (single) epoch
+    # dispatch; the MC kernel opens one ``mc.run`` around its chunk loop.
+    sim_sites, epoch_sites, mc_sites = 1, 2, 1
+    sim_pct = 100.0 * sim_sites * gate_s / sim_wall
+    epoch_pct = 100.0 * epoch_sites * gate_s / epoch_wall
+    mc_pct = 100.0 * mc_sites * gate_s / mc_wall
+    _merge(
+        results_dir,
+        trace_disabled={
+            "span_gate_ns": round(gate_s * 1e9, 1),
+            "sim_wall_s": round(sim_wall, 4),
+            "sim_overhead_pct": round(sim_pct, 6),
+            "sim_epoch_wall_s": round(epoch_wall, 4),
+            "sim_epoch_overhead_pct": round(epoch_pct, 6),
+            "mc_wall_s": round(mc_wall, 4),
+            "mc_overhead_pct": round(mc_pct, 6),
+            "budget_pct": DISABLED_OVERHEAD_BUDGET_PCT,
+            "quick_mode": QUICK_MODE,
+        },
+    )
+    emit(
+        "bench_trace_disabled",
+        format_table(
+            ["kernel", "wall s", "span sites", "overhead %"],
+            [
+                ["simloop (event)", f"{sim_wall:.3f}", f"{sim_sites}", f"{sim_pct:.6f}"],
+                ["simloop (epoch)", f"{epoch_wall:.3f}", f"{epoch_sites}", f"{epoch_pct:.6f}"],
+                ["monte carlo", f"{mc_wall:.3f}", f"{mc_sites}", f"{mc_pct:.6f}"],
+            ],
+            title=f"Span-plane disabled-path overhead (span gate {gate_s * 1e9:.0f} ns)",
+        ),
+    )
+    assert sim_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"sim trace-off path {sim_pct:.4f}%"
+    assert epoch_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"epoch trace-off path {epoch_pct:.4f}%"
+    assert mc_pct < DISABLED_OVERHEAD_BUDGET_PCT, f"mc trace-off path {mc_pct:.4f}%"
 
 
 def bench_obs_enabled_overhead(benchmark, results_dir, emit, tmp_path):

@@ -27,6 +27,7 @@ def results_dir():
 def merge_results(results_dir, filename, **fields):
     """Read-update-write a ``BENCH_*.json``, stamping run provenance."""
     from repro.obs import REGISTRY
+    from repro.obs.history import git_info
     from repro.obs.manifest import manifest_dict
 
     path = results_dir / filename
@@ -35,6 +36,7 @@ def merge_results(results_dir, filename, **fields):
     data["provenance"] = {
         "manifest": manifest_dict(),
         "metrics": REGISTRY.snapshot(),
+        "git": git_info(results_dir.parent),
     }
     path.write_text(json.dumps(data, indent=2, sort_keys=True, default=repr) + "\n")
 

@@ -18,6 +18,17 @@ parallel evaluation sweep must beat the serial one).  Those are checked
 against the fresh numbers alone regardless of quick mode; the only
 exemption - loud, like every other skip - is a run whose recorded
 ``cpus`` could not physically host its ``jobs`` workers in parallel.
+
+A third table, ``CEILINGS``, holds absolute maximums for costs where
+*smaller* is better - the telemetry/trace disabled-path overheads, which
+must stay under their published budget on every run, quick or full.
+
+Beyond the single committed baseline, the guard also checks the
+**perf-history ledger** (``results/PERF_HISTORY.jsonl``, written by
+``python -m repro.obs.history append``): each guarded rate's newest entry
+is compared against the median of up to ``--trend-window`` preceding
+entries of the same budget class.  A single noisy baseline commit can
+mask a slow bleed; the windowed median cannot.
 """
 
 import argparse
@@ -57,13 +68,35 @@ FLOORS = [
     ("BENCH_supervisor.json", "overhead", "throughput_ratio", 0.98),
 ]
 
+#: (file, section, field, ceiling) absolute maximums - smaller is better,
+#: fresh run only.  The span plane's published claim: with ``REPRO_TRACE``
+#: unset, the per-site cost of a disarmed span gate amounts to < 2% of
+#: either kernel's wall-clock.
+CEILINGS = [
+    ("BENCH_obs_overhead.json", "trace_disabled", "sim_overhead_pct", 2.0),
+    ("BENCH_obs_overhead.json", "trace_disabled", "sim_epoch_overhead_pct", 2.0),
+    ("BENCH_obs_overhead.json", "trace_disabled", "mc_overhead_pct", 2.0),
+]
+
 DEFAULT_TOLERANCE_PCT = 15.0
 
+#: Preceding history entries the trend median is taken over.
+TREND_WINDOW = 5
 
-def _baseline(ref: str, filename: str) -> "dict | None":
+
+def _history_mod():
+    try:
+        from repro.obs import history
+    except ImportError:
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.obs import history
+    return history
+
+
+def _baseline(ref: str, filename: str, repo: "Path | None" = None) -> "dict | None":
     proc = subprocess.run(
         ["git", "show", f"{ref}:results/{filename}"],
-        cwd=REPO,
+        cwd=repo or REPO,
         capture_output=True,
         text=True,
     )
@@ -72,17 +105,23 @@ def _baseline(ref: str, filename: str) -> "dict | None":
     return json.loads(proc.stdout)
 
 
-def check(ref: str = "HEAD", tolerance_pct: float = DEFAULT_TOLERANCE_PCT) -> "list[str]":
+def check(
+    ref: str = "HEAD",
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+    results_dir: "Path | None" = None,
+    repo: "Path | None" = None,
+) -> "list[str]":
     """Return a list of regression messages (empty = pass)."""
+    results_dir = results_dir or RESULTS
     failures = []
     for filename, section, field in GUARDED:
         label = f"{filename}:{section}.{field}"
-        fresh_path = RESULTS / filename
+        fresh_path = results_dir / filename
         if not fresh_path.exists():
             print(f"SKIP {label}: no fresh results file")
             continue
         fresh_doc = json.loads(fresh_path.read_text())
-        base_doc = _baseline(ref, filename)
+        base_doc = _baseline(ref, filename, repo)
         if base_doc is None:
             print(f"SKIP {label}: no committed baseline at {ref}")
             continue
@@ -110,7 +149,7 @@ def check(ref: str = "HEAD", tolerance_pct: float = DEFAULT_TOLERANCE_PCT) -> "l
             )
     for filename, section, field, floor in FLOORS:
         label = f"{filename}:{section}.{field}"
-        fresh_path = RESULTS / filename
+        fresh_path = results_dir / filename
         if not fresh_path.exists():
             print(f"SKIP {label}: no fresh results file")
             continue
@@ -128,6 +167,75 @@ def check(ref: str = "HEAD", tolerance_pct: float = DEFAULT_TOLERANCE_PCT) -> "l
             failures.append(
                 f"{label} below absolute floor: {fresh[field]} < {floor}"
             )
+    for filename, section, field, ceiling in CEILINGS:
+        label = f"{filename}:{section}.{field}"
+        fresh_path = results_dir / filename
+        if not fresh_path.exists():
+            print(f"SKIP {label}: no fresh results file")
+            continue
+        fresh = json.loads(fresh_path.read_text()).get(section, {})
+        if field not in fresh:
+            print(f"SKIP {label}: field missing (fresh)")
+            continue
+        verdict = "FAIL" if fresh[field] > ceiling else "ok"
+        print(f"{verdict:>4} {label}: fresh={fresh[field]} absolute ceiling={ceiling}")
+        if fresh[field] > ceiling:
+            failures.append(
+                f"{label} above absolute ceiling: {fresh[field]} > {ceiling}"
+            )
+    return failures
+
+
+def check_trends(
+    history_path: "Path | None" = None,
+    window: int = TREND_WINDOW,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> "list[str]":
+    """Compare each guarded rate's newest ledger entry to its windowed median.
+
+    For every ``GUARDED`` metric: take the most recent
+    ``results/PERF_HISTORY.jsonl`` entry carrying it, gather up to
+    *window* preceding entries of the same budget class (quick vs full),
+    and fail when the newest value sits more than *tolerance_pct* below
+    their median.  Fewer than two comparable prior entries is a loud
+    skip - a trend needs history.
+    """
+    hist = _history_mod()
+    history_path = Path(history_path) if history_path else RESULTS / hist.HISTORY_FILE
+    failures = []
+    entries = hist.load(history_path)
+    if not entries:
+        print(f"SKIP trends: no history ledger at {history_path}")
+        return failures
+    for filename, section, field in GUARDED:
+        metric = f"{section}.{field}"
+        label = f"{filename}:{metric} (trend)"
+        relevant = [
+            e for e in entries
+            if e.get("file") == filename and metric in (e.get("metrics") or {})
+        ]
+        if not relevant:
+            print(f"SKIP {label}: metric absent from history")
+            continue
+        latest = relevant[-1]
+        prior = [e for e in relevant[:-1] if e.get("quick") == latest.get("quick")]
+        values = [float(e["metrics"][metric]) for e in prior[-window:]]
+        if len(values) < 2:
+            print(f"SKIP {label}: {len(values)} comparable prior entries, trend needs >= 2")
+            continue
+        med = hist.median(values)
+        floor = med * (1 - tolerance_pct / 100.0)
+        fresh = float(latest["metrics"][metric])
+        verdict = "FAIL" if fresh < floor else "ok"
+        print(
+            f"{verdict:>4} {label}: fresh={fresh:,.0f} median[{len(values)}]={med:,.0f} "
+            f"floor={floor:,.0f} (-{tolerance_pct:g}%)"
+        )
+        if fresh < floor:
+            failures.append(
+                f"{label} below trend floor: {fresh:,.0f} < {floor:,.0f} "
+                f"(median of last {len(values)} comparable entries = {med:,.0f})"
+            )
     return failures
 
 
@@ -143,8 +251,20 @@ def main(argv: "list[str] | None" = None) -> int:
         default=DEFAULT_TOLERANCE_PCT,
         help="allowed drop in percent before failing (default 15)",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="perf-history ledger path (default: results/PERF_HISTORY.jsonl)",
+    )
+    parser.add_argument(
+        "--trend-window",
+        type=int,
+        default=TREND_WINDOW,
+        help=f"prior history entries the trend median spans (default {TREND_WINDOW})",
+    )
     args = parser.parse_args(argv)
     failures = check(args.baseline, args.tolerance)
+    failures += check_trends(args.history, args.trend_window, args.tolerance)
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
     return 1 if failures else 0

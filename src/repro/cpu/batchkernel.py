@@ -58,6 +58,7 @@ from time import perf_counter
 import numpy as np
 
 from repro import obs
+from repro.obs import trace
 from repro.cpu.llc import LineKind
 from repro.cpu.system import (
     TAG_ECCFILL,
@@ -127,9 +128,14 @@ def run_epoch(sim, warmup_instructions: int, measure_instructions: int) -> SimRe
     """
     from repro.cpu import epochnative  # deferred: avoids an import cycle
 
-    if epochnative.wants_native(sim):
-        return epochnative.run_native(sim, warmup_instructions, measure_instructions)
+    native = epochnative.wants_native(sim)
+    with trace.span("sim.epoch", "sim", native=native):
+        if native:
+            return epochnative.run_native(sim, warmup_instructions, measure_instructions)
+        return _run_epoch_py(sim, warmup_instructions, measure_instructions)
 
+
+def _run_epoch_py(sim, warmup_instructions: int, measure_instructions: int) -> SimResult:
     obs_armed = obs.enabled("sim")
     wall0 = perf_counter() if obs_armed else 0.0
 

@@ -22,6 +22,7 @@ from time import perf_counter
 from typing import Callable, Iterator
 
 from repro import obs
+from repro.obs import trace
 from repro.cpu.degraded import DegradedMode
 from repro.util import envcfg
 from repro.cpu.ecc_traffic import EccTrafficModel
@@ -379,11 +380,12 @@ class SimSystem:
         one serialization the batched kernel does not model.
         """
         kernel = envcfg.sim_kernel(kernel)
-        if kernel == "epoch" and not self._heap:
-            from repro.cpu import batchkernel  # lazy: batchkernel imports this module
+        with trace.span("sim.run", "sim", kernel=kernel):
+            if kernel == "epoch" and not self._heap:
+                from repro.cpu import batchkernel  # lazy: batchkernel imports this module
 
-            return batchkernel.run_epoch(self, warmup_instructions, measure_instructions)
-        return self._run_reference(warmup_instructions, measure_instructions)
+                return batchkernel.run_epoch(self, warmup_instructions, measure_instructions)
+            return self._run_reference(warmup_instructions, measure_instructions)
 
     def _run_reference(self, warmup_instructions: int, measure_instructions: int) -> SimResult:
         """The event-driven oracle loop (``REPRO_SIM_KERNEL=event``).

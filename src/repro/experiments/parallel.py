@@ -65,7 +65,6 @@ import math
 import os
 import pickle
 import shutil
-import struct
 import tempfile
 import time
 from collections import deque
@@ -75,6 +74,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro import obs
+from repro.obs import trace
 from repro.ecc.catalog import SYSTEM_CLASSES
 from repro.experiments import evaluation, resultcodec
 from repro.experiments.runner import RunSpec, run
@@ -214,27 +214,30 @@ def _obs_task(cfg, chaos, worker, index, attempt, payload):
     """Worker entry point for every individually-submitted pooled task.
 
     Arms the worker's telemetry to the parent's config (*cfg*, picklable;
-    fork workers inherit the sink and this is a no-op), applies chaos when
-    armed, and wraps the result in a ``(_WorkerReport, result)`` envelope
-    so per-worker attribution flows back through the pool.  Exceptions
-    (and ``crash`` faults) propagate unwrapped, exactly as before.
+    fork workers inherit the sink and this is a no-op; the shipped trace
+    context makes the task span a child of the dispatching campaign),
+    applies chaos when armed, and wraps the result in a
+    ``(_WorkerReport, result)`` envelope so per-worker attribution flows
+    back through the pool.  Exceptions (and ``crash`` faults) propagate
+    unwrapped, exactly as before.
     """
     obs.ensure_worker(cfg)
     t0 = time.perf_counter()
-    if chaos:
-        result = chaos_mod.chaos_call(chaos, worker, index, attempt, payload)
-    else:
-        result = worker(*payload)
+    with trace.span("engine.task", "compute", index=index, attempt=attempt):
+        if chaos:
+            result = chaos_mod.chaos_call(chaos, worker, index, attempt, payload)
+        else:
+            result = worker(*payload)
     return _WorkerReport(os.getpid(), round(time.perf_counter() - t0, 6)), result
 
 
-#: One spool record per finished inner task of a super-task:
-#: ``(index, wall_s, worker_pid, kind, blob_len)`` then ``blob_len`` bytes.
-_SPOOL_HEADER = struct.Struct("<qdqBI")
-
-#: Spool record kinds: a codec-encoded result, a pickled worker exception,
-#: or a codec-encoded result that a ``corrupt`` chaos fault wrapped.
-_REC_OK, _REC_EXC, _REC_CORRUPT = 0, 1, 2
+#: Spool record kinds (aliases of the shared framed-record layer in
+#: :mod:`repro.experiments.resultcodec`): a codec-encoded result, a
+#: pickled worker exception, or a codec-encoded result that a ``corrupt``
+#: chaos fault wrapped.
+_REC_OK = resultcodec.KIND_OK
+_REC_EXC = resultcodec.KIND_EXC
+_REC_CORRUPT = resultcodec.KIND_CORRUPT
 
 #: Sentinel a super-task returns through the pool: the real results
 #: travelled through the spool file, not the pickled future.
@@ -257,42 +260,50 @@ def _run_super(cfg, chaos, worker, tasks, spool):
     t0 = time.perf_counter()
     pid = os.getpid()
     fd = os.open(spool, os.O_WRONLY | os.O_APPEND)
+    batch_span = trace.start_span("engine.super", "compute", size=len(tasks))
     try:
         for index, attempt, payload in tasks:
             t1 = time.perf_counter()
             kind = _REC_OK
+            task_span = trace.start_span("engine.task", "compute", index=index, attempt=attempt)
             try:
                 if chaos:
                     result = chaos_mod.chaos_call(chaos, worker, index, attempt, payload)
                 else:
                     result = worker(*payload)
             except Exception as exc:
+                task_span.end(error=repr(exc))
                 kind = _REC_EXC
                 try:
                     blob = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
                 except Exception:
                     blob = pickle.dumps(RuntimeError(f"{type(exc).__name__}: {exc}"))
             else:
+                task_span.end()
                 if isinstance(result, chaos_mod.Corrupted):
                     kind = _REC_CORRUPT
                     result = result.original
-                blob = resultcodec.encode(result)
+                with trace.span("engine.encode", "codec", index=index):
+                    blob = resultcodec.encode(result)
             wall = round(time.perf_counter() - t1, 6)
-            os.write(fd, _SPOOL_HEADER.pack(index, wall, pid, kind, len(blob)) + blob)
+            os.write(
+                fd, resultcodec.pack_frame(index, wall, pid, kind, blob, task_span.span_id)
+            )
     finally:
+        batch_span.end()
         os.close(fd)
     return _WorkerReport(pid, round(time.perf_counter() - t0, 6)), _SUPER_DONE
 
 
-def _read_spool_from(path, offset: int) -> "tuple[dict[int, tuple[float, int, int, bytes]], int]":
+def _read_spool_from(path, offset: int) -> "tuple[dict[int, resultcodec.Frame], int]":
     """Parse complete spool records from byte *offset* on.
 
-    Returns ``({index: (wall, pid, kind, blob)}, new_offset)`` where
-    *new_offset* is the end of the last complete record.  Stops at the
-    first truncated record: each record is one ``os.write``, so a torn
-    tail is either a write still in flight (the next read picks it up
-    from the same offset) or a file that vanished mid-read — everything
-    before it is trustworthy either way.
+    Returns ``({index: Frame}, new_offset)`` where *new_offset* is the end
+    of the last complete record.  Stops at the first truncated record:
+    each record is one ``os.write``, so a torn tail is either a write
+    still in flight (the next read picks it up from the same offset) or a
+    file that vanished mid-read — everything before it is trustworthy
+    either way.
     """
     try:
         with open(path, "rb") as fh:
@@ -300,20 +311,12 @@ def _read_spool_from(path, offset: int) -> "tuple[dict[int, tuple[float, int, in
             data = fh.read()
     except OSError:
         return {}, offset
-    records: "dict[int, tuple[float, int, int, bytes]]" = {}
-    pos, end = 0, len(data)
-    while pos + _SPOOL_HEADER.size <= end:
-        index, wall, pid, kind, blob_len = _SPOOL_HEADER.unpack_from(data, pos)
-        if pos + _SPOOL_HEADER.size + blob_len > end:
-            break
-        pos += _SPOOL_HEADER.size
-        records[index] = (wall, pid, kind, data[pos : pos + blob_len])
-        pos += blob_len
-    return records, offset + pos
+    frames, consumed = resultcodec.unpack_frames(data)
+    return {frame.index: frame for frame in frames}, offset + consumed
 
 
-def _read_spool(path) -> "dict[int, tuple[float, int, int, bytes]]":
-    """Parse a whole super-task spool into ``{index: (wall, pid, kind, blob)}``."""
+def _read_spool(path) -> "dict[int, resultcodec.Frame]":
+    """Parse a whole super-task spool into ``{index: Frame}``."""
     records, _ = _read_spool_from(path, 0)
     return records
 
@@ -386,7 +389,8 @@ def _result_ok(result, validate) -> bool:
 
 def _backoff_sleep(backoff: float, attempt: int) -> None:
     if backoff > 0:
-        time.sleep(min(BACKOFF_CAP, backoff * (2 ** (attempt - 1))))
+        with trace.span("engine.backoff", "retry", attempt=attempt):
+            time.sleep(min(BACKOFF_CAP, backoff * (2 ** (attempt - 1))))
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -463,7 +467,8 @@ def _run_serial(worker, payloads, tasks, retries, backoff, validate, failures, f
             _emit("engine.submit", index=index, attempt=attempt, path="serial")
             t0 = time.perf_counter()
             try:
-                result = worker(*payload)
+                with trace.span("engine.task", "compute", index=index, attempt=attempt):
+                    result = worker(*payload)
             except Exception as exc:
                 _emit(
                     "engine.error",
@@ -616,23 +621,24 @@ def _run_pooled(
             pending.append((index, attempt + 1))
 
     def _settle_record(index, attempt, rec):
-        """Decode one spool record; returns (yieldable, value)."""
-        wall, pid, kind, blob = rec
-        if kind == _REC_EXC:
+        """Decode one spool record (a :class:`resultcodec.Frame`);
+        returns (yieldable, value)."""
+        if rec.kind == _REC_EXC:
             try:
-                exc = pickle.loads(blob)
+                exc = pickle.loads(rec.blob)
             except Exception:
                 exc = RuntimeError("worker exception could not be decoded")
             _settle_error(index, attempt, exc)
             return False, None
         try:
-            value = resultcodec.decode(blob)
+            with trace.span("engine.decode", "codec", index=index):
+                value = resultcodec.decode(rec.blob)
         except Exception as exc:
             _settle_error(index, attempt, RuntimeError(f"result decode failed: {exc}"))
             return False, None
-        if kind == _REC_CORRUPT:
+        if rec.kind == _REC_CORRUPT:
             value = chaos_mod.Corrupted(value)
-        return _settle_ok(index, attempt, value, pid, wall)
+        return _settle_ok(index, attempt, value, rec.pid, rec.wall_s)
 
     def _charge_timeout(index, attempt):
         nonlocal consecutive_rebuilds
@@ -854,6 +860,7 @@ def _run_pooled(
                                 _requeue(index, attempt)
                         _drop_spool(flight.spool)
                 inflight.clear()
+                rebuild_span = trace.start_span("engine.rebuild", "retry", pending=len(pending))
                 _kill_pool(pool)
                 pool = None
                 consecutive_rebuilds += 1
@@ -870,6 +877,7 @@ def _run_pooled(
                 ):
                     tasks = list(pending)
                     pending.clear()
+                    rebuild_span.end(degraded=True)
                     _emit("engine.degrade", remaining=len(tasks), rebuilds=total_rebuilds)
                     yield from _run_serial(
                         worker, payloads, tasks, retries, backoff, validate, failures, fail_fast
@@ -877,6 +885,7 @@ def _run_pooled(
                     return
                 if pending:
                     pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)), **pool_args)
+                rebuild_span.end()
     except BaseException:
         # Ctrl-C or an abandoned generator: drop pending work and return
         # without blocking on the pool - results already yielded were merged
@@ -968,6 +977,13 @@ def run_tasks(
     serial = jobs == 1 or len(payloads) <= 1
     if obs.enabled("engine"):
         obs.ensure_manifest()
+    campaign_span = trace.start_span(
+        "engine.campaign",
+        "dispatch",
+        tasks=len(payloads),
+        jobs=jobs,
+        path="serial" if serial else "pooled",
+    )
     _emit(
         "engine.start",
         tasks=len(payloads),
@@ -1007,16 +1023,21 @@ def run_tasks(
             spool_dir,
         )
     ok = 0
-    for index, result in inner:
-        ok += 1
-        yield (index, result) if yield_index else result
-    _emit(
-        "engine.done",
-        tasks=len(payloads),
-        ok=ok,
-        failed=len(failures),
-        wall_s=round(time.perf_counter() - t0, 6),
-    )
+    try:
+        for index, result in inner:
+            ok += 1
+            yield (index, result) if yield_index else result
+        _emit(
+            "engine.done",
+            tasks=len(payloads),
+            ok=ok,
+            failed=len(failures),
+            wall_s=round(time.perf_counter() - t0, 6),
+        )
+    finally:
+        # Generators may be abandoned mid-campaign (Ctrl-C, fail_fast):
+        # the span must still close so the forest stays complete.
+        campaign_span.end(ok=ok, failed=len(failures))
     if failures:
         raise CampaignError(failures, len(payloads)) from failures[0].cause
 

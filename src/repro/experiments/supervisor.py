@@ -57,6 +57,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
 from repro import obs
+from repro.obs import trace
 from repro.experiments import parallel, resultcodec
 from repro.util import chaos as chaos_mod
 from repro.util import envcfg
@@ -65,9 +66,14 @@ from repro.util.cachefile import quarantine_file
 #: Journal frame header: CRC32 of the payload, then its byte length.
 _FRAME = struct.Struct("<II")
 
-#: Journal record tags (first element of every record tuple).
-REC_BEGIN = "begin"  #: ("begin", spec_hash, total, name)
-REC_GRANT = "grant"  #: ("grant", [campaign indices in engine order])
+#: Journal record tags (first element of every record tuple).  Later PRs
+#: appended optional trailing elements (readers use ``len(rec) > n``):
+#: ``begin`` carries the campaign's trace context as a 5th element and
+#: ``grant`` the granting span's context as a 3rd, so a resumed campaign
+#: re-parents under the original trace root and salvaged spool records
+#: stay attributable to the grant that dispatched them.
+REC_BEGIN = "begin"  #: ("begin", spec_hash, total, name[, trace_ctx])
+REC_GRANT = "grant"  #: ("grant", [campaign indices in engine order][, trace_ctx])
 REC_SETTLE = "settle"  #: ("settle", index, result, origin "live"|"salvage")
 REC_DONE = "done"  #: ("done", settled_count)
 
@@ -154,14 +160,15 @@ class Journal:
         exact shape a crash mid-append leaves — so replay's tail tolerance
         is testable without killing anything.
         """
-        blob = resultcodec.encode(record)
-        frame = _FRAME.pack(zlib.crc32(blob) & 0xFFFFFFFF, len(blob)) + blob
-        fd = self._ensure_open()
-        torn = chaos_mod.io_fire("journal.append", size=len(frame))
-        if torn is not None and torn < len(frame):
-            os.write(fd, frame[:torn])
-            raise OSError(5, f"chaos: torn journal append after {torn} bytes")
-        os.write(fd, frame)
+        with trace.span("journal.append", "journal", rec=str(record[0])):
+            blob = resultcodec.encode(record)
+            frame = _FRAME.pack(zlib.crc32(blob) & 0xFFFFFFFF, len(blob)) + blob
+            fd = self._ensure_open()
+            torn = chaos_mod.io_fire("journal.append", size=len(frame))
+            if torn is not None and torn < len(frame):
+                os.write(fd, frame[:torn])
+                raise OSError(5, f"chaos: torn journal append after {torn} bytes")
+            os.write(fd, frame)
 
     def close(self) -> None:
         if self._fd is not None:
@@ -406,14 +413,14 @@ def _salvage_spools(spool_dir: Path, grant: "list[int]", settled: "set[int]", va
         return out
     for spool in sorted(spool_dir.iterdir()):
         records = parallel._read_spool(spool)
-        for local, (wall, pid, kind, blob) in records.items():
-            if kind != parallel._REC_OK or local >= len(grant):
+        for local, frame in records.items():
+            if frame.kind != parallel._REC_OK or local >= len(grant):
                 continue
             index = grant[local]
             if index in settled or index in out:
                 continue
             try:
-                value = resultcodec.decode(blob)
+                value = resultcodec.decode(frame.blob)
             except Exception:
                 continue
             if isinstance(value, chaos_mod.Corrupted):
@@ -522,8 +529,22 @@ def supervised_tasks(
             last_grant = [int(i) for i in rec[1]]
     has_done = any(rec[0] == REC_DONE for rec in records)
 
+    # A resumed campaign re-parents under the trace context the original
+    # run persisted in its begin record, so every run of one campaign —
+    # through any number of crashes — reconstructs as one span forest.
+    stored_ctx = None
+    if records and len(records[0]) > 4 and records[0][4]:
+        stored_ctx = tuple(records[0][4])
+
     journal = Journal(paths.journal)
     fresh = not records
+    root_span = trace.start_span(
+        "supervisor.campaign",
+        parent=stored_ctx,
+        campaign=name,
+        total=total,
+        resumed=len(settled),
+    )
     _emit(
         "supervisor.begin",
         name=name,
@@ -537,12 +558,16 @@ def supervised_tasks(
     stats = {"live": 0, "salvaged": 0}
     try:
         if fresh:
-            journal.append((REC_BEGIN, spec, total, name))
+            begin = (REC_BEGIN, spec, total, name)
+            if root_span.span_id is not None:
+                begin += ([root_span.trace_id, root_span.span_id],)
+            journal.append(begin)
         if settled:
             _emit("supervisor.replay", settled=len(settled))
 
         # -- salvage orphaned spools -------------------------------------
-        salvaged = _salvage_spools(paths.spool, last_grant, set(settled), validate)
+        with trace.span("supervisor.salvage", "codec", grant=len(last_grant)):
+            salvaged = _salvage_spools(paths.spool, last_grant, set(settled), validate)
         _clear_dir(paths.spool)  # spent: spools must map to the *next* grant
         for index in sorted(salvaged):
             journal.append((REC_SETTLE, index, salvaged[index], "salvage"))
@@ -567,7 +592,11 @@ def supervised_tasks(
                         disk_sampler=disk_sampler,
                     )
                     watch.start()
-                journal.append((REC_GRANT, missing))
+                grant_rec = (REC_GRANT, missing)
+                ctx = trace.ctx()
+                if ctx is not None:
+                    grant_rec += (list(ctx),)
+                journal.append(grant_rec)
                 engine = parallel.run_tasks(
                     worker,
                     [payloads[i] for i in missing],
@@ -634,6 +663,9 @@ def supervised_tasks(
             salvaged=stats["salvaged"],
         )
     finally:
+        root_span.end(
+            settled=len(settled), computed=stats["live"], salvaged=stats["salvaged"]
+        )
         if watch is not None:
             watch.stop()
         journal.close()

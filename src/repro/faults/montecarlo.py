@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs
+from repro.obs import trace
 from repro.faults.fit_rates import (
     FIT_BY_MODE,
     SATURATING_MODES,
@@ -284,30 +285,31 @@ class EolCapacitySim:
         # mean per chunk would dominate the vectorized kernel itself.
         armed = obs.enabled("mc")
         running_total = 0.0
-        while done < trials:
-            t0 = time.perf_counter() if armed else 0.0
-            n = min(chunk_size, trials - done)
-            draws = _draw_chunk(self.rng, self.org, lam, n)
-            fractions[done : done + n] = chunk_fn(self.org, draws, n)
-            done += n
-            if armed:
-                wall = time.perf_counter() - t0
-                rate = round(n / wall, 1) if wall > 0 else None
-                running_total += float(fractions[done - n : done].sum())
-                running_mean = round(running_total / done, 9)
-                obs.REGISTRY.counter("mc.trials").inc(n)
-                obs.REGISTRY.counter("mc.chunks").inc()
-                obs.REGISTRY.gauge("mc.trials_per_sec").set(rate)
-                obs.REGISTRY.gauge("mc.running_mean").set(running_mean)
-                obs.emit(
-                    "mc.chunk",
-                    done=done,
-                    trials=trials,
-                    n=n,
-                    channels=self.org.channels,
-                    trials_per_sec=rate,
-                    running_mean=running_mean,
-                )
+        with trace.span("mc.run", "mc", trials=trials, channels=self.org.channels):
+            while done < trials:
+                t0 = time.perf_counter() if armed else 0.0
+                n = min(chunk_size, trials - done)
+                draws = _draw_chunk(self.rng, self.org, lam, n)
+                fractions[done : done + n] = chunk_fn(self.org, draws, n)
+                done += n
+                if armed:
+                    wall = time.perf_counter() - t0
+                    rate = round(n / wall, 1) if wall > 0 else None
+                    running_total += float(fractions[done - n : done].sum())
+                    running_mean = round(running_total / done, 9)
+                    obs.REGISTRY.counter("mc.trials").inc(n)
+                    obs.REGISTRY.counter("mc.chunks").inc()
+                    obs.REGISTRY.gauge("mc.trials_per_sec").set(rate)
+                    obs.REGISTRY.gauge("mc.running_mean").set(running_mean)
+                    obs.emit(
+                        "mc.chunk",
+                        done=done,
+                        trials=trials,
+                        n=n,
+                        channels=self.org.channels,
+                        trials_per_sec=rate,
+                        running_mean=running_mean,
+                    )
         return EolResult(fractions=fractions)
 
     def run(self, trials: int = 20000, chunk_size: "int | None" = None) -> EolResult:

@@ -81,6 +81,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.obs import trace
 from repro.faults.fit_rates import MemoryOrg
 from repro.faults.montecarlo import (
     _BANKS_MATERIALIZED,
@@ -1014,17 +1015,18 @@ def _shard_worker(
         fit_scale=fit_scale,
     )
     target = None if threshold is None else ("tail", threshold)
-    est = run_estimate(
-        sim,
-        mode,
-        trials,
-        tilt=tilt,
-        strata=strata,
-        allocation=allocation,
-        chunk_size=chunk_size,
-        target=target,
-        target_rci=0,  # shards never self-truncate; the driver stops globally
-    )
+    with trace.span("mc.shard", "mc", shard=shard, mode=mode, trials=trials):
+        est = run_estimate(
+            sim,
+            mode,
+            trials,
+            tilt=tilt,
+            strata=strata,
+            allocation=allocation,
+            chunk_size=chunk_size,
+            target=target,
+            target_rci=0,  # shards never self-truncate; the driver stops globally
+        )
     return shard, est.to_dict()
 
 

@@ -60,22 +60,73 @@ _ALL_TOKENS = frozenset({"1", "true", "on", "all"})
 
 
 class _JsonlSink:
-    """Append-only JSONL writer; one atomic ``os.write`` per record."""
+    """Append-only JSONL writer; one atomic ``os.write`` per record.
 
-    __slots__ = ("run_dir", "path", "_fd")
+    With ``REPRO_OBS_MAX_BYTES`` set, a write that would push the stream
+    past the cap first rotates ``events.jsonl`` to ``events.jsonl.1``
+    (replacing any previous rotation).  Every append is one whole-line
+    write, so the rename always lands on a line boundary; concurrent
+    writers holding the old descriptor keep appending to the rotated
+    file — never torn, only filed under the previous generation.
+    """
 
-    def __init__(self, run_dir: "Path | str"):
+    __slots__ = ("run_dir", "path", "_fd", "max_bytes")
+
+    def __init__(self, run_dir: "Path | str", max_bytes: "int | None" = None):
         self.run_dir = Path(run_dir)
         self.path = self.run_dir / EVENTS_FILE
         self._fd = None
+        self.max_bytes = max_bytes
+
+    def _open(self) -> int:
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        return self._fd
 
     def write_line(self, text: str) -> None:
         fd = self._fd
         if fd is None:
-            self.run_dir.mkdir(parents=True, exist_ok=True)
-            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-            self._fd = fd
-        os.write(fd, text.encode("utf-8"))
+            fd = self._open()
+        data = text.encode("utf-8")
+        if self.max_bytes:
+            fd = self._maybe_rotate(fd, len(data))
+        os.write(fd, data)
+
+    def _maybe_rotate(self, fd: int, incoming: int) -> int:
+        """Rotate when the stream would exceed the cap; returns a live fd.
+
+        Another process may have rotated already (the descriptor no longer
+        names ``events.jsonl``): then this writer just reopens the fresh
+        stream instead of rotating the new generation straight out again.
+        """
+        try:
+            size = os.fstat(fd).st_size
+        except OSError:
+            return fd
+        if size == 0 or size + incoming <= self.max_bytes:
+            return fd
+        rotated = size
+        try:
+            current = os.stat(self.path)
+            stale = current.st_ino != os.fstat(fd).st_ino
+        except OSError:
+            stale = False
+        if not stale:
+            try:
+                os.replace(self.path, self.path.with_name(EVENTS_FILE + ".1"))
+            except OSError:
+                return fd
+        self.close()
+        fd = self._open()
+        rec = {
+            "kind": "obs.rotate",
+            "ts": round(time.monotonic(), 6),
+            "pid": os.getpid(),
+            "rotated_bytes": rotated,
+            "max_bytes": self.max_bytes,
+        }
+        os.write(fd, (json.dumps(rec, separators=(",", ":"), sort_keys=True) + "\n").encode())
+        return fd
 
     def close(self) -> None:
         if self._fd is not None:
@@ -89,6 +140,13 @@ class _JsonlSink:
 #: The active sink; ``None`` is the no-op default (the whole off path).
 _sink: "_JsonlSink | None" = None
 _modes: frozenset = frozenset()
+
+#: Ambient-span provider installed by :mod:`repro.obs.trace` while the
+#: span plane is armed; ``None`` (the default) keeps :func:`emit` free of
+#: any trace cost.  When set, it returns the current ``(trace_id,
+#: span_id)`` pair (or ``None`` outside any span) and every emitted event
+#: is stamped with it, so flat events resolve into the span forest.
+_span_provider = None
 
 
 def parse_modes(raw: "str | None") -> frozenset:
@@ -119,6 +177,8 @@ def configure(run_dir: "Path | str | None" = None, modes: "str | object" = "all"
     empty set disarms.  The events file is opened lazily on first emit, so
     arming never touches the filesystem by itself.
     """
+    from repro.util import envcfg  # deferred: envcfg is import-light but cyclic
+
     global _sink, _modes
     parsed = parse_modes(modes) if isinstance(modes, str) else frozenset(modes)
     if _sink is not None:
@@ -127,7 +187,10 @@ def configure(run_dir: "Path | str | None" = None, modes: "str | object" = "all"
         _sink = None
         _modes = frozenset()
         return None
-    _sink = _JsonlSink(run_dir or os.environ.get(ENV_DIR) or DEFAULT_DIR)
+    _sink = _JsonlSink(
+        run_dir or os.environ.get(ENV_DIR) or DEFAULT_DIR,
+        max_bytes=envcfg.obs_max_bytes(),
+    )
     _modes = parsed
     return _sink.run_dir
 
@@ -168,29 +231,48 @@ def emit(kind: str, **fields) -> None:
     if sink is None:
         return
     rec = dict(fields)
+    provider = _span_provider
+    if provider is not None and "span" not in rec:
+        ctx = provider()
+        if ctx is not None:
+            rec["trace"], rec["span"] = ctx
     rec["kind"] = kind
     rec["ts"] = round(time.monotonic(), 6)
     rec["pid"] = os.getpid()
     sink.write_line(json.dumps(rec, separators=(",", ":"), sort_keys=True, default=repr) + "\n")
 
 
-def worker_config() -> "tuple[str, str] | None":
-    """Picklable arming state to ship to pool workers (None when off)."""
+def worker_config() -> "tuple[str, str, tuple | None] | None":
+    """Picklable arming state to ship to pool workers (None when off).
+
+    Third element: the parent's span-plane state — ``None`` when tracing
+    is off, else the ambient ``(trace_id, span_id)`` pair (itself possibly
+    ``None``) that worker-side spans should parent to.
+    """
     if _sink is None:
         return None
-    return str(_sink.run_dir), ",".join(sorted(_modes))
+    from repro.obs import trace
+
+    tctx = (trace.ctx(),) if trace.armed() else None
+    return str(_sink.run_dir), ",".join(sorted(_modes)), tctx
 
 
-def ensure_worker(cfg: "tuple[str, str] | None") -> None:
+def ensure_worker(cfg: "tuple | None") -> None:
     """Arm a worker process to the parent's config (idempotent).
 
     Fork-started workers inherit the parent's sink and return immediately;
     spawn-started workers (or workers of a parent armed programmatically
-    after import) configure themselves here.
+    after import) configure themselves here.  The span plane is (dis)armed
+    to match the parent either way.
     """
     if cfg is None:
         return
-    run_dir_s, modes_s = cfg
+    run_dir_s, modes_s, tctx = cfg
+    from repro.obs import trace
+
+    trace.arm(tctx is not None)
+    if tctx is not None:
+        trace.adopt(tctx[0])
     if _sink is not None and str(_sink.run_dir) == run_dir_s and _modes == parse_modes(modes_s):
         return
     configure(run_dir_s, modes_s)
@@ -215,3 +297,7 @@ def ensure_manifest(**extra) -> "Path | None":
 
 
 init_from_env()
+
+# Imported for its import-time REPRO_TRACE arming (installs _span_provider);
+# must come after init_from_env so the sink state it checks is settled.
+from repro.obs import trace as _trace  # noqa: E402,F401

@@ -24,35 +24,33 @@ TIMELINE_BUCKETS = 10
 
 
 def read_events(run_dir: "Path | str") -> "list[dict]":
-    """Parse ``events.jsonl``.
+    """Parse ``events.jsonl`` (and a rotated ``events.jsonl.1`` before it).
 
-    A torn *trailing* line — the one record a killed writer (ENOSPC,
-    SIGKILL, power loss) can leave half-written, since every append is a
-    single ``O_APPEND`` write — is skipped with a one-line warning on
-    stderr.  An invalid line anywhere *before* the tail cannot come from a
-    torn write and still raises: that file is corrupt, not interrupted.
+    A torn line *anywhere* — the half-written append of a killed writer
+    (ENOSPC, SIGKILL, power loss), or a record straddling an I/O fault —
+    is skipped with a one-line warning on stderr naming the file and line
+    number; one bad record must never cost the rest of the stream.  When
+    ``REPRO_OBS_MAX_BYTES`` rotation has produced an ``events.jsonl.1``,
+    that older generation is read first so the merged stream stays in
+    append order.
     """
-    path = Path(run_dir) / EVENTS_FILE
-    if not path.exists():
-        return []
-    with path.open("r", encoding="utf-8") as fh:
-        numbered = [
-            (lineno, line.strip())
-            for lineno, line in enumerate(fh, 1)
-            if line.strip()
-        ]
+    run_dir = Path(run_dir)
     events = []
-    for pos, (lineno, line) in enumerate(numbered):
-        try:
-            events.append(json.loads(line))
-        except json.JSONDecodeError as exc:
-            if pos == len(numbered) - 1:
-                print(
-                    f"warning: {path}:{lineno}: skipping torn trailing JSONL record",
-                    file=sys.stderr,
-                )
-                break
-            raise ValueError(f"{path}:{lineno}: invalid JSONL record: {exc}") from None
+    for path in (run_dir / f"{EVENTS_FILE}.1", run_dir / EVENTS_FILE):
+        if not path.exists():
+            continue
+        with path.open("r", encoding="utf-8", errors="replace") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    print(
+                        f"warning: {path}:{lineno}: skipping torn JSONL record",
+                        file=sys.stderr,
+                    )
     events.sort(key=lambda e: e.get("ts", 0.0))
     return events
 
@@ -231,6 +229,8 @@ def _timeline(events: "list[dict]") -> "list[dict]":
 
 def summarize(run_dir: "Path | str") -> dict:
     """Reconstruct the campaign from a run directory's telemetry alone."""
+    from repro.obs.spantree import trace_summary
+
     run_dir = Path(run_dir)
     events = read_events(run_dir)
     kinds: "dict[str, int]" = {}
@@ -248,6 +248,7 @@ def summarize(run_dir: "Path | str") -> dict:
         "supervisor": _supervisor_summary(events),
         "chaos": _chaos_summary(events),
         "timeline": _timeline(events),
+        "trace": trace_summary(events),
     }
 
 
@@ -368,6 +369,35 @@ def render(summary: dict) -> str:
                  f"{rec['attempt']} after {rec['after_s']}s") if c["recovered"] else "NOT RECOVERED",
             ])
         lines += _table(["mode", "task", "attempt", "outcome"], rows)
+        lines.append("")
+
+    if summary.get("trace"):
+        tr = summary["trace"]
+        lines.append(
+            f"trace: {tr['spans']} span(s) in {tr['traces']} trace(s), "
+            f"{tr['roots']} root(s)"
+            + (f", {tr['synthetic']} synthesized (crashed parents)" if tr["synthetic"] else "")
+        )
+        if tr.get("root"):
+            root = tr["root"]
+            lines.append(
+                f"  root: {root['name']} ({root['wall_s']}s wall, "
+                f"coverage {tr['coverage']:.0%})"
+            )
+            buckets = tr["buckets"]
+            wall = tr["wall_s"] or 1.0
+            lines.append(
+                "  attribution: "
+                + ", ".join(
+                    f"{b} {buckets[b]:.3f}s ({100.0 * buckets[b] / wall:.1f}%)"
+                    for b in sorted(buckets, key=lambda b: -buckets[b])
+                    if buckets[b] > 0
+                )
+            )
+            lines.append(
+                "  critical path: "
+                + " > ".join(n["name"] for n in tr["critical_path"])
+            )
         lines.append("")
 
     if summary["timeline"]:

@@ -1,0 +1,248 @@
+"""Causal span plane: cross-process traces on the JSONL event bus.
+
+The event bus (:mod:`repro.obs`) records *what happened* as flat events;
+this module adds *why it took that long*: every instrumented operation
+runs inside a **span** — a ``(trace_id, span_id, parent_id)`` context
+with monotonic start/end stamps and a category tag — emitted as a single
+``trace.span`` event when the span closes.  Because spans ride the same
+O_APPEND JSONL stream as ordinary events, one campaign reconstructs as a
+single span forest (:mod:`repro.obs.spantree`) even through pool
+rebuilds, worker retries, batched super-tasks, and crash/resume.
+
+Design constraints, in order:
+
+1. **Disarmed is free.**  ``REPRO_TRACE`` off (the default) keeps
+   :func:`span` at one global load and one branch, returning a shared
+   no-op singleton; :func:`repro.obs.emit` pays nothing because the
+   span-provider hook stays ``None``.  ``bench_obs_overhead.py`` holds
+   this to < 2% on both simulator kernels.
+2. **Propagation is explicit and picklable.**  A span context crosses a
+   process boundary as a plain ``(trace_id, span_id)`` tuple: the engine
+   threads it through the task envelope (:func:`repro.obs.worker_config`),
+   the supervisor persists it in journal ``begin`` records so a resumed
+   campaign re-parents under the original root, and super-task spool
+   frames carry the emitting span id (:mod:`repro.experiments.resultcodec`).
+3. **Ambient by default, explicit when needed.**  Spans nest through a
+   :class:`contextvars.ContextVar`; pass ``parent=`` to override (e.g.
+   worker-side spans parent to the dispatch-time context shipped in the
+   envelope, not to whatever the worker last ran).
+
+Arming
+------
+``REPRO_TRACE=1`` (any of 1/true/on/yes) arms the plane at import time;
+spans still only reach disk while the event bus itself is armed
+(``REPRO_OBS``).  Tests and benchmarks arm programmatically with
+:func:`arm` and restore the environment-driven state via
+:func:`init_from_env`.
+
+Span event schema (``kind == "trace.span"``)::
+
+    trace   16-hex trace id shared by the whole forest
+    span    16-hex span id (unique per span)
+    parent  16-hex parent span id, or null for a root
+    name    operation name, e.g. "engine.task"
+    cat     attribution bucket: dispatch|compute|codec|retry|journal|...
+    t0, t1  monotonic start/end seconds (same axis as event ``ts``)
+
+plus any keyword fields given at start, :meth:`Span.annotate`, or end.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import time
+
+from repro import obs
+
+#: Attribution categories consumed by :mod:`repro.obs.spantree`.  Free-form
+#: strings are allowed; these are the ones the wall-time buckets know.
+CATEGORIES = ("dispatch", "compute", "codec", "retry", "journal", "mc", "sim")
+
+_armed = False
+_current: "contextvars.ContextVar[tuple[str, str] | None]" = contextvars.ContextVar(
+    "repro_trace_span", default=None
+)
+
+
+def _provider() -> "tuple[str, str] | None":
+    return _current.get()
+
+
+def armed() -> bool:
+    """Is the span plane armed (independent of the bus sink)?"""
+    return _armed
+
+
+def arm(on: bool = True) -> None:
+    """(Dis)arm the span plane and install/clear the bus span-provider."""
+    global _armed
+    _armed = bool(on)
+    obs._span_provider = _provider if _armed else None
+
+
+def init_from_env() -> bool:
+    """(Re)apply ``REPRO_TRACE``; returns the resulting armed state."""
+    from repro.util import envcfg
+
+    arm(envcfg.trace_enabled())
+    return _armed
+
+
+def enabled() -> bool:
+    """True when spans actually reach disk: armed AND the bus has a sink."""
+    return _armed and obs.enabled()
+
+
+def new_id() -> str:
+    """A fresh 64-bit id as 16 hex chars (collision odds are negligible)."""
+    return os.urandom(8).hex()
+
+
+def ctx() -> "tuple[str, str] | None":
+    """The ambient picklable ``(trace_id, span_id)``, or None outside spans."""
+    return _current.get()
+
+
+def adopt(parent_ctx: "tuple[str, str] | None") -> None:
+    """Install a shipped context as the ambient span (workers, resume).
+
+    The tuple is what :func:`ctx` returned on the emitting side; ``None``
+    clears the ambient so new spans become roots again.
+    """
+    _current.set(tuple(parent_ctx) if parent_ctx else None)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while the plane is disarmed."""
+
+    __slots__ = ()
+    trace_id = None
+    span_id = None
+    parent_id = None
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **fields) -> None:
+        pass
+
+    def end(self, **extra) -> None:
+        pass
+
+    def ctx(self) -> None:
+        return None
+
+
+NOOP = _NoopSpan()
+
+
+class Span:
+    """A live span; use as a context manager or call :meth:`end` exactly once.
+
+    The explicit :meth:`end` form exists for generator-shaped scopes
+    (e.g. ``run_tasks`` yields mid-span): a :class:`~contextvars.ContextVar`
+    token set inside a generator may not be resettable from the caller's
+    context, so ``end`` falls back to re-installing the parent directly.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "cat",
+        "fields",
+        "t0",
+        "_token",
+        "_ended",
+    )
+
+    def __init__(self, name: str, cat: str, parent: "tuple[str, str] | None", fields: dict):
+        if parent is not None:
+            self.trace_id, self.parent_id = parent
+        else:
+            ambient = _current.get()
+            if ambient is not None:
+                self.trace_id, self.parent_id = ambient
+            else:
+                self.trace_id = new_id()
+                self.parent_id = None
+        self.span_id = new_id()
+        self.name = name
+        self.cat = cat
+        self.fields = fields
+        self._ended = False
+        self.t0 = time.monotonic()
+        self._token = _current.set((self.trace_id, self.span_id))
+
+    def ctx(self) -> "tuple[str, str]":
+        """This span's picklable ``(trace_id, span_id)`` for propagation."""
+        return (self.trace_id, self.span_id)
+
+    def annotate(self, **fields) -> None:
+        """Attach fields to be emitted with the closing event."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.end(error=repr(exc))
+        else:
+            self.end()
+        return False
+
+    def end(self, **extra) -> None:
+        """Close the span and emit its ``trace.span`` record (idempotent)."""
+        if self._ended:
+            return
+        self._ended = True
+        t1 = time.monotonic()
+        try:
+            _current.reset(self._token)
+        except ValueError:
+            # Token minted in another context (generator/thread hand-off):
+            # restore the parent by value instead.
+            _current.set(
+                (self.trace_id, self.parent_id) if self.parent_id else None
+            )
+        payload = dict(self.fields)
+        payload.update(extra)
+        payload.update(
+            trace=self.trace_id,
+            span=self.span_id,
+            parent=self.parent_id,
+            name=self.name,
+            cat=self.cat,
+            t0=round(self.t0, 6),
+            t1=round(t1, 6),
+        )
+        obs.emit("trace.span", **payload)
+
+
+def span(
+    name: str,
+    cat: str = "",
+    parent: "tuple[str, str] | None" = None,
+    **fields,
+) -> "Span | _NoopSpan":
+    """Open a span (the shared no-op singleton while disarmed/unsunk).
+
+    *parent* overrides the ambient context; otherwise the span nests under
+    the current one, or starts a new root trace.
+    """
+    if not _armed or obs._sink is None:
+        return NOOP
+    return Span(name, cat, parent, fields)
+
+
+#: Alias for call sites that pair an explicit ``.end()`` (generators).
+start_span = span
+
+
+init_from_env()

@@ -200,6 +200,53 @@ def mc_target_rci(explicit: "float | None" = None) -> "float | None":
     return value or None
 
 
+#: Truthy tokens accepted by flag-style knobs (``REPRO_TRACE``).
+_FLAG_ON = frozenset({"1", "true", "on", "yes"})
+_FLAG_OFF = frozenset({"", "0", "false", "off", "no"})
+
+
+def trace_enabled(explicit: "bool | None" = None) -> bool:
+    """Resolve the causal-trace knob (``REPRO_TRACE``).
+
+    When on (and the telemetry bus is armed), span records
+    (``trace.span``) are emitted on the JSONL event bus and every other
+    event is stamped with the enclosing span, so a campaign reconstructs
+    as a single span forest (:mod:`repro.obs.spantree`).  Off (the
+    default) keeps the span plane a no-op.
+    """
+    if explicit is not None:
+        return bool(explicit)
+    raw = os.environ.get("REPRO_TRACE", "").strip().lower()
+    if raw in _FLAG_ON:
+        return True
+    if raw in _FLAG_OFF:
+        return False
+    raise ValueError(f"REPRO_TRACE must be a flag (1/on/0/off), got {raw!r}")
+
+
+def obs_max_bytes(explicit: "int | None" = None) -> "int | None":
+    """Resolve the telemetry-stream size cap (``REPRO_OBS_MAX_BYTES``).
+
+    When ``events.jsonl`` would exceed the cap, the sink rotates it to
+    ``events.jsonl.1`` on a line boundary (every append is one whole-line
+    write) and emits an ``obs.rotate`` event into the fresh stream, so
+    week-long campaigns cannot fill the disk.  ``None``/unset disables
+    rotation; ``0`` disables it explicitly.  Accepts byte-size suffixes
+    (``64m``, ``2g``).
+    """
+    if explicit is not None:
+        explicit = int(explicit)
+        if explicit < 0:
+            raise ValueError(f"obs max bytes must be >= 0, got {explicit}")
+        return explicit or None
+    value = _env_number("REPRO_OBS_MAX_BYTES", parse_bytes, "a byte size (e.g. 64m, 2g)")
+    if value is None:
+        return None
+    if value < 0:
+        raise ValueError(f"REPRO_OBS_MAX_BYTES must be >= 0, got {value}")
+    return value or None
+
+
 def jobs(default: int) -> int:
     """Resolve the campaign worker count: ``REPRO_JOBS`` if set, else
     *default* (callers pass the machine's CPU count)."""
@@ -558,6 +605,20 @@ register(
     "./.repro_obs",
     "run directory for telemetry events.jsonl + manifest.json",
     lambda: os.environ.get("REPRO_OBS_DIR", "./.repro_obs"),
+)
+register(
+    "REPRO_TRACE",
+    "flag",
+    "off",
+    "causal span plane: emit trace.span records and stamp events with the enclosing span",
+    lambda: "on" if trace_enabled() else "off",
+)
+register(
+    "REPRO_OBS_MAX_BYTES",
+    "bytes (64m, 2g)",
+    "disabled",
+    "rotate events.jsonl to events.jsonl.1 on a line boundary past this size (0 = off)",
+    lambda: (lambda v: str(v) if v else "(disabled)")(obs_max_bytes()),
 )
 
 

@@ -333,8 +333,8 @@ class TestSummarizeChaosStorm:
         assert parsed["engine"]["totals"]["ok"] == len(PAYLOADS)
 
 
-class TestTornTrailingLine:
-    """read_events tolerates the one line a killed writer can half-write."""
+class TestTornLines:
+    """read_events skips torn lines anywhere, loudly, and follows rotation."""
 
     def _events_file(self, tmp_path, text):
         (tmp_path / "events.jsonl").write_text(text)
@@ -348,15 +348,18 @@ class TestTornTrailingLine:
         events = read_events(run)
         assert [e["kind"] for e in events] == ["a", "b"]
         err = capsys.readouterr().err
-        assert "skipping torn trailing JSONL record" in err
+        assert "skipping torn JSONL record" in err
         assert ":3:" in err  # names the torn line
 
-    def test_midfile_corruption_still_raises(self, tmp_path):
+    def test_midfile_corruption_skipped_with_warning(self, tmp_path, capsys):
         run = self._events_file(
             tmp_path, '{"kind":"a","ts":1}\nnot json\n{"kind":"b","ts":2}\n'
         )
-        with pytest.raises(ValueError, match="invalid JSONL record"):
-            read_events(run)
+        events = read_events(run)
+        assert [e["kind"] for e in events] == ["a", "b"]
+        err = capsys.readouterr().err
+        assert "skipping torn JSONL record" in err
+        assert ":2:" in err  # names the corrupt interior line
 
     def test_clean_file_is_quiet(self, tmp_path, capsys):
         run = self._events_file(tmp_path, '{"kind":"a","ts":1}\n')
@@ -366,7 +369,12 @@ class TestTornTrailingLine:
     def test_torn_only_line_yields_empty(self, tmp_path, capsys):
         run = self._events_file(tmp_path, '{"kind":"a"')
         assert read_events(run) == []
-        assert "torn trailing" in capsys.readouterr().err
+        assert "torn JSONL record" in capsys.readouterr().err
+
+    def test_rotated_generation_read_first(self, tmp_path):
+        (tmp_path / "events.jsonl.1").write_text('{"kind":"old","ts":1}\n')
+        run = self._events_file(tmp_path, '{"kind":"new","ts":2}\n')
+        assert [e["kind"] for e in read_events(run)] == ["old", "new"]
 
     def test_cli_tolerates_torn_tail(self, tmp_path):
         self._events_file(
@@ -379,7 +387,7 @@ class TestTornTrailingLine:
             check=True,
             env=_subprocess_env(),
         )
-        assert "torn trailing" in out.stderr
+        assert "torn JSONL record" in out.stderr
         assert "events: 1" in out.stdout
 
 

@@ -70,7 +70,7 @@ def run_dir(tmp_path):
 class TestConcurrentAppends:
     def test_every_line_parses_and_none_lost(self, method, run_dir):
         _hammer(mp.get_context(method), _blast)
-        events = read_events(run_dir)  # raises on any torn/interleaved line
+        events = read_events(run_dir)  # warns-and-skips torn lines; count check catches loss
         assert len(events) == WORKERS * EVENTS_PER_WORKER
         by_worker = {}
         for e in events:

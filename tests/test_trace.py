@@ -1,0 +1,364 @@
+"""Causal trace plane: spans, cross-process forests, attribution, export.
+
+The acceptance bar for the span plane: a chaos-armed (crash + hang +
+corrupt) *supervised* campaign yields one complete span forest — every
+stamped engine/super/journal event resolves to the campaign root through
+worker rebuilds, retries, batches, and crashed parents — with
+critical-path and wall-time bucket attribution covering >= 95% of the
+campaign's wall-clock, and the Chrome trace-event export validating
+against the schema ``chrome://tracing`` / Perfetto load.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.experiments import parallel, supervisor
+from repro.faults.montecarlo import _eol_cell
+from repro.obs import trace
+from repro.obs.export import export_events, export_run
+from repro.obs.spantree import (
+    BUCKETS,
+    attribute,
+    build_forest,
+    critical_path,
+    primary_root,
+    resolve_root,
+    trace_summary,
+)
+from repro.obs.summarize import read_events, summarize
+
+PAYLOADS = [(2, 400, s, 61320.0, 1 << 16) for s in range(6)]
+
+
+def _subprocess_env():
+    import os
+
+    env = dict(os.environ)
+    src = str(__import__("pathlib").Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+@pytest.fixture
+def traced(tmp_path):
+    """Arm the bus (all modes) and the span plane; restore on exit."""
+    run = tmp_path / "traced"
+    obs.configure(run, "engine,chaos,supervisor,mc,sim")
+    trace.arm(True)
+    yield run
+    trace.adopt(None)  # drop any ambient context a test installed
+    trace.arm(False)
+    trace.init_from_env()
+    obs.disarm()
+    obs.REGISTRY.reset()
+
+
+class TestSpanPrimitives:
+    def test_disarmed_span_is_shared_noop(self):
+        assert not trace.armed()
+        s1 = trace.span("x", "compute")
+        s2 = trace.span("y")
+        assert s1 is s2 is trace.NOOP
+        with s1:
+            s1.annotate(k=1)
+        assert s1.span_id is None and s1.trace_id is None
+
+    def test_armed_without_sink_is_noop(self):
+        trace.arm(True)
+        try:
+            assert not obs.enabled()
+            assert trace.span("x") is trace.NOOP
+        finally:
+            trace.arm(False)
+            trace.init_from_env()
+
+    def test_span_emits_ids_window_and_fields(self, traced):
+        with trace.span("unit.outer", "compute", foo=1) as outer:
+            with trace.span("unit.inner", "codec") as inner:
+                pass
+        events = [e for e in read_events(traced) if e["kind"] == "trace.span"]
+        by_name = {e["name"]: e for e in events}
+        assert set(by_name) == {"unit.outer", "unit.inner"}
+        o, i = by_name["unit.outer"], by_name["unit.inner"]
+        assert o["span"] == outer.span_id and i["span"] == inner.span_id
+        assert i["parent"] == o["span"] and o["parent"] is None
+        assert i["trace"] == o["trace"] == outer.trace_id
+        assert len(o["span"]) == 16 and len(o["trace"]) == 16
+        assert o["t0"] <= i["t0"] <= i["t1"] <= o["t1"]
+        assert o["foo"] == 1
+
+    def test_ambient_context_restored_after_exit(self, traced):
+        assert trace.ctx() is None
+        with trace.span("a"):
+            outer_ctx = trace.ctx()
+            with trace.span("b"):
+                assert trace.ctx() != outer_ctx
+            assert trace.ctx() == outer_ctx
+        assert trace.ctx() is None
+
+    def test_exception_recorded_and_reraised(self, traced):
+        with pytest.raises(RuntimeError):
+            with trace.span("unit.bang"):
+                raise RuntimeError("boom")
+        (rec,) = [e for e in read_events(traced) if e["kind"] == "trace.span"]
+        assert "RuntimeError" in rec["error"]
+
+    def test_adopt_parents_across_contexts(self, traced):
+        with trace.span("parent") as p:
+            shipped = trace.ctx()
+        # Simulate a worker process adopting the shipped context.
+        trace.adopt(shipped)
+        with trace.span("child") as c:
+            pass
+        recs = {e["name"]: e for e in read_events(traced) if e["kind"] == "trace.span"}
+        assert recs["child"]["parent"] == p.span_id
+        assert recs["child"]["trace"] == p.trace_id
+        assert c.trace_id == p.trace_id
+
+    def test_events_stamped_with_ambient_span(self, traced):
+        with trace.span("stamping") as s:
+            obs.emit("unit.probe", mode="engine", x=1)
+        probe = [e for e in read_events(traced) if e["kind"] == "unit.probe"]
+        assert probe and probe[0]["span"] == s.span_id
+        assert probe[0]["trace"] == s.trace_id
+
+
+class TestCampaignForest:
+    """The tentpole acceptance: one forest through crash + hang + corrupt."""
+
+    CHAOS = "crash@1,hang=30@2,corrupt@3"
+
+    @pytest.fixture
+    def campaign(self, traced, tmp_path):
+        results = supervisor.run_campaign(
+            _eol_cell,
+            PAYLOADS,
+            name="forest",
+            directory=tmp_path / "camp",
+            jobs=3,
+            watchdog=False,
+            chaos=self.CHAOS,
+            retries=2,
+            backoff=0,
+            timeout=0.75,
+            batch=2,  # force super-tasks so the codec spool path is exercised
+        )
+        return results, read_events(traced)
+
+    def test_results_match_fault_free_serial(self, campaign):
+        results, _ = campaign
+        reference = list(parallel.run_tasks(_eol_cell, PAYLOADS, jobs=1))
+        assert results == reference
+
+    def test_every_stamped_event_resolves_to_campaign_root(self, campaign):
+        _, events = campaign
+        forest = build_forest(events)
+        root = primary_root(forest)
+        assert root is not None and root.name == "supervisor.campaign"
+        stamped = [
+            e for e in events
+            if e.get("span") is not None
+            and e["kind"] != "trace.span"
+            and (
+                e["kind"].startswith("engine.")
+                or e["kind"].startswith("supervisor.")
+                or e["kind"].startswith("chaos.")
+            )
+        ]
+        assert stamped, "no stamped engine/supervisor events in the stream"
+        for e in stamped:
+            resolved = resolve_root(forest, e["trace"], e["span"])
+            assert resolved is root, f"{e['kind']} did not resolve to campaign root"
+
+    def test_all_span_kinds_present_and_rooted(self, campaign):
+        _, events = campaign
+        forest = build_forest(events)
+        root = primary_root(forest)
+        names = {n.name for n in root.walk()}
+        # Dispatch, compute, codec, retry, and journal layers all appear
+        # under the single campaign root.
+        for expected in (
+            "engine.campaign",
+            "engine.task",
+            "engine.encode",
+            "engine.decode",
+            "journal.append",
+        ):
+            assert expected in names, f"{expected} missing from forest"
+        # The chaos storm forces retries: a backoff or rebuild span exists.
+        assert {"engine.backoff", "engine.rebuild"} & names
+
+    def test_crashed_parents_are_synthesized_not_lost(self, campaign):
+        _, events = campaign
+        forest = build_forest(events)
+        root = primary_root(forest)
+        all_nodes = list(root.walk())
+        synthetic = [n for n in all_nodes if n.synthetic]
+        # crash@1 kills a worker mid-batch: something must have been
+        # orphaned, and every orphan still hangs off the campaign root.
+        assert synthetic
+        for n in synthetic:
+            assert n.name == "(lost)"
+
+    def test_critical_path_and_attribution_cover_wall(self, campaign):
+        _, events = campaign
+        forest = build_forest(events)
+        root = primary_root(forest)
+        path = critical_path(root)
+        assert path[0] is root and len(path) >= 2
+        assert all(b.t1 >= path[-1].t0 for b in path)  # chain is causal
+        buckets = attribute(root)
+        assert set(buckets) == set(BUCKETS)
+        assert root.wall_s > 0
+        coverage = sum(buckets.values()) / root.wall_s
+        assert coverage >= 0.95  # acceptance bar (sums exactly by construction)
+        assert buckets["compute"] > 0  # the tasks actually ran somewhere
+        assert buckets["journal"] > 0  # every settlement was journaled
+
+    def test_trace_summary_section_in_report(self, campaign, traced):
+        _, events = campaign
+        section = trace_summary(events)
+        assert section["spans"] > 0 and section["traces"] >= 1
+        assert section["root"]["name"] == "supervisor.campaign"
+        assert section["coverage"] >= 0.95
+        full = summarize(traced)
+        assert full["trace"]["root"]["name"] == "supervisor.campaign"
+
+    def test_crash_resume_joins_the_same_forest(self, traced, tmp_path):
+        # First attempt dies mid-campaign (the supervisor process itself is
+        # fine; a persistent worker crash degrades, so instead interrupt by
+        # consuming only part of the stream).
+        stream = supervisor.supervised_tasks(
+            _eol_cell,
+            PAYLOADS,
+            name="resume",
+            directory=tmp_path / "camp2",
+            jobs=2,
+            watchdog=False,
+            backoff=0,
+        )
+        for _ in range(2):
+            next(stream)
+        stream.close()  # abandon mid-campaign; journal holds partial settles
+        results = supervisor.run_campaign(
+            _eol_cell,
+            PAYLOADS,
+            name="resume",
+            directory=tmp_path / "camp2",
+            jobs=2,
+            watchdog=False,
+            backoff=0,
+        )
+        assert results == list(parallel.run_tasks(_eol_cell, PAYLOADS, jobs=1))
+        events = read_events(traced)
+        roots = [
+            e for e in events
+            if e["kind"] == "trace.span" and e["name"] == "supervisor.campaign"
+        ]
+        assert len(roots) == 2
+        # The resumed campaign's root parents to the first run's root: the
+        # journal's begin record carried the trace context across the gap.
+        assert roots[1]["trace"] == roots[0]["trace"]
+        assert roots[1]["parent"] == roots[0]["span"]
+        forest = build_forest(events)
+        assert len(forest[roots[0]["trace"]]) == 1  # one tree, not two
+
+
+class TestChromeExport:
+    def _validate(self, doc):
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["traceEvents"]
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "i", "M")
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            assert isinstance(ev["name"], str) and ev["name"]
+            if ev["ph"] == "X":
+                assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+                assert isinstance(ev["dur"], (int, float)) and ev["dur"] >= 0
+                assert isinstance(ev["cat"], str)
+            elif ev["ph"] == "i":
+                assert ev["s"] == "p"
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_export_validates_chrome_schema(self, traced):
+        list(parallel.run_tasks(_eol_cell, PAYLOADS[:3], jobs=2, backoff=0))
+        doc = export_run(traced)
+        self._validate(doc)
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"X", "i", "M"}
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert any(e["name"] == "engine.campaign" for e in spans)
+
+    def test_export_cli_writes_loadable_json(self, traced, tmp_path):
+        with trace.span("cli.root", "compute"):
+            obs.emit("cli.probe", mode="engine")
+        out = tmp_path / "trace.json"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.export", str(traced), "-o", str(out)],
+            capture_output=True,
+            text=True,
+            env=_subprocess_env(),
+        )
+        assert proc.returncode == 0, proc.stderr
+        self._validate(json.loads(out.read_text()))
+
+    def test_export_without_spans_still_valid(self, tmp_path):
+        run = tmp_path / "plain"
+        obs.configure(run, "engine")
+        try:
+            obs.emit("engine.start", mode="engine", tasks=1)
+        finally:
+            obs.disarm()
+            obs.REGISTRY.reset()
+        self._validate(export_events(read_events(run)))
+
+
+class TestRotation:
+    def test_sink_rotates_on_line_boundary(self, tmp_path, monkeypatch):
+        # Sized for exactly one rotation: the sink keeps two generations,
+        # so a single cut preserves the full stream for the loss check.
+        monkeypatch.setenv("REPRO_OBS_MAX_BYTES", "20000")
+        run = tmp_path / "rot"
+        obs.configure(run, "engine")
+        try:
+            for i in range(200):
+                obs.emit("rot.fill", mode="engine", i=i, pad="x" * 64)
+        finally:
+            obs.disarm()
+            obs.REGISTRY.reset()
+        rotated = run / (obs.EVENTS_FILE + ".1")
+        assert rotated.exists()
+        # Every line in both generations parses: rotation cut on a boundary.
+        for path in (rotated, run / obs.EVENTS_FILE):
+            for line in path.read_text().splitlines():
+                json.loads(line)
+        events = read_events(run)
+        kinds = {e["kind"] for e in events}
+        assert "obs.rotate" in kinds
+        fills = [e for e in events if e["kind"] == "rot.fill"]
+        assert len(fills) == 200  # nothing lost across the rotation
+
+    def test_spans_survive_rotation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_MAX_BYTES", "12000")
+        run = tmp_path / "rotspan"
+        obs.configure(run, "engine")
+        trace.arm(True)
+        try:
+            with trace.span("rot.root", "compute"):
+                for i in range(100):
+                    with trace.span("rot.leaf", "compute", i=i):
+                        pass
+        finally:
+            trace.arm(False)
+            trace.init_from_env()
+            obs.disarm()
+            obs.REGISTRY.reset()
+        forest = build_forest(read_events(run))
+        root = primary_root(forest)
+        assert root.name == "rot.root"
+        assert sum(1 for n in root.walk() if n.name == "rot.leaf") == 100
