@@ -210,8 +210,11 @@ class ECCScheme(abc.ABC):
         *erasures* (one set, applied to every line) matches the common
         callers - a bank-sized batch shares its health-table erasures.  The
         base implementation loops :meth:`correct_line`; schemes override it
-        with array programs, and ``tests/test_correct_lines.py`` holds the
-        two paths equal.
+        with array programs that feed whole codeword batches to the RS
+        codec's lock-step decode kernel, and ``tests/test_correct_lines.py``
+        holds the two paths equal.  (The per-line loop doubles as the
+        reference oracle, mirroring the scalar ``_decode_word`` retained
+        inside the codec itself.)
         """
         chips = np.asarray(chips, dtype=np.uint8)
         total = chips.shape[0]

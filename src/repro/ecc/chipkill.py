@@ -10,6 +10,13 @@ with a Reed-Solomon code over GF(2^8):
   64B lines.  The same two symbols serve detection *and* correction, so
   correcting a chip erasure consumes the entire detection margin - the
   "slightly impacts error detection coverage" caveat in the paper.
+
+Both schemes decode entirely through the batched RS kernel: every
+``ReedSolomon.decode`` / ``decode_erasures_batch`` call here hands the
+codec *all* codewords of the line batch at once, so dirty words run the
+lock-step solver (or the ``REPRO_GF_NATIVE`` compiled core) rather than
+a per-word Python loop, and the per-erasure-set solve matrices are cached
+on the codec across calls.
 """
 
 from __future__ import annotations

@@ -21,7 +21,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ecc.base import CorrectResult, DetectResult, ECCScheme, EccTraffic
+from repro.ecc.base import (
+    BatchCorrectResult,
+    CorrectResult,
+    DetectResult,
+    ECCScheme,
+    EccTraffic,
+)
 from repro.ecc.checksum import ones_complement_checksum16
 from repro.gf import GF65536, ReedSolomon
 
@@ -95,10 +101,12 @@ class LotEcc5RS(ECCScheme):
         return sym.reshape(*lead, self.WORDS, 8)
 
     def _symbols_to_chips(self, sym: np.ndarray) -> np.ndarray:
-        """Inverse of :meth:`_words_symbols` for one line: ``(4, 16)`` bytes."""
-        per_word = sym.reshape(self.WORDS, self.data_chips, self.SYMBOLS_PER_CHIP)
-        per_chip = np.swapaxes(per_word, 0, 1)  # (chips, words, 2)
-        return _symbols_to_bytes(per_chip.reshape(self.data_chips, -1))
+        """Inverse of :meth:`_words_symbols`: ``(..., WORDS, 8)`` -> ``(..., 4, 16)``."""
+        sym = np.asarray(sym, dtype=np.uint16)
+        lead = sym.shape[:-2]
+        per_word = sym.reshape(*lead, self.WORDS, self.data_chips, self.SYMBOLS_PER_CHIP)
+        per_chip = np.swapaxes(per_word, -3, -2)  # (..., chips, words, 2)
+        return _symbols_to_bytes(per_chip.reshape(*lead, self.data_chips, -1))
 
     def _check_symbols(self, data: np.ndarray) -> np.ndarray:
         """Both RS check symbols per word: ``(..., WORDS, 2)`` uint16."""
@@ -180,3 +188,87 @@ class LotEcc5RS(ECCScheme):
             return CorrectResult(data=None, corrected=False, detected=True)
         changed = bool(res.n_corrected.sum() > 0) or not np.array_equal(fixed, data)
         return CorrectResult(data=fixed, corrected=changed, detected=True)
+
+    def correct_lines(
+        self,
+        chips: np.ndarray,
+        detection: np.ndarray,
+        correction: np.ndarray,
+        erasures: "set[int] | None" = None,
+    ) -> BatchCorrectResult:
+        """Batched :meth:`correct_line`: localize every line's victim chip in
+        one checksum pass, then group rows by victim signature so each group
+        decodes through one batched RS call (the batched kernel sees
+        ``group_rows * WORDS`` codewords at once, and the per-erasure-set
+        solve cache is hit instead of rebuilt).  ``tests/test_correct_lines.py``
+        holds this equal to the base per-line loop.
+        """
+        chips = np.asarray(chips, dtype=np.uint8)
+        total = chips.shape[0]
+        data = self.merge_from_chips(chips)
+        det_stored = np.asarray(detection, dtype=np.uint8).reshape(total, -1)
+        computed_det = np.asarray(self.compute_detection(data), dtype=np.uint8).reshape(
+            total, -1
+        )
+        mismatch = np.any(computed_det != det_stored, axis=1)
+
+        out = np.zeros((total, self.line_size), dtype=np.uint8)
+        ok = np.zeros(total, dtype=bool)
+        corrected = np.zeros(total, dtype=bool)
+        detected = mismatch.copy()
+
+        # Declared erasures force every line through the decode path.
+        active = mismatch | bool(erasures)
+        clean = ~active
+        out[clean] = data[clean]
+        ok[clean] = True
+        act = np.flatnonzero(active)
+        if act.size == 0:
+            return BatchCorrectResult(data=out, ok=ok, corrected=corrected, detected=detected)
+        detected[act] = True
+
+        correction = np.asarray(correction, dtype=np.uint8).reshape(total, -1)
+        check2 = _bytes_to_symbols(correction[:, : 2 * self.WORDS])  # (T, WORDS)
+        csums = correction[:, 2 * self.WORDS :].reshape(total, self.data_chips, 2)
+        badmask = np.any(ones_complement_checksum16(chips) != csums, axis=2)  # (T, 4)
+        if erasures:
+            era = sorted({int(c) for c in erasures if c < self.data_chips})
+            if era:
+                badmask[:, era] = True
+        nbad = badmask[act].sum(axis=1)
+        victim = np.argmax(badmask[act], axis=1)
+
+        words = self._words_symbols(data[act])  # (A, WORDS, 8)
+        det_sym = _bytes_to_symbols(det_stored[act])  # (A, WORDS)
+        codewords = np.concatenate(
+            [words, det_sym[:, :, None], check2[act][:, :, None]], axis=2
+        )  # (A, WORDS, 10)
+
+        # Group by victim signature: one batched decode per erasure set.
+        # Multi-victim rows are never selected and stay failed+detected.
+        for v in range(-1, self.data_chips):
+            if v < 0:
+                sel = np.flatnonzero(nbad == 0)
+                era_pos = None
+            else:
+                sel = np.flatnonzero((nbad == 1) & (victim == v))
+                era_pos = [v * self.SYMBOLS_PER_CHIP + k for k in range(self.SYMBOLS_PER_CHIP)]
+            if not sel.size:
+                continue
+            res = self._rs.decode(codewords[sel].reshape(-1, self._rs.n), erasures=era_pos)
+            ok_w = res.ok.reshape(sel.size, self.WORDS).all(axis=1)
+            fixed_syms = res.corrected.reshape(sel.size, self.WORDS, self._rs.n)[:, :, :8]
+            fixed_chips = self._symbols_to_chips(fixed_syms.astype(np.uint16))
+            fixed = self.merge_from_chips(fixed_chips)
+            recheck = np.asarray(self.compute_detection(fixed), dtype=np.uint8).reshape(
+                sel.size, -1
+            )
+            good = ok_w & np.all(recheck == det_stored[act][sel], axis=1)
+            rows = act[sel[good]]
+            out[rows] = fixed[good]
+            ok[rows] = True
+            changed = (res.n_corrected.reshape(sel.size, self.WORDS).sum(axis=1) > 0) | np.any(
+                fixed != data[act][sel], axis=1
+            )
+            corrected[rows] = changed[good]
+        return BatchCorrectResult(data=out, ok=ok, corrected=corrected, detected=detected)

@@ -249,6 +249,53 @@ def _chunk_reference(org: MemoryOrg, draws, n: int) -> np.ndarray:
     return fractions
 
 
+def _draw_scatter_chunk(
+    rng: np.random.Generator,
+    scheme,
+    rate: float,
+    n: int,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Draw one chunk of *n* codec trials: payloads + scattered bit flips.
+
+    Per trial: a random line payload, a ``Poisson(rate)`` flip count, and
+    - pooled across the chunk in trial order - uniform (byte, bit)
+    placements over the trial's data-chip matrix.  Only the *count*
+    distribution is tilted by the importance sampler; placements are
+    uniform under both measures, so (exactly as for :func:`_draw_chunk`)
+    the likelihood ratios involve counts alone.  *scheme* is any
+    :class:`~repro.ecc.base.ECCScheme`-shaped object (duck-typed; this
+    module never imports the ecc layer).
+    """
+    data = rng.integers(0, 256, size=(n, scheme.line_size), dtype=np.uint8)
+    counts = rng.poisson(rate, size=n)
+    total = int(counts.sum())
+    pos = rng.integers(scheme.data_chips * scheme.chip_bytes, size=total)
+    bit = rng.integers(8, size=total)
+    return data, counts, pos, bit
+
+
+def _codec_scatter_tally(
+    scheme, data: np.ndarray, counts: np.ndarray, pos: np.ndarray, bit: np.ndarray
+) -> np.ndarray:
+    """Per-trial silent-or-wrong indicator for one scatter chunk.
+
+    Encodes every payload, applies the drawn flips to the chip matrices,
+    pushes the whole chunk through ``scheme.correct_lines`` (one batched
+    codec call - the RS decode kernel sees every dirty word at once), and
+    returns 1.0 where the scheme claimed recovery but the payload is wrong
+    - the same miscorrection/silent-corruption bucket
+    ``experiments.coverage`` counts.
+    """
+    n = data.shape[0]
+    chips, det, corr = scheme.encode_line(data)
+    flat = np.ascontiguousarray(chips).reshape(n, -1)
+    trial = np.repeat(np.arange(n), counts)
+    np.bitwise_xor.at(flat, (trial, pos), (np.uint8(1) << bit).astype(np.uint8))
+    res = scheme.correct_lines(flat.reshape(chips.shape), det, corr)
+    wrong = res.ok & ~np.all(res.data == data, axis=1)
+    return wrong.astype(np.float64)
+
+
 class EolCapacitySim:
     """Monte Carlo for the end-of-life materialized-memory fraction."""
 

@@ -88,9 +88,12 @@ from repro.faults.montecarlo import (
     _SAT_MODES,
     EolCapacitySim,
     _chunk_batched,
+    _codec_scatter_tally,
     _draw_chunk,
     _draw_chunk_conditional,
+    _draw_scatter_chunk,
 )
+from repro.util.rng import make_rng
 from repro.util.envcfg import (
     mc_chunk,
     mc_target_rci,
@@ -774,6 +777,63 @@ def _run_weighted(sim, trials, chunk_size, target, target_rci, tilt, mode) -> We
         rci = estimate.rci(target) if (target_rci or armed) else None
         if armed:
             _emit_progress(mode, done, trials, tally, target, rci)
+        if target_rci and rci is not None and rci <= target_rci:
+            break
+    return estimate
+
+
+def run_is_coverage(
+    scheme,
+    trials: "int | None" = None,
+    rate: float = 0.05,
+    tilt: "float | None" = None,
+    chunk_size: "int | None" = None,
+    seed: int = 0,
+    target: "tuple | None" = None,
+    target_rci: "float | None" = None,
+) -> WeightedEstimate:
+    """Tilted codec campaign: silent-corruption probability under bit scatter.
+
+    The end-to-end consumer of the batched RS decode kernel: per trial a
+    random line accumulates ``Poisson(rate)`` scattered bit flips, the
+    chunk runs through one batched ``scheme.correct_lines`` call, and the
+    observable is the miscorrection/silent-corruption indicator (claimed
+    ``ok`` with a wrong payload - the bucket ``experiments.coverage``
+    calls ``silent_or_wrong``).  At realistic scatter rates that event
+    needs multiple in-line flips, so its probability is deep in the tail;
+    exponentially tilting the flip-count distribution to
+    ``Poisson(tilt * rate)`` over-samples fault-heavy trials - exactly
+    the regime the batched kernel exists for, since most words arrive
+    dirty - and each trial carries the exact likelihood ratio
+    ``exp((tilt - 1) rate) * tilt**(-k)`` (placements are uniform under
+    both measures and cancel).  ``tilt=1.0`` degrades to plain MC with
+    unit weights; estimates are bit-identical across the NumPy batch and
+    native decode paths because the decoders themselves are.
+    """
+    trials = mc_trials(trials, 20000)
+    chunk_size = mc_chunk(chunk_size)
+    target_rci = mc_target_rci(target_rci)
+    tilt = mc_tilt(tilt)
+    mode = "off" if tilt == 1.0 else "is"
+    rng = make_rng(seed)
+    tally = WeightedTally()
+    estimate = WeightedEstimate(mode=mode, tally=tally, tilt=tilt)
+    armed = obs.enabled("mc")
+    done = 0
+    while done < trials:
+        n = min(chunk_size, trials - done)
+        data, counts, pos, bit = _draw_scatter_chunk(rng, scheme, tilt * rate, n)
+        wrong = _codec_scatter_tally(scheme, data, counts, pos, bit)
+        weights = (
+            None
+            if tilt == 1.0
+            else np.exp((tilt - 1.0) * rate - counts * math.log(tilt))
+        )
+        tally.add(wrong, weights)
+        done += n
+        rci = estimate.rci(target) if (target_rci or armed) else None
+        if armed:
+            _emit_progress(f"{mode}_coverage", done, trials, tally, target, rci)
         if target_rci and rci is not None and rci <= target_rci:
             break
     return estimate

@@ -135,6 +135,34 @@ def _mc_summary(events: "list[dict]") -> "dict | None":
     }
 
 
+def _ecc_summary(events: "list[dict]") -> "dict | None":
+    """Codec-time attribution from ``ecc.decode`` batch events.
+
+    Answers "where did the campaign's decode time go": total words and
+    dirty words pushed through the RS kernel, how much of the batch volume
+    hit the compiled core versus the NumPy fallback, and the aggregate
+    dirty-word decode rate.
+    """
+    batches = [e for e in events if e.get("kind") == "ecc.decode"]
+    if not batches:
+        return None
+    words = sum(int(e.get("words", 0)) for e in batches)
+    dirty = sum(int(e.get("dirty", 0)) for e in batches)
+    wall = sum(float(e.get("wall_s", 0.0)) for e in batches)
+    native = sum(1 for e in batches if e.get("native"))
+    return {
+        "batches": len(batches),
+        "words": words,
+        "dirty_words": dirty,
+        "dirty_frac": round(dirty / words, 4) if words else 0.0,
+        "native_batches": native,
+        "native_frac": round(native / len(batches), 4),
+        "wall_s": round(wall, 6),
+        "dirty_words_per_sec": round(dirty / wall) if wall > 0 and dirty else None,
+        "codes": sorted({e.get("code", "?") for e in batches}),
+    }
+
+
 def _sim_summary(events: "list[dict]") -> "dict | None":
     runs = [e for e in events if e.get("kind") == "sim.run"]
     if not runs:
@@ -244,6 +272,7 @@ def summarize(run_dir: "Path | str") -> dict:
         "kinds": dict(sorted(kinds.items())),
         "engine": _engine_summary(events),
         "mc": _mc_summary(events),
+        "ecc": _ecc_summary(events),
         "sim": _sim_summary(events),
         "supervisor": _supervisor_summary(events),
         "chaos": _chaos_summary(events),
@@ -315,6 +344,18 @@ def render(summary: dict) -> str:
             f"monte carlo: {mc['trials']} trials over {mc['chunks']} chunks, "
             f"mean {mc['mean_trials_per_sec']} trials/s, "
             f"final running mean {mc['final_running_mean']}"
+        )
+        lines.append("")
+
+    if summary.get("ecc"):
+        ecc = summary["ecc"]
+        rate = ecc["dirty_words_per_sec"]
+        lines.append(
+            f"ecc codec: {ecc['words']} words over {ecc['batches']} decode batches "
+            f"({ecc['dirty_words']} dirty, {ecc['dirty_frac']:.1%}), "
+            f"native on {ecc['native_frac']:.0%} of batches"
+            + (f", {rate:,} dirty words/s" if rate else "")
+            + f" [{', '.join(ecc['codes'])}]"
         )
         lines.append("")
 

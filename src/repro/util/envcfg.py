@@ -300,6 +300,19 @@ def sim_native(explicit: "str | None" = None) -> str:
     return value
 
 
+def gf_native(explicit: "str | None" = None) -> str:
+    """Resolve the RS codec's compiled-core policy: ``auto`` (default, use
+    the cffi GF core when the code is eligible and a compiler is
+    available), ``off`` (always the NumPy batch kernel), or ``on``
+    (require the compiled core; error out rather than fall back).
+    """
+    value = explicit if explicit is not None else os.environ.get("REPRO_GF_NATIVE", "")
+    value = value.strip() or "auto"
+    if value not in ("auto", "off", "on"):
+        raise ValueError(f"REPRO_GF_NATIVE must be 'auto', 'off' or 'on', got {value!r}")
+    return value
+
+
 def task_batch(explicit: "str | int | None" = None) -> "str | int":
     """Resolve the super-task batching policy of the campaign engine.
 
@@ -593,10 +606,17 @@ register(
     lambda: sim_native(),
 )
 register(
+    "REPRO_GF_NATIVE",
+    "auto|off|on",
+    "auto",
+    "RS codec's compiled GF core: auto-detect, disable, or require (no fallback)",
+    lambda: gf_native(),
+)
+register(
     "REPRO_OBS",
     "mode list",
     "(telemetry off)",
-    "arm the telemetry plane: comma-separated modes engine,mc,sim,chaos,supervisor (or 'all')",
+    "arm the telemetry plane: comma-separated modes engine,mc,sim,chaos,supervisor,ecc (or 'all')",
     _resolve_obs_modes,
 )
 register(
